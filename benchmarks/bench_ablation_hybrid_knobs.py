@@ -1,0 +1,105 @@
+"""Ablations of the Hybrid Master/Slave tunables (paper §4.3 / §8).
+
+The paper fixes N = 10, N_O = 20N, N_L = 40, W = 32 "to obtain good
+results" and notes (§8) that "distributing the work is based on several
+heuristics that may be more or less appropriate depending on data set
+properties".  These benchmarks measure exactly that sensitivity on the
+astro problem.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.scenarios import make_problem, scenario_machine
+from repro.core.config import HybridConfig
+from repro.core.driver import run_streamlines
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+N_RANKS = 32
+
+
+def _run(problem, hybrid):
+    return run_streamlines(problem, algorithm="hybrid",
+                           machine=scenario_machine(N_RANKS),
+                           hybrid=hybrid)
+
+
+@pytest.mark.parametrize("quantum", [2, 10, 40])
+def test_ablation_assignment_quantum(benchmark, quantum):
+    """N — seeds per assignment: small N balances better but costs more
+    master round-trips."""
+    problem = make_problem("astro", "sparse", scale=min(SCALE, 0.15))
+    result = benchmark.pedantic(
+        lambda: _run(problem, HybridConfig(assignment_quantum=quantum,
+                                           overload_limit=20 * quantum)),
+        rounds=1, iterations=1)
+    assert result.ok
+    benchmark.extra_info.update(
+        N=quantum, wall=result.wall_clock, comm=result.comm_time,
+        messages=result.messages_sent)
+    print(f"\nN={quantum}: wall={result.wall_clock:.2f}s "
+          f"comm={result.comm_time:.3f}s msgs={result.messages_sent}")
+
+
+@pytest.mark.parametrize("overload", [40, 200, 2000])
+def test_ablation_overload_limit(benchmark, overload):
+    """N_O — overload limit: too large re-concentrates dense seeds."""
+    problem = make_problem("astro", "dense", scale=min(SCALE, 0.15))
+    result = benchmark.pedantic(
+        lambda: _run(problem, HybridConfig(overload_limit=overload)),
+        rounds=1, iterations=1)
+    assert result.ok
+    benchmark.extra_info.update(
+        NO=overload, wall=result.wall_clock,
+        parallel_efficiency=result.parallel_efficiency)
+    print(f"\nNO={overload}: wall={result.wall_clock:.2f}s "
+          f"peff={result.parallel_efficiency:.2f}")
+
+
+@pytest.mark.parametrize("threshold", [4, 40, 400])
+def test_ablation_load_threshold(benchmark, threshold):
+    """N_L — load-vs-send threshold: low values load blocks eagerly
+    (more I/O), high values migrate streamlines (more communication)."""
+    problem = make_problem("astro", "dense", scale=min(SCALE, 0.15))
+    result = benchmark.pedantic(
+        lambda: _run(problem, HybridConfig(load_threshold=threshold)),
+        rounds=1, iterations=1)
+    assert result.ok
+    benchmark.extra_info.update(
+        NL=threshold, io=result.io_time, comm=result.comm_time,
+        bytes=result.bytes_sent)
+    print(f"\nNL={threshold}: io={result.io_time:.2f}s "
+          f"comm={result.comm_time:.3f}s bytes={result.bytes_sent}")
+
+
+@pytest.mark.parametrize("w", [4, 16, 31])
+def test_ablation_slaves_per_master(benchmark, w):
+    """W — group size: more masters cost ranks but shorten queues."""
+    problem = make_problem("astro", "sparse", scale=min(SCALE, 0.15))
+    result = benchmark.pedantic(
+        lambda: _run(problem, HybridConfig(slaves_per_master=w)),
+        rounds=1, iterations=1)
+    assert result.ok
+    n_masters = HybridConfig(slaves_per_master=w).n_masters(N_RANKS)
+    benchmark.extra_info.update(W=w, masters=n_masters,
+                                wall=result.wall_clock)
+    print(f"\nW={w} ({n_masters} masters): wall={result.wall_clock:.2f}s")
+
+
+@pytest.mark.parametrize("budget", [0, 32, 512])
+def test_ablation_duplication_budget(benchmark, budget):
+    """The locality/duplication budget trades I/O against communication
+    (budget 0 = the literal §4.3 rule order; huge budget = degenerate
+    toward Load On Demand)."""
+    problem = make_problem("astro", "sparse", scale=min(SCALE, 0.15))
+    cfg = HybridConfig(locality_bias=budget > 0,
+                       duplication_budget=max(budget, 1))
+    result = benchmark.pedantic(lambda: _run(problem, cfg),
+                                rounds=1, iterations=1)
+    assert result.ok
+    benchmark.extra_info.update(
+        budget=budget, io=result.io_time, comm=result.comm_time,
+        wall=result.wall_clock)
+    print(f"\nbudget={budget}: io={result.io_time:.2f}s "
+          f"comm={result.comm_time:.3f}s wall={result.wall_clock:.2f}s")

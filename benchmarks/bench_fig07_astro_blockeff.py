@@ -1,0 +1,25 @@
+"""Figure 7: block_efficiency — astro dataset (paper §5).
+
+Regenerates the series of the paper's Figure 7 on the simulated
+machine and asserts the qualitative shape the paper reports.  See
+benchmarks/common.py for scale knobs and EXPERIMENTS.md for the recorded
+paper-vs-measured comparison.
+"""
+
+from benchmarks.common import RANKS, by_key, run_figure
+
+
+def test_fig07_astro_block_efficiency(benchmark):
+    summaries = run_figure(benchmark, "astro", "block_efficiency")
+
+    # Figure 7 shape: Static is exactly ideal (each block loaded once,
+    # never purged); ondemand is the least efficient.
+    for seeding in ("sparse", "dense"):
+        for n in RANKS:
+            assert by_key(summaries, "static", seeding, n)\
+                .block_efficiency == 1.0
+    top = RANKS[-1]
+    for seeding in ("sparse", "dense"):
+        e_od = by_key(summaries, "ondemand", seeding, top).block_efficiency
+        e_hy = by_key(summaries, "hybrid", seeding, top).block_efficiency
+        assert e_od <= e_hy + 1e-9

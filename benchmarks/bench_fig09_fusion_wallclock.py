@@ -1,0 +1,30 @@
+"""Figure 9: wall_clock — fusion dataset (paper §5).
+
+Regenerates the series of the paper's Figure 9 on the simulated
+machine and asserts the qualitative shape the paper reports.  See
+benchmarks/common.py for scale knobs and EXPERIMENTS.md for the recorded
+paper-vs-measured comparison.
+"""
+
+from benchmarks.common import RANKS, by_key, run_figure
+
+
+def test_fig09_fusion_wall_clock(benchmark):
+    summaries = run_figure(benchmark, "fusion", "wall_clock")
+
+    # Figure 9 shape: Static and Hybrid perform comparably on the fusion
+    # dataset (uniform torus fill — "an analysis of wall clock time does
+    # not clearly indicate a dominant algorithm"); Load On Demand is poor
+    # for sparse seeds.  Same-ballpark is asserted where the paper's
+    # regime holds (lower rank counts, cf. EXPERIMENTS.md).
+    n = RANKS[0]
+    s = by_key(summaries, "static", "sparse", n).wall_clock
+    h = by_key(summaries, "hybrid", "sparse", n).wall_clock
+    o = by_key(summaries, "ondemand", "sparse", n).wall_clock
+    assert max(s, h) / min(s, h) < 5.0  # same order on a log plot
+    # The paper's "Load On Demand performs poorly for spatially sparse
+    # seed points" shows up here as its I/O bill, not wall clock: our
+    # simulated Load On Demand overlaps redundant reads with compute
+    # more aggressively than the 2009 implementation (fidelity note in
+    # EXPERIMENTS.md), so assert the same-order property only.
+    assert o > 0.8 * min(s, h)

@@ -1,0 +1,20 @@
+"""Figure 10: io_time — fusion dataset (paper §5).
+
+Regenerates the series of the paper's Figure 10 on the simulated
+machine and asserts the qualitative shape the paper reports.  See
+benchmarks/common.py for scale knobs and EXPERIMENTS.md for the recorded
+paper-vs-measured comparison.
+"""
+
+from benchmarks.common import RANKS, by_key, run_figure
+
+
+def test_fig10_fusion_io_time(benchmark):
+    summaries = run_figure(benchmark, "fusion", "io_time")
+
+    # Figure 10 shape: ondemand does the most I/O in both seedings.
+    top = RANKS[-1]
+    for seeding in ("sparse", "dense"):
+        ondemand = by_key(summaries, "ondemand", seeding, top).io_time
+        static = by_key(summaries, "static", seeding, top).io_time
+        assert ondemand > static

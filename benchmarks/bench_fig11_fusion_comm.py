@@ -1,0 +1,20 @@
+"""Figure 11: comm_time — fusion dataset (paper §5).
+
+Regenerates the series of the paper's Figure 11 on the simulated
+machine and asserts the qualitative shape the paper reports.  See
+benchmarks/common.py for scale knobs and EXPERIMENTS.md for the recorded
+paper-vs-measured comparison.
+"""
+
+from benchmarks.common import RANKS, by_key, run_figure
+
+
+def test_fig11_fusion_comm_time(benchmark):
+    summaries = run_figure(benchmark, "fusion", "comm_time")
+
+    # Figure 11 shape: dense-seeded Static communication is very high
+    # (concentrated streamlines forced to block owners across the torus).
+    top = RANKS[-1]
+    s_dense = by_key(summaries, "static", "dense", top).comm_time
+    h_dense = by_key(summaries, "hybrid", "dense", top).comm_time
+    assert s_dense > h_dense

@@ -1,0 +1,20 @@
+"""Figure 12: block_efficiency — fusion dataset (paper §5).
+
+Regenerates the series of the paper's Figure 12 on the simulated
+machine and asserts the qualitative shape the paper reports.  See
+benchmarks/common.py for scale knobs and EXPERIMENTS.md for the recorded
+paper-vs-measured comparison.
+"""
+
+from benchmarks.common import RANKS, by_key, run_figure
+
+
+def test_fig12_fusion_block_efficiency(benchmark):
+    summaries = run_figure(benchmark, "fusion", "block_efficiency")
+
+    # Figure 12 shape: Static ideal; hybrid below its astro efficiency
+    # (more block replication pays off on this dataset, per §5.2).
+    for seeding in ("sparse", "dense"):
+        for n in RANKS:
+            assert by_key(summaries, "static", seeding, n)\
+                .block_efficiency == 1.0

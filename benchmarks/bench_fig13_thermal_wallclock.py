@@ -1,0 +1,23 @@
+"""Figure 13: wall_clock — thermal dataset (paper §5).
+
+Regenerates the series of the paper's Figure 13 on the simulated
+machine and asserts the qualitative shape the paper reports.  See
+benchmarks/common.py for scale knobs and EXPERIMENTS.md for the recorded
+paper-vs-measured comparison.
+"""
+
+from benchmarks.common import RANKS, by_key, run_figure
+
+
+def test_fig13_thermal_wall_clock(benchmark):
+    summaries = run_figure(benchmark, "thermal", "wall_clock")
+
+    # Figure 13 shape: Static cannot run the dense case at all (OOM);
+    # Load On Demand beats the hybrid for dense seeds (compute dominates
+    # and almost no data is read, §5.3).
+    top = RANKS[-1]
+    for n in RANKS:
+        assert not by_key(summaries, "static", "dense", n).ok
+    o = by_key(summaries, "ondemand", "dense", top).wall_clock
+    h = by_key(summaries, "hybrid", "dense", top).wall_clock
+    assert o <= h * 1.1

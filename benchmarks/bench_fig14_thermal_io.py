@@ -1,0 +1,22 @@
+"""Figure 14: io_time — thermal dataset (paper §5).
+
+Regenerates the series of the paper's Figure 14 on the simulated
+machine and asserts the qualitative shape the paper reports.  See
+benchmarks/common.py for scale knobs and EXPERIMENTS.md for the recorded
+paper-vs-measured comparison.
+"""
+
+from benchmarks.common import RANKS, by_key, run_figure
+
+
+def test_fig14_thermal_io_time(benchmark):
+    summaries = run_figure(benchmark, "thermal", "io_time")
+
+    # Figure 14 shape: dense-seed I/O is hidden entirely behind particle
+    # advection ("because there are so many streamlines, the I/O time is
+    # hidden altogether") even for Load On Demand's redundant reads.
+    top = RANKS[-1]
+    dense = by_key(summaries, "ondemand", "dense", top)
+    assert dense.io_time < dense.compute_time
+    hybrid_dense = by_key(summaries, "hybrid", "dense", top)
+    assert hybrid_dense.io_time < hybrid_dense.compute_time

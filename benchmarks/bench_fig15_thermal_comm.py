@@ -1,0 +1,21 @@
+"""Figure 15: comm_time — thermal dataset (paper §5).
+
+Regenerates the series of the paper's Figure 15 on the simulated
+machine and asserts the qualitative shape the paper reports.  See
+benchmarks/common.py for scale knobs and EXPERIMENTS.md for the recorded
+paper-vs-measured comparison.
+"""
+
+from benchmarks.common import RANKS, by_key, run_figure
+
+
+def test_fig15_thermal_comm_time(benchmark):
+    summaries = run_figure(benchmark, "thermal", "comm_time")
+
+    # Figure 15 shape: ondemand communicates nothing; static's sparse
+    # communication exceeds the hybrid's.
+    top = RANKS[-1]
+    assert by_key(summaries, "ondemand", "sparse", top).comm_time == 0.0
+    s = by_key(summaries, "static", "sparse", top).comm_time
+    h = by_key(summaries, "hybrid", "sparse", top).comm_time
+    assert s > h

@@ -1,0 +1,18 @@
+"""Figure 16: block_efficiency — thermal dataset (paper §5).
+
+Regenerates the series of the paper's Figure 16 on the simulated
+machine and asserts the qualitative shape the paper reports.  See
+benchmarks/common.py for scale knobs and EXPERIMENTS.md for the recorded
+paper-vs-measured comparison.
+"""
+
+from benchmarks.common import RANKS, by_key, run_figure
+
+
+def test_fig16_thermal_block_efficiency(benchmark):
+    summaries = run_figure(benchmark, "thermal", "block_efficiency")
+
+    # Figure 16 shape: Static ideal where it runs (sparse only).
+    for n in RANKS:
+        assert by_key(summaries, "static", "sparse", n)\
+            .block_efficiency == 1.0

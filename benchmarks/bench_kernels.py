@@ -1,0 +1,85 @@
+"""Real-time microbenchmarks of the compute kernels.
+
+Unlike the figure benchmarks (which measure *simulated* time), these
+measure actual Python/NumPy throughput of the hot paths: trilinear
+interpolation, Dormand-Prince batch stepping, and the pooled advection
+kernel, across batch sizes.  They are the regression guard for the
+vectorization work described in DESIGN.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fields import SupernovaField, sample_field
+from repro.fields.library import RigidRotationField
+from repro.integrate.config import IntegratorConfig
+from repro.integrate.dopri5 import Dopri5
+from repro.integrate.fixed import RK4, Euler
+from repro.integrate.pooled import BlockPool, advance_pool
+from repro.integrate.streamline import make_streamlines
+from repro.mesh.bounds import Bounds
+from repro.mesh.decomposition import Decomposition
+
+
+@pytest.fixture(scope="module")
+def rotation_pool():
+    field = RigidRotationField(domain=Bounds.cube(-1.0, 1.0))
+    dec = Decomposition(field.domain, (4, 4, 4), (8, 8, 8))
+    blocks = sample_field(field, dec)
+    return field, dec, BlockPool(list(blocks.values()))
+
+
+@pytest.mark.parametrize("k", [1, 16, 256])
+def test_bench_trilinear_sampler(benchmark, rotation_pool, k):
+    """Velocity sampling through the pooled flat-gather kernel."""
+    field, dec, pool = rotation_pool
+    rng = np.random.default_rng(0)
+    pts = rng.uniform(-0.9, 0.9, size=(k, 3))
+    slots = dec.locate(pts)
+    slot_arr = np.array([pool.slot_of[int(b)] for b in slots])
+    f = pool.sampler_for(slot_arr)
+    out = benchmark(f, pts)
+    assert out.shape == (k, 3)
+
+
+@pytest.mark.parametrize("integrator", [Dopri5(), RK4(), Euler()],
+                         ids=["dopri5", "rk4", "euler"])
+@pytest.mark.parametrize("k", [4, 128])
+def test_bench_integrator_step(benchmark, integrator, k):
+    """One batched trial step per integrator."""
+    field = RigidRotationField()
+    rng = np.random.default_rng(1)
+    pos = rng.uniform(-0.5, 0.5, size=(k, 3))
+    h = np.full(k, 0.01)
+    new_pos, err = benchmark(integrator.attempt_steps,
+                             field.evaluate, pos, h)
+    assert new_pos.shape == (k, 3)
+
+
+@pytest.mark.parametrize("k", [8, 64, 512])
+def test_bench_advance_pool(benchmark, rotation_pool, k):
+    """Full pooled advection of k particles for up to 32 rounds."""
+    field, dec, pool = rotation_pool
+    rng = np.random.default_rng(2)
+    seeds = rng.uniform(-0.6, 0.6, size=(k, 3))
+    cfg = IntegratorConfig(max_steps=64, h_max=0.02)
+    integrator = Dopri5(cfg.rtol, cfg.atol)
+
+    def run():
+        lines = make_streamlines(seeds)
+        for line in lines:
+            line.block_id = int(dec.locate(line.position))
+        return advance_pool(lines, pool, field.domain, dec, integrator,
+                            cfg, round_limit=32)
+
+    result = benchmark(run)
+    assert result.attempted_steps > 0
+
+
+def test_bench_field_evaluation(benchmark):
+    """Analytic supernova field evaluation (block sampling cost)."""
+    field = SupernovaField()
+    rng = np.random.default_rng(3)
+    pts = rng.uniform(-1, 1, size=(729, 3))  # one 8^3-cell block's nodes
+    out = benchmark(field.evaluate, pts)
+    assert out.shape == (729, 3)

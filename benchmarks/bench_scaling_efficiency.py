@@ -1,0 +1,31 @@
+"""Strong-scaling summary across the rank sweep (derived figure).
+
+Not a single paper figure, but the quantity the whole evaluation is
+about: how each algorithm's wall clock scales from the bottom to the top
+of the simulated rank sweep.  Uses the same cached sweeps as the
+per-figure benchmarks, so it is nearly free after them.
+"""
+
+from benchmarks.common import RANKS, by_key, run_figure
+
+
+def test_strong_scaling_summary(benchmark):
+    summaries = run_figure(benchmark, "astro", "wall_clock")
+    lo, hi = RANKS[0], RANKS[-1]
+    ideal = hi / lo
+    lines = [f"strong scaling, astro, {lo} -> {hi} ranks "
+             f"(ideal speedup {ideal:.1f}x):"]
+    for algorithm in ("static", "ondemand", "hybrid"):
+        for seeding in ("sparse", "dense"):
+            w_lo = by_key(summaries, algorithm, seeding, lo).wall_clock
+            w_hi = by_key(summaries, algorithm, seeding, hi).wall_clock
+            speedup = w_lo / w_hi
+            eff = speedup / ideal
+            lines.append(f"  {algorithm:9s} {seeding:6s} "
+                         f"speedup {speedup:5.2f}x "
+                         f"(parallel efficiency {eff:5.1%})")
+            benchmark.extra_info[f"{algorithm}_{seeding}_speedup"] = \
+                round(speedup, 3)
+            # Everything must at least get faster with more ranks.
+            assert speedup > 1.0, (algorithm, seeding, w_lo, w_hi)
+    print("\n" + "\n".join(lines))

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Figures 3/4 + §5.3 analogue: the thermal-hydraulics mixing box.
+
+Part 1 (Figure 3): streamlines seeded uniformly through the box show the
+jets, the recirculation zones, and the path to the outlet.
+
+Part 2 (Figure 4 / §5.3): a dense circle of seeds immediately around one
+inlet — the stream-surface replica.  Demonstrates the paper's §5.3
+findings end to end: Static Allocation runs out of memory (every curve
+lands on the one rank owning the inlet blocks), while Load On Demand and
+Hybrid complete, with Load On Demand ahead because almost no data needs
+to be read and compute dominates.
+
+Run:  python examples/thermal_hydraulics.py
+"""
+
+import numpy as np
+
+import repro
+from repro.fields import ThermalHydraulicsField
+from repro.integrate import IntegratorConfig
+from repro.seeding import circle_seeds, grid_seeds
+
+
+def part1_sparse(field: ThermalHydraulicsField) -> None:
+    print("=" * 64)
+    print("Part 1: uniform seeding through the box (Figure 3)")
+    print("=" * 64)
+    problem = repro.ProblemSpec(
+        field=field,
+        seeds=grid_seeds(field.domain, (6, 6, 6)),
+        blocks_per_axis=(4, 4, 4), cells_per_block=(8, 8, 8),
+        integ=IntegratorConfig(max_steps=400, h_max=0.02,
+                               rtol=1e-5, atol=1e-7),
+        name="thermal-sparse")
+    result = repro.run_streamlines(problem, algorithm="hybrid",
+                                   machine=repro.MachineSpec(n_ranks=8))
+    assert result.ok
+    print(f"{result!r}")
+    print("termination reasons:", result.status_counts())
+
+    # How much of the flow reaches the outlet region?
+    ends = np.array([l.position for l in result.streamlines])
+    outlet = np.asarray(field.outlet_center)
+    near_outlet = np.linalg.norm(ends - outlet, axis=1) < 0.25
+    recirculating = [l for l in result.streamlines
+                     if l.status.value == "max_steps"]
+    print(f"curves ending near the outlet: {int(near_outlet.sum())}")
+    print(f"long-lived recirculating curves: {len(recirculating)}\n")
+
+
+def part2_dense(field: ThermalHydraulicsField) -> None:
+    print("=" * 64)
+    print("Part 2: dense circle around an inlet (Figure 4 / §5.3)")
+    print("=" * 64)
+    cy, cz = field.inlet_centers[0]
+    problem = repro.ProblemSpec(
+        field=field,
+        seeds=circle_seeds((0.06, cy, cz), 0.03, 1200),
+        blocks_per_axis=(4, 4, 4), cells_per_block=(8, 8, 8),
+        integ=IntegratorConfig(max_steps=120, h_max=0.02,
+                               rtol=1e-5, atol=1e-7),
+        name="thermal-dense")
+    # A machine whose per-rank memory cannot hold 1200 buffered curves.
+    machine = repro.MachineSpec(n_ranks=8, memory_bytes=384 << 20,
+                                cache_blocks=8)
+
+    print(f"{'algorithm':<10} {'outcome':<28} {'wall[s]':>9} "
+          f"{'I/O[s]':>8}")
+    print("-" * 58)
+    for algorithm in repro.ALGORITHMS:
+        result = repro.run_streamlines(problem, algorithm=algorithm,
+                                       machine=machine)
+        if result.ok:
+            print(f"{algorithm:<10} {'completed':<28} "
+                  f"{result.wall_clock:>9.3f} {result.io_time:>8.2f}")
+        else:
+            print(f"{algorithm:<10} "
+                  f"{'OUT OF MEMORY (rank %d)' % result.oom_rank:<28} "
+                  f"{'-':>9} {'-':>8}")
+    print("\nAs in the paper, Static Allocation cannot run this seeding: "
+          "all curves start\nin blocks owned by one processor, which "
+          "exhausts its memory (§5.3).")
+
+
+def main() -> None:
+    field = ThermalHydraulicsField()
+    part1_sparse(field)
+    part2_dense(field)
+
+
+if __name__ == "__main__":
+    main()

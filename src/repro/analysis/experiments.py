@@ -1,0 +1,202 @@
+"""Cached experiment runs and sweeps.
+
+One simulated run yields *all four* of the paper's metrics (wall clock,
+I/O time, communication time, block efficiency), so the four figures per
+dataset share a single sweep.  ``run_experiment`` memoizes by configuration
+— the simulation is deterministic, so a cache hit is exact — letting the
+per-figure benchmarks reuse each other's runs instead of quadrupling the
+cost.
+
+Summaries (not full results) are cached: streamline geometry is dropped
+after aggregation to keep long benchmark sessions memory-bounded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import HybridConfig
+from repro.core.driver import run_streamlines
+from repro.core.results import STATUS_OK, RunResult
+from repro.analysis.scenarios import (
+    RANK_COUNTS,
+    make_problem,
+    scenario_machine,
+)
+
+#: Bump when a code change invalidates previously cached sweep results.
+CACHE_VERSION = 1
+
+#: Default on-disk cache location (override with REPRO_CACHE_DIR; set the
+#: environment variable to an empty string to disable disk caching).
+_DEFAULT_CACHE = Path(__file__).resolve().parents[3] / "benchmarks" \
+    / ".sweep_cache.json"
+
+
+@dataclass(frozen=True)
+class ExperimentKey:
+    """Identity of one cached run."""
+
+    dataset: str
+    seeding: str
+    algorithm: str
+    n_ranks: int
+    scale: float = 1.0
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """The per-run numbers the figures plot (plus context)."""
+
+    key: ExperimentKey
+    status: str
+    wall_clock: float = 0.0
+    io_time: float = 0.0
+    comm_time: float = 0.0
+    compute_time: float = 0.0
+    block_efficiency: float = 1.0
+    blocks_loaded: int = 0
+    blocks_purged: int = 0
+    messages: int = 0
+    bytes_sent: int = 0
+    steps: int = 0
+    parallel_efficiency: float = 1.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def metric(self, name: str) -> Optional[float]:
+        """Figure metric by name; None when the run failed (OOM)."""
+        if not self.ok:
+            return None
+        if name not in ("wall_clock", "io_time", "comm_time",
+                        "block_efficiency"):
+            raise ValueError(f"unknown figure metric {name!r}")
+        return getattr(self, name)
+
+
+_CACHE: Dict[ExperimentKey, RunSummary] = {}
+_DISK_LOADED = False
+
+
+def _cache_path() -> Optional[Path]:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env is not None:
+        if env == "":
+            return None
+        return Path(env) / "sweep_cache.json"
+    return _DEFAULT_CACHE
+
+
+def _load_disk_cache() -> None:
+    """Populate the in-memory cache from disk once per process."""
+    global _DISK_LOADED
+    if _DISK_LOADED:
+        return
+    _DISK_LOADED = True
+    path = _cache_path()
+    if path is None or not path.is_file():
+        return
+    try:
+        blob = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return
+    if blob.get("version") != CACHE_VERSION:
+        return
+    for entry in blob.get("runs", []):
+        key = ExperimentKey(**entry["key"])
+        _CACHE[key] = RunSummary(key=key, **entry["summary"])
+
+
+def _save_disk_cache() -> None:
+    path = _cache_path()
+    if path is None:
+        return
+    runs = []
+    for key, summary in _CACHE.items():
+        d = dataclasses.asdict(summary)
+        d.pop("key")
+        runs.append({"key": dataclasses.asdict(key), "summary": d})
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(
+            {"version": CACHE_VERSION, "runs": runs}))
+    except OSError:
+        pass  # caching is best-effort
+
+
+def clear_cache(disk: bool = False) -> None:
+    """Drop all memoized runs (tests).  ``disk=True`` also removes the
+    on-disk cache file."""
+    _CACHE.clear()
+    if disk:
+        path = _cache_path()
+        if path is not None and path.is_file():
+            path.unlink()
+
+
+def summarize(key: ExperimentKey, result: RunResult) -> RunSummary:
+    if not result.ok:
+        return RunSummary(key=key, status=result.status)
+    return RunSummary(
+        key=key, status=result.status,
+        wall_clock=result.wall_clock,
+        io_time=result.io_time,
+        comm_time=result.comm_time,
+        compute_time=result.compute_time,
+        block_efficiency=result.block_efficiency,
+        blocks_loaded=result.blocks_loaded,
+        blocks_purged=result.blocks_purged,
+        messages=result.messages_sent,
+        bytes_sent=result.bytes_sent,
+        steps=result.total_steps,
+        parallel_efficiency=result.parallel_efficiency,
+    )
+
+
+def run_experiment(dataset: str, seeding: str, algorithm: str,
+                   n_ranks: int, scale: float = 1.0,
+                   hybrid: Optional[HybridConfig] = None) -> RunSummary:
+    """Run (or fetch from cache) one figure configuration.
+
+    Non-default ``hybrid`` configs bypass the cache (they are ablations,
+    each run once anyway).
+    """
+    key = ExperimentKey(dataset=dataset, seeding=seeding,
+                        algorithm=algorithm, n_ranks=n_ranks, scale=scale)
+    if hybrid is None:
+        _load_disk_cache()
+        cached = _CACHE.get(key)
+        if cached is not None:
+            return cached
+    problem = make_problem(dataset, seeding, scale=scale)
+    result = run_streamlines(problem, algorithm=algorithm,
+                             machine=scenario_machine(n_ranks),
+                             hybrid=hybrid)
+    summary = summarize(key, result)
+    if hybrid is None:
+        _CACHE[key] = summary
+        _save_disk_cache()
+    return summary
+
+
+def sweep_dataset(dataset: str, scale: float = 1.0,
+                  rank_counts: Sequence[int] = RANK_COUNTS,
+                  algorithms: Sequence[str] = ("static", "ondemand",
+                                               "hybrid"),
+                  seedings: Sequence[str] = ("sparse", "dense"),
+                  ) -> List[RunSummary]:
+    """Run the full grid for one dataset (all four figures' data)."""
+    out: List[RunSummary] = []
+    for seeding in seedings:
+        for algorithm in algorithms:
+            for n_ranks in rank_counts:
+                out.append(run_experiment(dataset, seeding, algorithm,
+                                          n_ranks, scale=scale))
+    return out

@@ -1,0 +1,119 @@
+"""Section 6 decision guidelines as an executable recommender.
+
+The paper closes with heuristics for choosing a parallelization strategy
+from the problem characteristics of §3.1 (data set size, seed set size,
+seed set distribution, vector field complexity):
+
+* Load On Demand suits data that fits largely in memory, or flow free of
+  large vortex-type features, but becomes I/O bound otherwise;
+* Static Allocation suits expensive I/O with seed sets and flow that
+  spread streamline work uniformly, but degenerates (to the point of
+  out-of-memory failure) when streamlines concentrate;
+* Hybrid Master/Slave adapts and is the recommended general-purpose
+  choice, especially when the flow is not well understood.
+
+:func:`recommend_algorithm` encodes those rules; ``traits_of_problem``
+derives the inputs from an actual :class:`ProblemSpec` + machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.problem import ProblemSpec
+from repro.sim.machine import MachineSpec
+
+
+@dataclass(frozen=True)
+class ProblemTraits:
+    """The §3.1 problem characteristics.
+
+    Attributes
+    ----------
+    data_fits_memory:
+        Whether one rank's memory could hold (most of) the dataset.
+    seed_count:
+        Number of streamlines to compute.
+    seed_spread:
+        Fraction of blocks containing at least one seed — near 0 for a
+        dense cluster, near min(1, seeds/blocks) for uniform seeding.
+    flow_known_uniform:
+        True when the user knows streamlines will spread uniformly
+        (e.g. the tokamak); None/False for unknown or feature-driven flow.
+    """
+
+    data_fits_memory: bool
+    seed_count: int
+    seed_spread: float
+    flow_known_uniform: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.seed_count < 1:
+            raise ValueError("seed_count must be >= 1")
+        if not 0.0 <= self.seed_spread <= 1.0:
+            raise ValueError("seed_spread must be in [0, 1]")
+
+
+#: Seed sets below this are "small" (paper: "a few tens to a hundred").
+SMALL_SEED_SET = 100
+#: Spread below this marks a dense/clustered seed distribution.
+DENSE_SPREAD = 0.05
+
+
+def recommend_algorithm(traits: ProblemTraits) -> Tuple[str, List[str]]:
+    """Pick an algorithm per §6; returns (name, list of reasons)."""
+    reasons: List[str] = []
+
+    dense = traits.seed_spread < DENSE_SPREAD
+    small = traits.seed_count <= SMALL_SEED_SET
+
+    if dense and traits.seed_count > SMALL_SEED_SET \
+            and not traits.data_fits_memory:
+        # §5.3: a large dense seed set concentrates every streamline on a
+        # few block owners — Static is out; Load On Demand shines because
+        # little data is needed and compute dominates.
+        reasons.append("large dense seed set: Static Allocation would "
+                       "concentrate all streamlines on few processors "
+                       "(risking out-of-memory, cf. §5.3)")
+        reasons.append("dense seeds touch little data, so redundant I/O "
+                       "is cheap and compute parallelism dominates")
+        return "ondemand", reasons
+
+    if traits.data_fits_memory:
+        reasons.append("dataset fits in memory: parallelizing over "
+                       "streamlines costs no redundant I/O")
+        return "ondemand", reasons
+
+    if traits.flow_known_uniform and not dense:
+        reasons.append("known uniform streamline distribution: static "
+                       "block ownership balances compute with minimal I/O")
+        if small:
+            reasons.append("small seed set keeps communication low")
+        return "static", reasons
+
+    reasons.append("flow behaviour unknown or non-uniform: the hybrid "
+                   "algorithm adapts its streamline/block assignment "
+                   "dynamically (recommended general-purpose choice, §6)")
+    return "hybrid", reasons
+
+
+def traits_of_problem(problem: ProblemSpec,
+                      machine: Optional[MachineSpec] = None,
+                      flow_known_uniform: Optional[bool] = None
+                      ) -> ProblemTraits:
+    """Derive §3.1 traits from a concrete problem and machine."""
+    machine = machine or MachineSpec()
+    data_bytes = problem.n_blocks * problem.cost_model.block_nbytes
+    fits = data_bytes <= 0.5 * machine.memory_bytes
+    seed_blocks = problem.seed_blocks
+    occupied = len(np.unique(seed_blocks[seed_blocks >= 0]))
+    spread = occupied / problem.n_blocks
+    return ProblemTraits(
+        data_fits_memory=fits,
+        seed_count=problem.n_seeds,
+        seed_spread=spread,
+        flow_known_uniform=flow_known_uniform,
+    )

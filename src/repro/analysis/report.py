@@ -1,0 +1,90 @@
+"""Paper-style figure tables.
+
+The paper's Figures 5-16 are log-scale line plots of one metric vs.
+processor count, one series per (algorithm, seeding).  ``figure_table``
+prints the same data as an aligned text table — the rows/series the paper
+reports — which the benchmarks emit and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.experiments import RunSummary
+
+#: metric name -> (figure caption fragment, unit, format)
+METRIC_INFO = {
+    "wall_clock": ("wall clock time", "s", "{:.3f}"),
+    "io_time": ("total I/O time", "s", "{:.2f}"),
+    "comm_time": ("total communication time", "s", "{:.3f}"),
+    "block_efficiency": ("block efficiency E", "", "{:.3f}"),
+}
+
+#: dataset/metric -> paper figure number.
+FIGURE_NUMBERS = {
+    ("astro", "wall_clock"): 5,
+    ("astro", "io_time"): 6,
+    ("astro", "block_efficiency"): 7,
+    ("astro", "comm_time"): 8,
+    ("fusion", "wall_clock"): 9,
+    ("fusion", "io_time"): 10,
+    ("fusion", "comm_time"): 11,
+    ("fusion", "block_efficiency"): 12,
+    ("thermal", "wall_clock"): 13,
+    ("thermal", "io_time"): 14,
+    ("thermal", "comm_time"): 15,
+    ("thermal", "block_efficiency"): 16,
+}
+
+
+def format_value(metric: str, value: Optional[float]) -> str:
+    """One cell: formatted number, or OOM for a failed run."""
+    if value is None:
+        return "OOM"
+    return METRIC_INFO[metric][2].format(value)
+
+
+def format_series(summaries: Sequence[RunSummary],
+                  metric: str) -> Dict[Tuple[str, str], List[Tuple[int, str]]]:
+    """Group summaries into (algorithm, seeding) series of
+    (n_ranks, formatted value) points, sorted by rank count."""
+    if metric not in METRIC_INFO:
+        raise ValueError(f"unknown metric {metric!r}")
+    series: Dict[Tuple[str, str], List[Tuple[int, str]]] = {}
+    for s in summaries:
+        k = (s.key.algorithm, s.key.seeding)
+        series.setdefault(k, []).append(
+            (s.key.n_ranks, format_value(metric, s.metric(metric))))
+    for pts in series.values():
+        pts.sort(key=lambda p: p[0])
+    return series
+
+
+def figure_table(dataset: str, summaries: Sequence[RunSummary],
+                 metric: str) -> str:
+    """Render one paper figure as an aligned text table."""
+    series = format_series(summaries, metric)
+    fig = FIGURE_NUMBERS.get((dataset, metric))
+    caption, unit, _ = METRIC_INFO[metric]
+    rank_counts = sorted({s.key.n_ranks for s in summaries})
+
+    header = f"Figure {fig}: {caption} — {dataset} dataset"
+    if unit:
+        header += f" [{unit}]"
+    col0 = "algorithm/seeding"
+    keys = sorted(series.keys())
+    width0 = max(len(col0), max((len(f"{a} ({sd})") for a, sd in keys),
+                                default=0))
+    colw = max(10, *(len(str(r)) + 2 for r in rank_counts))
+
+    lines = [header]
+    lines.append(col0.ljust(width0) + "".join(
+        f"{r:>{colw}}" for r in rank_counts))
+    lines.append("-" * (width0 + colw * len(rank_counts)))
+    for a, sd in keys:
+        cells = dict(series[(a, sd)])
+        row = f"{a} ({sd})".ljust(width0)
+        for r in rank_counts:
+            row += f"{cells.get(r, '-'):>{colw}}"
+        lines.append(row)
+    return "\n".join(lines)

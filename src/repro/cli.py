@@ -1,0 +1,143 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``        run one evaluation scenario with one algorithm and print
+               the paper's metrics for it
+``figure``     regenerate one paper figure (table form)
+``recommend``  apply the §6 decision heuristics to a described problem
+``scenarios``  list the built-in evaluation scenarios
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import run_experiment, sweep_dataset
+from repro.analysis.heuristics import ProblemTraits, recommend_algorithm
+from repro.analysis.report import FIGURE_NUMBERS, METRIC_INFO, figure_table
+from repro.analysis.scenarios import (
+    DATASETS,
+    RANK_COUNTS,
+    SEED_COUNTS,
+    SEEDINGS,
+    make_problem,
+)
+from repro.core.config import ALGORITHMS
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    summary = run_experiment(args.dataset, args.seeding, args.algorithm,
+                             args.ranks, scale=args.scale)
+    if not summary.ok:
+        print(f"{args.algorithm} on {args.dataset}/{args.seeding}: "
+              f"OUT OF MEMORY (the paper's §5.3 outcome)")
+        return 0
+    print(f"{args.algorithm} on {args.dataset}/{args.seeding} "
+          f"@ {args.ranks} simulated ranks (scale {args.scale}):")
+    print(f"  wall clock        {summary.wall_clock:12.3f} s")
+    print(f"  total I/O time    {summary.io_time:12.3f} s")
+    print(f"  total comm time   {summary.comm_time:12.3f} s")
+    print(f"  total compute     {summary.compute_time:12.3f} s")
+    print(f"  block efficiency  {summary.block_efficiency:12.3f}")
+    print(f"  blocks loaded     {summary.blocks_loaded:12d}")
+    print(f"  blocks purged     {summary.blocks_purged:12d}")
+    print(f"  messages          {summary.messages:12d}")
+    print(f"  bytes sent        {summary.bytes_sent:12d}")
+    print(f"  steps             {summary.steps:12d}")
+    print(f"  parallel eff.     {summary.parallel_efficiency:12.3f}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    metric = {str(v): m for (d, m), v in FIGURE_NUMBERS.items()
+              if d == args.dataset}.get(str(args.number))
+    if metric is None:
+        valid = sorted(v for (d, _), v in FIGURE_NUMBERS.items()
+                       if d == args.dataset)
+        print(f"figure {args.number} is not a {args.dataset} figure; "
+              f"valid: {valid}", file=sys.stderr)
+        return 2
+    summaries = sweep_dataset(args.dataset, scale=args.scale,
+                              rank_counts=args.ranks or RANK_COUNTS)
+    print(figure_table(args.dataset, summaries, metric))
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    traits = ProblemTraits(
+        data_fits_memory=args.data_fits_memory,
+        seed_count=args.seeds,
+        seed_spread=args.spread,
+        flow_known_uniform=args.uniform_flow,
+    )
+    algo, reasons = recommend_algorithm(traits)
+    print(f"recommended algorithm: {algo}")
+    for r in reasons:
+        print(f"  - {r}")
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    print(f"{'dataset':<10}{'seeding':<9}{'seeds':>8}  description")
+    print("-" * 64)
+    for dataset in DATASETS:
+        for seeding in SEEDINGS:
+            problem = make_problem(dataset, seeding, scale=args.scale)
+            print(f"{dataset:<10}{seeding:<9}{problem.n_seeds:>8}  "
+                  f"{problem.describe()}")
+    print(f"\nrank sweep: {RANK_COUNTS}; algorithms: {ALGORITHMS}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scalable streamline computation (SC'09 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one scenario")
+    p_run.add_argument("--dataset", choices=DATASETS, required=True)
+    p_run.add_argument("--seeding", choices=SEEDINGS, default="sparse")
+    p_run.add_argument("--algorithm", choices=ALGORITHMS,
+                       default="hybrid")
+    p_run.add_argument("--ranks", type=int, default=32)
+    p_run.add_argument("--scale", type=float, default=0.25)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("number", type=int,
+                       help="paper figure number (5-16)")
+    p_fig.add_argument("--dataset", choices=DATASETS, required=True)
+    p_fig.add_argument("--scale", type=float, default=0.25)
+    p_fig.add_argument("--ranks", type=int, nargs="*", default=None)
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_rec = sub.add_parser("recommend",
+                           help="apply the §6 decision heuristics")
+    p_rec.add_argument("--seeds", type=int, required=True)
+    p_rec.add_argument("--spread", type=float, required=True,
+                       help="fraction of blocks containing seeds (0-1)")
+    p_rec.add_argument("--data-fits-memory", action="store_true")
+    p_rec.add_argument("--uniform-flow", action="store_true",
+                       default=None)
+    p_rec.set_defaults(func=_cmd_recommend)
+
+    p_sc = sub.add_parser("scenarios", help="list evaluation scenarios")
+    p_sc.add_argument("--scale", type=float, default=1.0)
+    p_sc.set_defaults(func=_cmd_scenarios)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""Shared per-rank worker machinery.
+
+All three algorithms run the same inner loop on every rank — keep blocks in
+an LRU cache, advance the streamlines resident in loaded blocks with the
+batched Dormand-Prince kernel, account modelled memory — and differ only in
+*which* blocks and streamlines a rank works on and what it communicates.
+:class:`Worker` provides that common substrate; the algorithm modules
+subclass it with their protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.problem import ProblemSpec
+from repro.integrate.base import Integrator
+from repro.integrate.fixed import make_integrator
+from repro.integrate.pooled import BlockPool, PoolResult, advance_pool
+from repro.integrate.streamline import Status, Streamline
+from repro.mesh.block import Block
+from repro.sim.cluster import RankContext
+from repro.sim.engine import Request
+from repro.storage.cache import LRUBlockCache
+from repro.storage.store import BlockStore
+
+#: Lockstep rounds per advect_pool call before the worker re-checks its
+#: mailbox.  Bounds how long (in simulated *and* real time) a rank computes
+#: without reacting to messages.
+POOL_ROUND_LIMIT = 96
+
+
+def partition_contiguous(n_items: int, n_parts: int, part: int) -> range:
+    """Index range of ``part`` when splitting ``n_items`` into
+    ``n_parts`` contiguous, maximally even chunks (first chunks get the
+    remainder, as in the paper's "first 1/n of the blocks")."""
+    if not 0 <= part < n_parts:
+        raise ValueError(f"part {part} out of range [0, {n_parts})")
+    base, rem = divmod(n_items, n_parts)
+    start = part * base + min(part, rem)
+    end = start + base + (1 if part < rem else 0)
+    return range(start, end)
+
+
+def owner_of_block(block_id: int, n_blocks: int, n_ranks: int) -> int:
+    """Static Allocation's block ownership (contiguous 1/n chunks)."""
+    if not 0 <= block_id < n_blocks:
+        raise ValueError(f"block {block_id} out of range [0, {n_blocks})")
+    base, rem = divmod(n_blocks, n_ranks)
+    # Inverse of partition_contiguous: first `rem` ranks own base+1 blocks.
+    boundary = rem * (base + 1)
+    if block_id < boundary:
+        return block_id // (base + 1)
+    if base == 0:
+        # More ranks than blocks: blocks beyond the boundary do not exist.
+        raise AssertionError("unreachable: block_id >= n_blocks")
+    return rem + (block_id - boundary) // base
+
+
+class Worker:
+    """Base class for one simulated rank of a parallel algorithm.
+
+    Subclasses implement :meth:`run` as a simulator coroutine (invoked via
+    ``Engine.spawn``).  The worker owns the rank's block cache and its
+    modelled-memory bookkeeping for blocks and buffered streamlines.
+    """
+
+    def __init__(self, ctx: RankContext, problem: ProblemSpec,
+                 store: BlockStore) -> None:
+        self.ctx = ctx
+        self.problem = problem
+        self.store = store
+        self.cost = problem.cost_model
+        self.integrator: Integrator = make_integrator(
+            problem.integrator, rtol=problem.integ.rtol,
+            atol=problem.integ.atol)
+        cap = ctx.spec.cache_blocks
+        if cap is None:
+            cap = max(1, int(0.25 * ctx.spec.memory_bytes
+                             / self.cost.block_nbytes))
+        self.cache = LRUBlockCache(capacity=cap)
+        #: Modelled bytes currently allocated per buffered streamline.
+        self._line_mem: Dict[int, int] = {}
+        #: Curves that finished on this rank (kept resident, as real
+        #: tracers keep geometry for output).
+        self.done_lines: List[Streamline] = []
+
+    # ------------------------------------------------------------------ #
+    # Blocks
+    # ------------------------------------------------------------------ #
+    def ensure_block(self, block_id: int) -> Generator[Request, Any, Block]:
+        """The block, from cache or via a (priced) filesystem read."""
+        block = self.cache.get(block_id)
+        if block is not None:
+            self.ctx.metrics.cache_hits += 1
+            return block
+        yield from self.ctx.read_block_bytes(self.cost.block_nbytes)
+        block = self.store.load(block_id)
+        evicted = self.cache.put(block)
+        for _ in evicted:
+            self.ctx.memory.free(self.cost.block_nbytes, "block")
+        self.ctx.memory.allocate(self.cost.block_nbytes, "block")
+        self.ctx.metrics.blocks_loaded += 1
+        self.ctx.metrics.blocks_purged += len(evicted)
+        self.ctx.trace.emit(self.ctx.rank, "block_load", block=block_id,
+                            purged=[b.block_id for b in evicted])
+        return block
+
+    def has_block(self, block_id: int) -> bool:
+        return block_id in self.cache
+
+    # ------------------------------------------------------------------ #
+    # Streamline memory bookkeeping
+    # ------------------------------------------------------------------ #
+    def own_line(self, line: Streamline) -> None:
+        """Start buffering a curve on this rank (allocates its memory)."""
+        if line.sid in self._line_mem:
+            raise RuntimeError(f"rank {self.ctx.rank} already owns "
+                               f"streamline {line.sid}")
+        nbytes = self.cost.streamline_memory_nbytes(line.n_vertices)
+        self.ctx.memory.allocate(nbytes, "streamline")
+        self._line_mem[line.sid] = nbytes
+
+    def grow_line(self, line: Streamline) -> None:
+        """Re-account a curve whose geometry grew during advection."""
+        held = self._line_mem.get(line.sid)
+        if held is None:
+            raise RuntimeError(f"rank {self.ctx.rank} does not own "
+                               f"streamline {line.sid}")
+        now = self.cost.streamline_memory_nbytes(line.n_vertices)
+        if now > held:
+            self.ctx.memory.allocate(now - held, "streamline")
+            self._line_mem[line.sid] = now
+
+    def release_line(self, line: Streamline) -> None:
+        """Stop buffering a curve (it was sent to another rank)."""
+        nbytes = self._line_mem.pop(line.sid, None)
+        if nbytes is None:
+            raise RuntimeError(f"rank {self.ctx.rank} does not own "
+                               f"streamline {line.sid}")
+        self.ctx.memory.free(nbytes, "streamline")
+
+    def owns_line(self, sid: int) -> bool:
+        return sid in self._line_mem
+
+    # ------------------------------------------------------------------ #
+    # Advection
+    # ------------------------------------------------------------------ #
+    def advect_pool(self, lines: Sequence[Streamline],
+                    round_limit: Optional[int] = POOL_ROUND_LIMIT,
+                    ) -> Generator[Request, Any,
+                                   "tuple[PoolResult, List[Streamline]]"]:
+        """Advance ``lines`` across *all* their (resident) blocks at once.
+
+        This is the production path: one pooled kernel call advances every
+        line on this rank in lockstep, switching blocks freely within the
+        loaded set ("integrates all streamlines to the edge of the loaded
+        blocks").  Lines whose block turns out not to be resident are
+        returned as the second element (demoted) without being advanced.
+        """
+        by_bid: Dict[int, List[Streamline]] = {}
+        for line in lines:
+            by_bid.setdefault(line.block_id, []).append(line)
+        blocks: List[Block] = []
+        demoted: List[Streamline] = []
+        pool_lines: List[Streamline] = []
+        for bid in sorted(by_bid):
+            block = self.cache.get(bid)
+            if block is None:
+                demoted.extend(by_bid[bid])
+                continue
+            self.ctx.metrics.cache_hits += 1
+            blocks.append(block)
+            pool_lines.extend(by_bid[bid])
+        if not blocks:
+            return PoolResult(), demoted
+        pool = BlockPool(blocks)
+        result = advance_pool(pool_lines, pool, self.problem.field.domain,
+                              self.problem.decomposition, self.integrator,
+                              self.problem.integ, round_limit=round_limit)
+        yield from self.ctx.compute(result.attempted_steps)
+        for line in pool_lines:
+            self.grow_line(line)
+        for line in result.terminated:
+            self.done_lines.append(line)
+            self.ctx.metrics.streamlines_completed += 1
+        self.ctx.trace.emit(
+            self.ctx.rank, "advect_pool", blocks=len(blocks),
+            lines=len(pool_lines), steps=result.attempted_steps,
+            exited=len(result.exited), terminated=len(result.terminated),
+            leftover=len(result.in_pool))
+        return result, demoted
+
+    # ------------------------------------------------------------------ #
+    # Protocol
+    # ------------------------------------------------------------------ #
+    def run(self) -> Generator[Request, Any, None]:
+        """The rank's program; subclasses must override."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator if ever called

@@ -1,0 +1,192 @@
+"""Run driver: wires a problem + algorithm + machine into a simulation.
+
+This is the library's main entry point::
+
+    result = run_streamlines(problem, algorithm="hybrid",
+                             machine=MachineSpec(n_ranks=512))
+
+It builds the simulated cluster, instantiates the per-rank workers of the
+chosen algorithm, runs the event loop to completion, and aggregates the
+outcome into a :class:`~repro.core.results.RunResult`.  A simulated
+out-of-memory failure (the paper's §5.3 Static-Allocation outcome) is
+reported as ``result.status == "oom"`` rather than raised.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import Worker, partition_contiguous
+from repro.core.config import ALGORITHMS, HybridConfig
+from repro.core.hybrid_master import HybridMaster
+from repro.core.hybrid_slave import HybridSlave
+from repro.core.ondemand import OnDemandWorker, seeds_grouped_by_block
+from repro.core.problem import ProblemSpec
+from repro.core.reseed import ReseedPolicy
+from repro.core.results import STATUS_OK, STATUS_OOM, RunResult
+from repro.core.static import StaticWorker
+from repro.sim.cluster import Cluster
+from repro.sim.engine import ProcessFailure, Request
+from repro.sim.machine import MachineSpec
+from repro.sim.memory import SimOutOfMemory
+from repro.sim.trace import Trace
+from repro.storage.store import BlockStore
+
+
+def _finishing(worker_ctx, program: Generator[Request, Any, None]
+               ) -> Generator[Request, Any, None]:
+    """Wrap a rank program to stamp its finish time."""
+    yield from program
+    worker_ctx.metrics.finish_time = worker_ctx.now
+
+
+def _build_hybrid(cluster: Cluster, problem: ProblemSpec,
+                  store: BlockStore, config: HybridConfig,
+                  reseed: Optional[ReseedPolicy] = None
+                  ) -> Tuple[List[Worker], List[HybridMaster]]:
+    """Masters on the first ranks, each with a contiguous slave group and
+    an equal share of the (block-grouped) seed pool."""
+    n_ranks = cluster.spec.n_ranks
+    n_masters = config.n_masters(n_ranks)
+    master_ranks = list(range(n_masters))
+    slave_ranks = list(range(n_masters, n_ranks))
+
+    order = seeds_grouped_by_block(problem)
+    seed_blocks = problem.seed_blocks
+
+    masters: List[HybridMaster] = []
+    slaves: List[Worker] = []
+    for mi, mrank in enumerate(master_ranks):
+        group = [slave_ranks[i] for i in
+                 partition_contiguous(len(slave_ranks), n_masters, mi)]
+        pool: Dict[int, List[Tuple[int, np.ndarray]]] = {}
+        for idx in order[partition_contiguous(problem.n_seeds,
+                                              n_masters, mi)]:
+            sid = int(idx)
+            bid = int(seed_blocks[sid])
+            pool.setdefault(bid, []).append((sid, problem.seeds[sid]))
+        budget = 0
+        if reseed is not None:
+            base, rem = divmod(reseed.budget, n_masters)
+            budget = base + (1 if mi < rem else 0)
+        master = HybridMaster(cluster.context(mrank), problem, config,
+                              slaves=group, masters=master_ranks,
+                              pool=pool, reseed_budget=budget)
+        masters.append(master)
+        for srank in group:
+            slaves.append(HybridSlave(cluster.context(srank), problem,
+                                      store, master=mrank, config=config,
+                                      reseed=reseed))
+    return slaves, masters
+
+
+def run_streamlines(problem: ProblemSpec, algorithm: str = "hybrid",
+                    machine: Optional[MachineSpec] = None,
+                    hybrid: Optional[HybridConfig] = None,
+                    trace: Optional[Trace] = None,
+                    reseed: Optional[ReseedPolicy] = None,
+                    store: Optional[object] = None,
+                    max_events: Optional[int] = None) -> RunResult:
+    """Compute the problem's streamlines with one parallel strategy.
+
+    Parameters
+    ----------
+    problem:
+        What to compute (field, decomposition, seeds, numerics).
+    algorithm:
+        "static", "ondemand", or "hybrid" (paper §4.1-4.3).
+    machine:
+        Simulated machine spec; defaults to the JaguarPF-like preset with
+        64 ranks.
+    hybrid:
+        Hybrid Master/Slave tunables (ignored by the other algorithms).
+    reseed:
+        §8 dynamic seed creation policy (hybrid only): evaluated on each
+        terminating streamline; spawned seeds join the master pools and
+        the run finishes only when they, too, have terminated.
+    store:
+        Block provider (anything with ``load(block_id) -> Block``, e.g.
+        a :class:`~repro.storage.store.DiskBlockStore` over real block
+        files).  Defaults to sampling the problem's analytic field.
+    trace:
+        Optional enabled :class:`~repro.sim.trace.Trace` to record events.
+    max_events:
+        Safety bound on simulator events (tests); raises if exceeded.
+
+    Returns
+    -------
+    :class:`RunResult` — check ``result.status``: ``"oom"`` reproduces the
+    paper's Static-Allocation dense-seed failure instead of raising.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; "
+                         f"expected one of {ALGORITHMS}")
+    machine = machine or MachineSpec()
+    hybrid = hybrid or HybridConfig()
+    cluster = Cluster(machine, trace=trace)
+    if store is None:
+        store = BlockStore(problem.field, problem.decomposition)
+
+    masters: List[HybridMaster] = []
+    if reseed is not None and algorithm != "hybrid":
+        raise ValueError("dynamic seeding (reseed=) requires the hybrid "
+                         "algorithm (paper §8)")
+    if algorithm == "static":
+        workers: List[Worker] = [
+            StaticWorker(cluster.context(r), problem, store)
+            for r in range(machine.n_ranks)]
+    elif algorithm == "ondemand":
+        workers = [OnDemandWorker(cluster.context(r), problem, store)
+                   for r in range(machine.n_ranks)]
+    else:
+        workers, masters = _build_hybrid(cluster, problem, store, hybrid,
+                                         reseed=reseed)
+
+    for w in workers:
+        cluster.engine.spawn(f"{algorithm}-rank{w.ctx.rank}",
+                             _finishing(w.ctx, w.run()))
+    for m in masters:
+        cluster.engine.spawn(f"hybrid-master{m.ctx.rank}",
+                             _finishing(m.ctx, m.run()))
+
+    try:
+        wall = cluster.run(max_events=max_events)
+    except ProcessFailure as failure:
+        if isinstance(failure.cause, SimOutOfMemory):
+            oom = failure.cause
+            return RunResult(
+                algorithm=algorithm, status=STATUS_OOM,
+                n_ranks=machine.n_ranks, wall_clock=cluster.engine.now,
+                rank_metrics=list(cluster.metrics.values()),
+                streamlines=[], oom_rank=oom.rank, oom_reason=str(oom))
+        raise
+
+    lines = []
+    for w in workers:
+        lines.extend(w.done_lines)
+    for m in masters:
+        lines.extend(m.done_lines)
+    lines.sort(key=lambda l: l.sid)
+    seen = [l.sid for l in lines]
+    if reseed is None:
+        if seen != list(range(problem.n_seeds)):
+            raise RuntimeError(
+                f"{algorithm}: finished {len(lines)} of "
+                f"{problem.n_seeds} streamlines — termination protocol "
+                "bug")
+    else:
+        # Dynamic seeding: the original seeds must all be present, plus
+        # uniquely-identified spawned curves.
+        if len(lines) < problem.n_seeds \
+                or seen[:problem.n_seeds] != list(range(problem.n_seeds)) \
+                or len(set(seen)) != len(seen):
+            raise RuntimeError(
+                f"{algorithm}: inconsistent streamline ids under "
+                "dynamic seeding")
+
+    return RunResult(
+        algorithm=algorithm, status=STATUS_OK, n_ranks=machine.n_ranks,
+        wall_clock=wall, rank_metrics=list(cluster.metrics.values()),
+        streamlines=lines)

@@ -1,0 +1,479 @@
+"""Hybrid Master/Slave — master process (paper §4.3).
+
+The master maintains a record per slave (streamlines owned and the blocks
+they intersect, blocks loaded, advanceable count) and, whenever a status
+message indicates a slave cannot perform more work, applies the paper's
+assignment sequence for each starving slave S, in order, terminating when S
+has been assigned new work:
+
+1. Send_force: S offloads streamlines in unloaded blocks to slaves that
+   have the block loaded (never raising the destination above N_O).
+2. If S has more than N_L streamlines in one unloaded block, S loads it.
+3. After such a Load, re-check whether *other* slaves can Send_force
+   streamlines in their unloaded blocks to S.
+4. Assign_loaded: N seeds from the pool in a block S has loaded.
+5. Assign_unloaded: N seeds from any block (S loads it).
+6. S loads the block populated with the most of its own streamlines.
+7. Send_hint: a randomly chosen most-loaded slave is hinted that it can
+   offload streamlines to S when appropriate.
+
+For scalability there are multiple masters (one per W slaves); the seed
+pool is split equally among them, terminated counts flow to the root
+master, and a master whose pool runs dry while its slaves starve requests
+seeds from its peers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core import messages as msg
+from repro.core.config import HybridConfig
+from repro.core.problem import ProblemSpec
+from repro.integrate.streamline import Status, Streamline
+from repro.sim.cluster import RankContext
+from repro.sim.engine import Request
+
+
+@dataclass
+class SlaveRecord:
+    """The master's model of one slave (refreshed by status messages,
+    updated optimistically when the master issues instructions)."""
+
+    rank: int
+    lines_by_block: Dict[int, int] = field(default_factory=dict)
+    loaded: Set[int] = field(default_factory=set)
+    advanceable: int = 0
+
+    @property
+    def total_lines(self) -> int:
+        return sum(self.lines_by_block.values()) + self.advanceable
+
+    def waiting_blocks(self) -> List[Tuple[int, int]]:
+        """(count, block) pairs for blocks with waiting lines, sorted by
+        descending count then ascending block id (deterministic)."""
+        pairs = [(c, b) for b, c in self.lines_by_block.items()
+                 if c > 0 and b not in self.loaded]
+        pairs.sort(key=lambda cb: (-cb[0], cb[1]))
+        return pairs
+
+
+class HybridMaster:
+    """One master rank coordinating a group of slaves."""
+
+    def __init__(self, ctx: RankContext, problem: ProblemSpec,
+                 config: HybridConfig, slaves: Sequence[int],
+                 masters: Sequence[int],
+                 pool: Dict[int, List[Tuple[int, np.ndarray]]],
+                 reseed_budget: int = 0) -> None:
+        self.ctx = ctx
+        self.problem = problem
+        self.config = config
+        self.cost = problem.cost_model
+        self.slaves = list(slaves)
+        self.masters = list(masters)
+        self.root = self.masters[0]
+        self.is_root = ctx.rank == self.root
+        #: Seed pool: block id -> [(sid, seed point), ...]
+        self.pool = pool
+        self.records: Dict[int, SlaveRecord] = {
+            s: SlaveRecord(rank=s) for s in self.slaves}
+        self.needs_work: Set[int] = set()
+        self._group_term_delta = 0
+        self._global_count = 0   # root only
+        self._global_target = problem.n_seeds  # root only; grows with §8
+        self._target_delta = 0   # non-root: pending forward to root
+        # §8 dynamic seeding: this master's share of the machine-wide
+        # budget and its private streamline-id range.
+        self._reseed_remaining = reseed_budget
+        self._next_dynamic_sid = (problem.n_seeds
+                                  + 1_000_000 * (self.masters.index(ctx.rank)
+                                                 + 1))
+        self._done = False
+        self._rng = np.random.default_rng(
+            (config.seed, ctx.rank))
+        # Inter-master seed balancing state.
+        self._dry_masters: Set[int] = set()
+        self._request_outstanding = False
+        #: Idle slaves already hinted for during their current idle
+        #: episode.  Without this, the endgame (many idle slaves, few
+        #: busy ones) re-sends a hint for every idle slave on every
+        #: incoming status — a message storm the paper's comm numbers
+        #: clearly do not contain.  A slave becomes hintable again when
+        #: its next status arrives.
+        self._hinted: Set[int] = set()
+        #: Out-of-domain seeds terminated at startup (root only).
+        self.done_lines: List[Streamline] = []
+
+    # ------------------------------------------------------------------ #
+    # Pool helpers
+    # ------------------------------------------------------------------ #
+    def pool_size(self) -> int:
+        return sum(len(v) for v in self.pool.values())
+
+    def _pool_block_with_most_seeds(self) -> Optional[int]:
+        best = None
+        for bid, entries in self.pool.items():
+            if not entries:
+                continue
+            if best is None or (len(entries), -bid) \
+                    > (len(self.pool[best]), -best):
+                best = bid
+        return best
+
+    def _take_seeds(self, bid: int, n: int) -> msg.AssignSeeds:
+        entries = self.pool[bid]
+        take, self.pool[bid] = entries[:n], entries[n:]
+        if not self.pool[bid]:
+            del self.pool[bid]
+        sids = tuple(sid for sid, _ in take)
+        seeds = np.stack([pt for _, pt in take])
+        return msg.AssignSeeds(block_id=bid, sids=sids, seeds=seeds)
+
+    # ------------------------------------------------------------------ #
+    # Instruction emission (each updates the master's optimistic model)
+    # ------------------------------------------------------------------ #
+    def _send(self, dest: int, kind: str,
+              payload) -> Generator[Request, Any, None]:
+        yield from self.ctx.comm.send(dest, kind, payload,
+                                      payload.wire_nbytes(self.cost))
+
+    def _emit_assign(self, s: SlaveRecord,
+                     bid: int) -> Generator[Request, Any, None]:
+        assign = self._take_seeds(bid, self.config.assignment_quantum)
+        yield from self._send(s.rank, msg.KIND_ASSIGN, assign)
+        s.loaded.add(bid)  # Assign_unloaded makes the slave load it.
+        s.advanceable += len(assign.sids)
+        self.ctx.trace.emit(self.ctx.rank, "assign", slave=s.rank,
+                            block=bid, n=len(assign.sids))
+
+    def _emit_load(self, s: SlaveRecord,
+                   bid: int) -> Generator[Request, Any, None]:
+        yield from self._send(s.rank, msg.KIND_LOAD, msg.LoadBlock(bid))
+        s.loaded.add(bid)
+        s.advanceable += s.lines_by_block.pop(bid, 0)
+        self.ctx.trace.emit(self.ctx.rank, "load_rule", slave=s.rank,
+                            block=bid)
+
+    def _emit_send_force(self, src: SlaveRecord, dst: SlaveRecord,
+                         bid: int) -> Generator[Request, Any, None]:
+        yield from self._send(src.rank, msg.KIND_SEND_FORCE,
+                              msg.SendForce(block_id=bid, dest=dst.rank))
+        moved = src.lines_by_block.pop(bid, 0)
+        dst.advanceable += moved  # dst has bid loaded, so they can run.
+        self.ctx.trace.emit(self.ctx.rank, "send_force", src=src.rank,
+                            dst=dst.rank, block=bid, moved=moved)
+        # Deliberately do NOT remove dst from needs_work here: the count
+        # may be stale (src may have already advanced or shipped those
+        # lines), in which case dst receives nothing and — being blocked
+        # on its mailbox — would never produce another status to re-add
+        # itself.  Liveness requires keeping dst eligible until work is
+        # sent *to dst directly* or its next status proves it busy.
+
+    # ------------------------------------------------------------------ #
+    # The assignment sequence
+    # ------------------------------------------------------------------ #
+    def _find_loaded_slave(self, bid: int, exclude: int,
+                           incoming: int) -> Optional[SlaveRecord]:
+        """A slave with ``bid`` loaded and headroom for ``incoming`` more
+        streamlines under N_O (deterministic: least-loaded, lowest rank)."""
+        best = None
+        for rank in self.slaves:
+            if rank == exclude:
+                continue
+            r = self.records[rank]
+            if bid in r.loaded \
+                    and r.total_lines + incoming <= self.config.overload_limit:
+                if best is None or (r.total_lines, rank) \
+                        < (best.total_lines, best.rank):
+                    best = r
+        return best
+
+    def _cache_capacity(self) -> int:
+        cap = self.ctx.spec.cache_blocks
+        if cap is None:
+            cap = max(1, int(0.25 * self.ctx.spec.memory_bytes
+                             / self.cost.block_nbytes))
+        return cap
+
+    def _try_assign(self, slave_rank: int) -> Generator[Request, Any, None]:
+        """Apply the 7-step sequence to one starving slave."""
+        s = self.records[slave_rank]
+        cfg = self.config
+
+        # Locality bias (see HybridConfig): while S is under its
+        # duplication budget, loading the block it needs is cheaper over
+        # the curve's lifetime than migrating geometry on every crossing.
+        budget = min(cfg.duplication_budget, self._cache_capacity() - 1)
+        if cfg.locality_bias and len(s.loaded) < budget:
+            waiting = s.waiting_blocks()
+            if waiting:
+                yield from self._emit_load(s, waiting[0][1])
+                self.needs_work.discard(s.rank)
+                self._hinted.discard(s.rank)
+                return
+
+        # Step 1: Send_force S's waiting lines to slaves holding the block.
+        # Per the paper's N_L semantics, "streamlines are not migrated
+        # from a slave that has a significant number N_L of outstanding
+        # streamlines in the same block" — those blocks are kept for the
+        # Load rule (step 2) instead.
+        for count, bid in s.waiting_blocks():
+            if count > cfg.load_threshold:
+                continue
+            t = self._find_loaded_slave(bid, exclude=s.rank, incoming=count)
+            if t is not None:
+                yield from self._emit_send_force(s, t, bid)
+
+        # Step 2: Load a block S has > N_L waiting lines in.
+        assigned = False
+        heavy = [(c, b) for c, b in s.waiting_blocks()
+                 if c > cfg.load_threshold]
+        if heavy:
+            _, bid = heavy[0]
+            yield from self._emit_load(s, bid)
+            assigned = True
+            # Step 3: the loaded-block set changed; other slaves may now
+            # Send_force their waiting lines (in that block) to S.
+            for rank in self.slaves:
+                if rank == s.rank:
+                    continue
+                t = self.records[rank]
+                moved = t.lines_by_block.get(bid, 0)
+                if moved > 0 and bid not in t.loaded \
+                        and s.total_lines + moved <= cfg.overload_limit:
+                    yield from self._emit_send_force(t, s, bid)
+
+        # Step 4: Assign_loaded — pool seeds in a block S already has.
+        if not assigned:
+            for bid in sorted(s.loaded):
+                if self.pool.get(bid):
+                    yield from self._emit_assign(s, bid)
+                    assigned = True
+                    break
+
+        # Step 5: Assign_unloaded — pool seeds from any block.
+        if not assigned:
+            bid = self._pool_block_with_most_seeds()
+            if bid is not None:
+                yield from self._emit_assign(s, bid)
+                assigned = True
+
+        # Step 6: load S's most-populated waiting block (below N_L too).
+        if not assigned:
+            waiting = s.waiting_blocks()
+            if waiting:
+                yield from self._emit_load(s, waiting[0][1])
+                assigned = True
+
+        # Step 7: Send_hint — ask a busy slave to feed S (at most once
+        # per idle episode of S, see _hinted).
+        if not assigned and s.rank not in self._hinted:
+            candidates = [(self.records[r].total_lines, r)
+                          for r in self.slaves if r != s.rank
+                          and self.records[r].total_lines > 0]
+            if candidates:
+                most = max(c for c, _ in candidates)
+                busiest = [r for c, r in candidates if c == most]
+                target = self.records[
+                    busiest[int(self._rng.integers(len(busiest)))]]
+                # Hint blocks the target can ship (its waiting blocks),
+                # preferring ones S already has loaded.
+                shippable = [b for _, b in target.waiting_blocks()]
+                preferred = [b for b in shippable if b in s.loaded]
+                hint_blocks = tuple(preferred or shippable)
+                if hint_blocks:
+                    yield from self._send(
+                        target.rank, msg.KIND_SEND_HINT,
+                        msg.SendHint(block_ids=hint_blocks, dest=s.rank))
+                    self._hinted.add(s.rank)
+                    self.ctx.trace.emit(self.ctx.rank, "send_hint",
+                                        src=target.rank, dst=s.rank,
+                                        blocks=hint_blocks)
+
+        if assigned:
+            self.needs_work.discard(s.rank)
+            self._hinted.discard(s.rank)
+
+    def _assignment_pass(self) -> Generator[Request, Any, None]:
+        for rank in sorted(self.needs_work.copy()):
+            if rank in self.needs_work:
+                yield from self._try_assign(rank)
+
+    # ------------------------------------------------------------------ #
+    # Inter-master seed balancing
+    # ------------------------------------------------------------------ #
+    def _maybe_request_seeds(self) -> Generator[Request, Any, None]:
+        if self._request_outstanding or not self.needs_work \
+                or self.pool_size() > 0:
+            return
+        peers = [m for m in self.masters
+                 if m != self.ctx.rank and m not in self._dry_masters]
+        if not peers:
+            return
+        target = peers[0]
+        yield from self._send(target, msg.KIND_SEED_REQUEST,
+                              msg.SeedRequest(requester=self.ctx.rank))
+        self._request_outstanding = True
+
+    def _grant_seeds(self, requester: int) -> Generator[Request, Any, None]:
+        """Answer a peer's request with up to W*N seeds from our pool."""
+        budget = self.config.slaves_per_master * self.config.assignment_quantum
+        grant: Dict[int, Tuple[Tuple[int, ...], np.ndarray]] = {}
+        while budget > 0:
+            bid = self._pool_block_with_most_seeds()
+            if bid is None:
+                break
+            assign = self._take_seeds(bid, budget)
+            grant[bid] = (assign.sids, assign.seeds)
+            budget -= len(assign.sids)
+        payload = msg.SeedGrant(by_block=grant)
+        yield from self._send(requester, msg.KIND_SEED_GRANT, payload)
+        self.ctx.trace.emit(self.ctx.rank, "seed_grant",
+                            requester=requester, n=payload.n_seeds())
+
+    # ------------------------------------------------------------------ #
+    # Termination plumbing
+    # ------------------------------------------------------------------ #
+    def _forward_terminations(self) -> Generator[Request, Any, None]:
+        # Target deltas (dynamically created seeds) must reach the root
+        # before the matching termination counts; both travel the same
+        # ordered channel, so send them first.
+        if self._target_delta:
+            delta, self._target_delta = self._target_delta, 0
+            if self.is_root:
+                self._global_target += delta
+            else:
+                payload = msg.TargetDelta(delta)
+                yield from self._send(self.root, msg.KIND_TARGET, payload)
+        if self._group_term_delta == 0:
+            return
+        delta, self._group_term_delta = self._group_term_delta, 0
+        if self.is_root:
+            self._global_count += delta
+        else:
+            payload = msg.CountDelta(delta)
+            yield from self._send(self.root, msg.KIND_COUNT, payload)
+
+    def _broadcast_done(self) -> Generator[Request, Any, None]:
+        payload = msg.Done()
+        for m in self.masters:
+            if m != self.ctx.rank:
+                yield from self._send(m, msg.KIND_DONE, payload)
+        for s in self.slaves:
+            yield from self._send(s, msg.KIND_DONE, payload)
+        self._done = True
+
+    def _forward_done_to_slaves(self) -> Generator[Request, Any, None]:
+        payload = msg.Done()
+        for s in self.slaves:
+            yield from self._send(s, msg.KIND_DONE, payload)
+        self._done = True
+
+    # ------------------------------------------------------------------ #
+    # Message handling and main loop
+    # ------------------------------------------------------------------ #
+    def _handle_out_of_domain_seeds(self) -> None:
+        """Terminate pool entries whose seed lies outside the domain
+        (block id -1) so the global count can still reach n_seeds.  Every
+        master handles its own share; the deltas flow to the root."""
+        entries = self.pool.pop(-1, [])
+        for sid, pt in entries:
+            line = Streamline(sid=sid, seed=pt)
+            line.terminate(Status.OUT_OF_BOUNDS)
+            self.done_lines.append(line)
+            self._group_term_delta += 1
+
+    def _process(self, inbox) -> Generator[Request, Any, None]:
+        for m in inbox:
+            payload = m.payload
+            if isinstance(payload, msg.SlaveStatus):
+                r = self.records[payload.slave]
+                r.lines_by_block = dict(payload.lines_by_block)
+                r.loaded = set(payload.loaded_blocks)
+                r.advanceable = payload.advanceable
+                self._group_term_delta += payload.terminated_delta
+                self._hinted.discard(payload.slave)
+                # Any status signals the slave is (about to be) starving.
+                if r.advanceable == 0:
+                    self.needs_work.add(payload.slave)
+            elif isinstance(payload, msg.CountDelta):
+                if not self.is_root:
+                    raise RuntimeError("count delta at non-root master")
+                self._global_count += payload.delta
+            elif isinstance(payload, msg.TargetDelta):
+                if not self.is_root:
+                    raise RuntimeError("target delta at non-root master")
+                self._global_target += payload.delta
+            elif isinstance(payload, msg.NewSeeds):
+                self._accept_new_seeds(payload.seeds)
+            elif isinstance(payload, msg.SeedRequest):
+                yield from self._grant_seeds(payload.requester)
+            elif isinstance(payload, msg.SeedGrant):
+                self._request_outstanding = False
+                if payload.n_seeds() == 0:
+                    self._dry_masters.add(m.src)
+                else:
+                    for bid, (sids, seeds) in payload.by_block.items():
+                        self.pool.setdefault(bid, []).extend(
+                            (sid, seeds[i]) for i, sid in enumerate(sids))
+            elif isinstance(payload, msg.Done):
+                yield from self._forward_done_to_slaves()
+            else:
+                raise RuntimeError(
+                    f"hybrid master {self.ctx.rank}: unexpected message "
+                    f"{type(payload).__name__}")
+
+    def _accept_new_seeds(self, seeds: np.ndarray) -> None:
+        """§8 dynamic seeding: admit spawned seeds up to the budget.
+
+        Out-of-domain seeds are dropped (they would terminate instantly);
+        admitted seeds get ids from this master's private range and join
+        the pool, growing the global termination target.  Dropped seeds
+        still consume budget — the cap bounds *evaluations*, keeping a
+        policy that spawns junk from stalling the run's termination.
+        """
+        if self._reseed_remaining <= 0 or len(seeds) == 0:
+            return
+        seeds = np.atleast_2d(np.asarray(seeds, dtype=np.float64))
+        take = min(self._reseed_remaining, len(seeds))
+        admitted = 0
+        for pt in seeds[:take]:
+            bid = int(self.problem.decomposition.locate(pt))
+            if bid < 0:
+                continue
+            sid = self._next_dynamic_sid
+            self._next_dynamic_sid += 1
+            self.pool.setdefault(bid, []).append((sid, pt.copy()))
+            admitted += 1
+        self._reseed_remaining -= take
+        if admitted:
+            self._target_delta += admitted
+            self.ctx.trace.emit(self.ctx.rank, "reseed_admitted",
+                                n=admitted)
+
+    def _initial_assignment(self) -> Generator[Request, Any, None]:
+        """Paper: all slaves receive their initial allocation through the
+        Assign_unloaded rule (N seeds each)."""
+        for rank in self.slaves:
+            bid = self._pool_block_with_most_seeds()
+            if bid is None:
+                break
+            yield from self._emit_assign(self.records[rank], bid)
+
+    def run(self) -> Generator[Request, Any, None]:
+        self._handle_out_of_domain_seeds()
+        yield from self._initial_assignment()
+        while not self._done:
+            yield from self._forward_terminations()
+            if self.is_root and self._global_count == self._global_target:
+                yield from self._broadcast_done()
+                return
+            yield from self._assignment_pass()
+            yield from self._maybe_request_seeds()
+            inbox = yield from self.ctx.comm.recv_wait()
+            yield from self._process(inbox)
+        self.ctx.trace.emit(self.ctx.rank, "master_done")

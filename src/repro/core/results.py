@@ -1,0 +1,171 @@
+"""Run results and metric aggregation.
+
+A :class:`RunResult` carries everything the paper's figures need from one
+run: simulated wall clock, total I/O time, total communication time, block
+efficiency (Eq. 2 aggregated over all ranks), plus the finished streamlines
+and the raw per-rank metrics for finer analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.integrate.streamline import Status, Streamline
+from repro.sim.metrics import RankMetrics
+
+#: Run completed normally.
+STATUS_OK = "ok"
+#: Run aborted because a rank exceeded its memory capacity (paper §5.3:
+#: Static Allocation "ran out of memory and was unable to run").
+STATUS_OOM = "oom"
+
+
+@dataclass
+class RunResult:
+    """Outcome of one parallel streamline run.
+
+    All times are simulated seconds.  ``io_time`` and ``comm_time`` are
+    summed across ranks (the paper's "total time spent ..." metrics);
+    ``wall_clock`` is the simulated completion time.
+    """
+
+    algorithm: str
+    status: str
+    n_ranks: int
+    wall_clock: float
+    rank_metrics: List[RankMetrics]
+    streamlines: List[Streamline] = field(default_factory=list)
+    oom_rank: Optional[int] = None
+    oom_reason: str = ""
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def io_time(self) -> float:
+        return sum(m.io_time for m in self.rank_metrics)
+
+    @property
+    def comm_time(self) -> float:
+        return sum(m.comm_time for m in self.rank_metrics)
+
+    @property
+    def compute_time(self) -> float:
+        return sum(m.compute_time for m in self.rank_metrics)
+
+    @property
+    def blocks_loaded(self) -> int:
+        return sum(m.blocks_loaded for m in self.rank_metrics)
+
+    @property
+    def blocks_purged(self) -> int:
+        return sum(m.blocks_purged for m in self.rank_metrics)
+
+    @property
+    def block_efficiency(self) -> float:
+        """Paper Eq. (2), aggregated over all ranks."""
+        loaded = self.blocks_loaded
+        if loaded == 0:
+            return 1.0
+        return (loaded - self.blocks_purged) / loaded
+
+    @property
+    def messages_sent(self) -> int:
+        return sum(m.msgs_sent for m in self.rank_metrics)
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(m.bytes_sent for m in self.rank_metrics)
+
+    @property
+    def total_steps(self) -> int:
+        return sum(m.steps for m in self.rank_metrics)
+
+    @property
+    def idle_time(self) -> float:
+        """Aggregate idle time (rank-seconds not spent busy)."""
+        return sum(m.idle_time(self.wall_clock) for m in self.rank_metrics)
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Busy time / (ranks x wall clock); 1.0 means no idling."""
+        if self.wall_clock <= 0 or not self.rank_metrics:
+            return 1.0
+        busy = sum(m.busy_time for m in self.rank_metrics)
+        return busy / (len(self.rank_metrics) * self.wall_clock)
+
+    def status_counts(self) -> Dict[str, int]:
+        """Histogram of streamline termination reasons."""
+        out: Dict[str, int] = {}
+        for line in self.streamlines:
+            out[line.status.value] = out.get(line.status.value, 0) + 1
+        return out
+
+    def total_vertices(self) -> int:
+        return sum(line.n_vertices for line in self.streamlines)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, object]:
+        """Flat summary used by the experiment harness and benchmarks."""
+        if not self.ok:
+            return {
+                "algorithm": self.algorithm,
+                "n_ranks": self.n_ranks,
+                "status": self.status,
+                "oom_rank": self.oom_rank,
+            }
+        return {
+            "algorithm": self.algorithm,
+            "n_ranks": self.n_ranks,
+            "status": self.status,
+            "wall_clock": self.wall_clock,
+            "io_time": self.io_time,
+            "comm_time": self.comm_time,
+            "compute_time": self.compute_time,
+            "block_efficiency": self.block_efficiency,
+            "blocks_loaded": self.blocks_loaded,
+            "blocks_purged": self.blocks_purged,
+            "messages": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "steps": self.total_steps,
+            "parallel_efficiency": self.parallel_efficiency,
+            "streamlines": len(self.streamlines),
+        }
+
+    def rank_table(self, top: Optional[int] = None) -> str:
+        """Formatted per-rank metrics table (busiest ranks first).
+
+        ``top`` limits the listing; the header row names the columns.
+        Useful for eyeballing load imbalance — the quantity behind the
+        paper's dense-seeding pathologies.
+        """
+        rows = sorted(self.rank_metrics, key=lambda m: -m.busy_time)
+        if top is not None:
+            rows = rows[:top]
+        lines = [f"{'rank':>5} {'compute':>10} {'io':>9} {'comm':>9} "
+                 f"{'steps':>9} {'loads':>6} {'purges':>7} {'done':>6}"]
+        for m in rows:
+            lines.append(
+                f"{m.rank:>5} {m.compute_time:>10.3f} {m.io_time:>9.3f} "
+                f"{m.comm_time:>9.3f} {m.steps:>9d} "
+                f"{m.blocks_loaded:>6d} {m.blocks_purged:>7d} "
+                f"{m.streamlines_completed:>6d}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.ok:
+            return (f"RunResult({self.algorithm}, ranks={self.n_ranks}, "
+                    f"OOM at rank {self.oom_rank})")
+        return (f"RunResult({self.algorithm}, ranks={self.n_ranks}, "
+                f"wall={self.wall_clock:.3f}s, io={self.io_time:.3f}s, "
+                f"comm={self.comm_time:.3f}s, "
+                f"E={self.block_efficiency:.3f})")

@@ -1,0 +1,87 @@
+"""Quantifying compact communication (paper §8).
+
+"In many streamline applications ... the total streamline geometry is not
+of interest in future integration.  In these classes of problems, it
+should be sufficient to communicate solver state as well as some
+relatively compact derived quantities."
+
+The hybrid algorithm supports this directly
+(``HybridConfig(compact_communication=True)``); this module runs a problem
+both ways and reports what the optimization saves — bytes on the wire and
+communication time — while asserting the geometry is unchanged (compact
+mode only changes wire *pricing*; every rank still terminates curves with
+their full geometry resident).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import HybridConfig
+from repro.core.driver import run_streamlines
+from repro.core.problem import ProblemSpec
+from repro.sim.machine import MachineSpec
+
+
+@dataclass(frozen=True)
+class CompactCommReport:
+    """Outcome of the compact-communication comparison."""
+
+    full_bytes: int
+    compact_bytes: int
+    full_comm_time: float
+    compact_comm_time: float
+    full_wall: float
+    compact_wall: float
+
+    @property
+    def bytes_saved(self) -> int:
+        return self.full_bytes - self.compact_bytes
+
+    @property
+    def bytes_saved_fraction(self) -> float:
+        if self.full_bytes == 0:
+            return 0.0
+        return self.bytes_saved / self.full_bytes
+
+    @property
+    def comm_time_saved(self) -> float:
+        return self.full_comm_time - self.compact_comm_time
+
+
+def compare_compact_communication(
+        problem: ProblemSpec, machine: Optional[MachineSpec] = None,
+        hybrid: Optional[HybridConfig] = None) -> CompactCommReport:
+    """Run the hybrid algorithm with and without compact communication.
+
+    Raises if either run fails or if the two runs' streamline geometry
+    differs (it must not — the optimization is purely a wire format).
+    """
+    machine = machine or MachineSpec()
+    base = hybrid or HybridConfig()
+
+    full = run_streamlines(problem, algorithm="hybrid", machine=machine,
+                           hybrid=base.with_overrides(
+                               compact_communication=False))
+    compact = run_streamlines(problem, algorithm="hybrid", machine=machine,
+                              hybrid=base.with_overrides(
+                                  compact_communication=True))
+    if not (full.ok and compact.ok):
+        raise RuntimeError("compact-communication comparison run failed")
+    for a, b in zip(full.streamlines, compact.streamlines):
+        if a.status is not b.status \
+                or not np.allclose(a.vertices(), b.vertices(), atol=1e-12):
+            raise AssertionError(
+                f"compact communication changed streamline {a.sid}: "
+                "wire format must not affect numerics")
+    return CompactCommReport(
+        full_bytes=full.bytes_sent,
+        compact_bytes=compact.bytes_sent,
+        full_comm_time=full.comm_time,
+        compact_comm_time=compact.comm_time,
+        full_wall=full.wall_clock,
+        compact_wall=compact.wall_clock,
+    )

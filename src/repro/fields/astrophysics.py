@@ -1,0 +1,117 @@
+"""Synthetic supernova magnetic field (GenASiS stand-in).
+
+The paper's astrophysics case study traces the magnetic field around a solar
+core collapse: a rapidly rotating proto-neutron star at the centre, a
+turbulent shell inside the supernova shock front, and field lines that wind
+through large parts of the domain (Figure 1).
+
+The stand-in combines three deterministic ingredients:
+
+* **differential rotation** about the z-axis, fastest near the core — field
+  lines near the centre wrap tightly and remain localized (dense seeds near
+  the core stay in few blocks);
+* a **radial profile** that pulls inward inside the core radius (attracting
+  feature, §3.1 "vector field complexity") and pushes outward between core
+  and shock (explosion), so outer field lines traverse many blocks;
+* a **solenoidal turbulent perturbation** built from a fixed set of random
+  Beltrami-like modes (seeded RNG), giving the complex braided structure of
+  the magnetic field inside the shock front.
+
+The qualitative transport property the evaluation relies on holds: sparse
+seeds spread over the domain visit a large fraction of all blocks, dense
+seeds near the core visit few.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.fields.base import AnalyticField
+from repro.mesh.bounds import Bounds
+
+
+class SupernovaField(AnalyticField):
+    """Core-collapse-supernova-like magnetic field on ``[-1, 1]^3``.
+
+    Parameters
+    ----------
+    omega0:
+        Peak angular speed of the differential rotation.
+    core_radius:
+        Radius of the attracting rotating core.
+    shock_radius:
+        Radius of the (spherical) shock front; beyond it the field decays.
+    turbulence:
+        Amplitude of the braided perturbation modes.
+    n_modes:
+        Number of random Beltrami-like perturbation modes.
+    seed:
+        RNG seed for the perturbation modes (field is deterministic in it).
+    """
+
+    name = "supernova"
+
+    def __init__(self, omega0: float = 5.0, core_radius: float = 0.18,
+                 shock_radius: float = 0.85, turbulence: float = 0.45,
+                 expansion: float = 0.18, n_modes: int = 8, seed: int = 7,
+                 domain: Optional[Bounds] = None) -> None:
+        super().__init__(domain or Bounds.cube(-1.0, 1.0))
+        if core_radius <= 0 or shock_radius <= core_radius:
+            raise ValueError("need 0 < core_radius < shock_radius")
+        self.omega0 = float(omega0)
+        self.core_radius = float(core_radius)
+        self.shock_radius = float(shock_radius)
+        self.turbulence = float(turbulence)
+        self.expansion = float(expansion)
+        rng = np.random.default_rng(seed)
+        # Random wave vectors with |k| in [2, 6] and unit amplitudes.
+        kdir = rng.normal(size=(n_modes, 3))
+        kdir /= np.linalg.norm(kdir, axis=1, keepdims=True)
+        kmag = rng.uniform(2.0, 6.0, size=(n_modes, 1))
+        self._k = kdir * kmag
+        self._phase = rng.uniform(0.0, 2.0 * np.pi, size=n_modes)
+        # Amplitude directions orthogonal to k => divergence-free modes.
+        raw = rng.normal(size=(n_modes, 3))
+        proj = (np.sum(raw * kdir, axis=1, keepdims=True)) * kdir
+        amp = raw - proj
+        amp /= np.linalg.norm(amp, axis=1, keepdims=True)
+        self._amp = amp
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        x, y, z = pts[:, 0], pts[:, 1], pts[:, 2]
+        r = np.sqrt(x * x + y * y + z * z)
+        r_safe = np.maximum(r, 1e-12)
+
+        # Differential rotation about z, fastest at the core but decaying
+        # slowly enough that outer field lines still wind around the
+        # domain many times before anything else moves them.
+        omega = self.omega0 / (1.0 + (r / (3.0 * self.core_radius)) ** 2)
+        v = np.empty_like(pts)
+        v[:, 0] = -omega * y
+        v[:, 1] = omega * x
+        v[:, 2] = 0.0
+
+        # Radial profile: inward accretion inside the core (attracting
+        # feature), gentle outward expansion between core and shock,
+        # decay outside the shock so curves linger near the front
+        # instead of blowing straight out of the domain.
+        rc, rs = self.core_radius, self.shock_radius
+        inward = -1.2 * (1.0 - r / rc)
+        outward = self.expansion * np.sin(np.pi * (r - rc) / (rs - rc))
+        radial = np.where(r < rc, inward, np.where(
+            r < rs, outward,
+            0.25 * self.expansion * np.exp(-(r - rs) * 6.0)))
+        rad_dir = pts / r_safe[:, None]
+        v += radial[:, None] * rad_dir
+
+        # Braided turbulence inside the shock front only.
+        envelope = self.turbulence * np.exp(-((r - 0.5 * (rc + rs))
+                                              / (0.5 * (rs - rc))) ** 2)
+        if self.turbulence > 0:
+            phases = pts @ self._k.T + self._phase  # (n, m)
+            v += (np.sin(phases) @ self._amp) * envelope[:, None] \
+                / np.sqrt(self._k.shape[0])
+        return v

@@ -1,0 +1,274 @@
+"""Reference fields with known closed-form behaviour.
+
+Used throughout the test suite to validate the integration and transport
+machinery against analytic truth:
+
+* :class:`UniformField` — straight-line streamlines, exact transit times.
+* :class:`RigidRotationField` — circles about the z-axis; radius conserved.
+* :class:`SourceField` / :class:`SinkField` — radial curves; sinks terminate
+  with zero velocity at the origin (critical-point handling).
+* :class:`SaddleField` — exponential divergence along x, contraction in y/z.
+* :class:`ABCFlowField` — the Arnold-Beltrami-Childress flow, a standard
+  chaotic benchmark; exercises adaptive step control.
+* :class:`HillsVortexField` — Hill's spherical vortex; its Stokes stream
+  function is an exact streamline invariant.
+* :class:`LorenzField` — the Lorenz system as a velocity field; chaotic
+  stress test with known fixed points.
+* :class:`DoubleGyreField` — the classic two-gyre recirculation pattern,
+  a stand-in for recirculation zones in the thermal-hydraulics discussion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.fields.base import AnalyticField
+from repro.mesh.bounds import Bounds
+
+
+class UniformField(AnalyticField):
+    """Constant velocity everywhere."""
+
+    name = "uniform"
+
+    def __init__(self, velocity: Sequence[float] = (1.0, 0.0, 0.0),
+                 domain: Optional[Bounds] = None) -> None:
+        super().__init__(domain or Bounds.cube(0.0, 1.0))
+        self.velocity = np.asarray(velocity, dtype=np.float64)
+        if self.velocity.shape != (3,):
+            raise ValueError(f"velocity must be length 3, "
+                             f"got {self.velocity.shape}")
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return np.broadcast_to(self.velocity, (len(pts), 3)).copy()
+
+
+class RigidRotationField(AnalyticField):
+    """Rigid-body rotation about the z-axis: v = omega x r.
+
+    Streamlines are horizontal circles; ``x^2 + y^2`` and ``z`` are exact
+    invariants, which property-based tests exploit.
+    """
+
+    name = "rotation"
+
+    def __init__(self, omega: float = 1.0,
+                 domain: Optional[Bounds] = None) -> None:
+        super().__init__(domain or Bounds.cube(-1.0, 1.0))
+        self.omega = float(omega)
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        out = np.empty_like(pts)
+        out[:, 0] = -self.omega * pts[:, 1]
+        out[:, 1] = self.omega * pts[:, 0]
+        out[:, 2] = 0.0
+        return out
+
+
+class SourceField(AnalyticField):
+    """Radial expansion from the origin: v = k * r."""
+
+    name = "source"
+
+    def __init__(self, strength: float = 1.0,
+                 domain: Optional[Bounds] = None) -> None:
+        super().__init__(domain or Bounds.cube(-1.0, 1.0))
+        self.strength = float(strength)
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return self.strength * pts
+
+
+class SinkField(AnalyticField):
+    """Radial contraction toward the origin: v = -k * r.
+
+    Streamlines converge on the critical point at the origin, where the
+    velocity vanishes — the integrator must terminate with
+    ``ZERO_VELOCITY`` rather than looping forever.
+    """
+
+    name = "sink"
+
+    def __init__(self, strength: float = 1.0,
+                 domain: Optional[Bounds] = None) -> None:
+        super().__init__(domain or Bounds.cube(-1.0, 1.0))
+        self.strength = float(strength)
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return -self.strength * pts
+
+
+class SaddleField(AnalyticField):
+    """Linear saddle: v = (a x, -b y, -b z)."""
+
+    name = "saddle"
+
+    def __init__(self, expand: float = 1.0, contract: float = 1.0,
+                 domain: Optional[Bounds] = None) -> None:
+        super().__init__(domain or Bounds.cube(-1.0, 1.0))
+        self.expand = float(expand)
+        self.contract = float(contract)
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        out = np.empty_like(pts)
+        out[:, 0] = self.expand * pts[:, 0]
+        out[:, 1] = -self.contract * pts[:, 1]
+        out[:, 2] = -self.contract * pts[:, 2]
+        return out
+
+
+class ABCFlowField(AnalyticField):
+    """Arnold-Beltrami-Christenson flow on ``[0, 2*pi]^3``.
+
+    v = (A sin z + C cos y, B sin x + A cos z, C sin y + B cos x).
+    A steady Euler flow with chaotic streamlines for the classic parameter
+    choice A = sqrt(3), B = sqrt(2), C = 1.
+    """
+
+    name = "abc"
+
+    def __init__(self, A: float = np.sqrt(3.0), B: float = np.sqrt(2.0),
+                 C: float = 1.0, domain: Optional[Bounds] = None) -> None:
+        super().__init__(domain or Bounds.cube(0.0, 2.0 * np.pi))
+        self.A, self.B, self.C = float(A), float(B), float(C)
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        x, y, z = pts[:, 0], pts[:, 1], pts[:, 2]
+        out = np.empty_like(pts)
+        out[:, 0] = self.A * np.sin(z) + self.C * np.cos(y)
+        out[:, 1] = self.B * np.sin(x) + self.A * np.cos(z)
+        out[:, 2] = self.C * np.sin(y) + self.B * np.cos(x)
+        return out
+
+
+class HillsVortexField(AnalyticField):
+    """Hill's spherical vortex in a uniform stream: the classic exact
+    axisymmetric solution (a vortex ball of radius ``a`` with stream
+    speed ``U`` along z at infinity).
+
+    Stokes stream functions (s = cylindrical radius, r^2 = s^2 + z^2):
+
+        psi_in(s, z)  = -(3 U / (4 a^2)) s^2 (a^2 - s^2 - z^2),  r < a
+        psi_out(s, z) =  (U / 2) s^2 (1 - a^3 / r^3),            r >= a
+
+    Both vanish on r = a and the velocities match there.  ``psi`` is
+    exactly conserved along streamlines — a nontrivial analytic
+    invariant the integrator tests exploit.
+    """
+
+    name = "hills-vortex"
+
+    def __init__(self, radius: float = 0.6, stream_speed: float = 1.0,
+                 domain: Optional[Bounds] = None) -> None:
+        super().__init__(domain or Bounds.cube(-1.0, 1.0))
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        self.radius = float(radius)
+        self.stream_speed = float(stream_speed)
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        x, y, z = pts[:, 0], pts[:, 1], pts[:, 2]
+        a, U = self.radius, self.stream_speed
+        s2 = x * x + y * y
+        r2 = s2 + z * z
+        r = np.sqrt(np.maximum(r2, 1e-30))
+        inside = r2 < a * a
+
+        # u = u_s * e_s + u_z * e_z with u_s = -(1/s) dpsi/dz and
+        # u_z = (1/s) dpsi/ds; below `cs` is u_s / s (finite on axis).
+        c = 1.5 * U / (a * a)
+        cs_in = -c * z
+        uz_in = -c * (a * a - 2.0 * s2 - z * z)
+
+        r3 = np.maximum(r2 * r, 1e-30)
+        r5 = np.maximum(r2 * r2 * r, 1e-30)
+        cs_out = -1.5 * U * a ** 3 * z / r5
+        uz_out = U - U * a ** 3 / r3 + 1.5 * U * a ** 3 * s2 / r5
+
+        cs = np.where(inside, cs_in, cs_out)
+        uz = np.where(inside, uz_in, uz_out)
+        out = np.empty_like(pts)
+        out[:, 0] = cs * x
+        out[:, 1] = cs * y
+        out[:, 2] = uz
+        return out
+
+    def stream_function(self, points: np.ndarray) -> np.ndarray:
+        """Stokes stream function psi (exact streamline invariant)."""
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        s2 = pts[:, 0] ** 2 + pts[:, 1] ** 2
+        z = pts[:, 2]
+        r2 = s2 + z * z
+        a, U = self.radius, self.stream_speed
+        psi_in = -(0.75 * U / (a * a)) * s2 * (a * a - s2 - z * z)
+        r3 = np.maximum(r2 * np.sqrt(np.maximum(r2, 1e-30)), 1e-30)
+        psi_out = 0.5 * U * s2 * (1.0 - a ** 3 / r3)
+        return np.where(r2 < a * a, psi_in, psi_out)
+
+
+class LorenzField(AnalyticField):
+    """The Lorenz system read as a velocity field on a box.
+
+    v = (sigma (y - x), x (rho - z) - y, x y - beta z), scaled into the
+    domain.  A standard chaotic stress test for adaptive step control:
+    trajectories are extremely sensitive but remain on the attractor.
+    """
+
+    name = "lorenz"
+
+    def __init__(self, sigma: float = 10.0, rho: float = 28.0,
+                 beta: float = 8.0 / 3.0, scale: float = 25.0,
+                 domain: Optional[Bounds] = None) -> None:
+        super().__init__(domain or Bounds((-1.0, -1.0, 0.0),
+                                          (1.0, 1.0, 2.0)))
+        self.sigma, self.rho, self.beta = float(sigma), float(rho), \
+            float(beta)
+        self.scale = float(scale)
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        # Map the box to Lorenz coordinates.
+        X = pts[:, 0] * self.scale
+        Y = pts[:, 1] * self.scale
+        Z = pts[:, 2] * self.scale
+        out = np.empty_like(pts)
+        out[:, 0] = self.sigma * (Y - X)
+        out[:, 1] = X * (self.rho - Z) - Y
+        out[:, 2] = X * Y - self.beta * Z
+        return out / self.scale
+
+
+class DoubleGyreField(AnalyticField):
+    """Steady double-gyre on ``[0,2]x[0,1]``, extruded along z.
+
+    Two counter-rotating recirculation cells; the stream function is
+    ``psi = A sin(pi x / 2) sin(pi y)`` restricted to the steady case of
+    the classic Shadden et al. benchmark.
+    """
+
+    name = "double-gyre"
+
+    def __init__(self, amplitude: float = 0.25,
+                 domain: Optional[Bounds] = None) -> None:
+        super().__init__(domain or Bounds((0.0, 0.0, 0.0), (2.0, 1.0, 1.0)))
+        self.amplitude = float(amplitude)
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        x, y = pts[:, 0], pts[:, 1]
+        A = self.amplitude
+        out = np.empty_like(pts)
+        out[:, 0] = -np.pi * A * np.sin(np.pi * x / 2.0) * np.cos(np.pi * y)
+        out[:, 1] = (np.pi / 2.0) * A * np.cos(np.pi * x / 2.0) \
+            * np.sin(np.pi * y)
+        out[:, 2] = 0.0
+        return out

@@ -1,0 +1,133 @@
+"""Synthetic thermal-hydraulics flow (Nek5000 stand-in).
+
+The paper's third dataset: "twin inlets pump water into a box ... eventually
+the water exits through an outlet" in the upper corner, with long-lived
+recirculation zones and strong turbulence in the immediate vicinity of the
+inlets (Figures 3-4).
+
+The stand-in superposes:
+
+* two **inlet jets** on the x=0 wall — Gaussian-profile velocity in +x,
+  decaying with distance into the box;
+* an **outlet sink** near the (1, 1, 1) corner drawing flow out;
+* two large counter-rotating **recirculation rolls** that mix the box;
+* strong, small-scale **inlet turbulence** localized around the inlet
+  mouths (seeded deterministic modes), so that curves seeded densely at an
+  inlet churn locally — reproducing the §5.3 dense case where "very little
+  data needs to be read off disk" while compute dominates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fields.base import AnalyticField
+from repro.mesh.bounds import Bounds
+
+
+class ThermalHydraulicsField(AnalyticField):
+    """Twin-inlet mixing-box flow on ``[0, 1]^3``.
+
+    Parameters
+    ----------
+    inlet_centers:
+        Centres of the two inlets on the x=0 wall (y, z coordinates).
+    inlet_radius:
+        Gaussian radius of each inlet jet.
+    jet_speed:
+        Peak inlet velocity.
+    outlet_center:
+        Location of the outlet on/near the upper-right region.
+    recirculation:
+        Amplitude of the large mixing rolls.
+    inlet_turbulence:
+        Amplitude of the near-inlet turbulent perturbation.
+    seed:
+        RNG seed for the turbulence modes.
+    """
+
+    name = "thermal"
+
+    def __init__(self,
+                 inlet_centers: Sequence[Tuple[float, float]] = (
+                     (0.30, 0.25), (0.70, 0.25)),
+                 inlet_radius: float = 0.07,
+                 jet_speed: float = 2.5,
+                 outlet_center: Tuple[float, float, float] = (1.0, 0.9, 0.9),
+                 recirculation: float = 0.9,
+                 inlet_turbulence: float = 2.0,
+                 seed: int = 11,
+                 domain: Optional[Bounds] = None) -> None:
+        super().__init__(domain or Bounds.cube(0.0, 1.0))
+        self.inlet_centers = tuple((float(a), float(b))
+                                   for a, b in inlet_centers)
+        if not self.inlet_centers:
+            raise ValueError("need at least one inlet")
+        self.inlet_radius = float(inlet_radius)
+        self.jet_speed = float(jet_speed)
+        self.outlet_center = tuple(float(c) for c in outlet_center)
+        self.recirculation = float(recirculation)
+        self.inlet_turbulence = float(inlet_turbulence)
+        rng = np.random.default_rng(seed)
+        n_modes = 10
+        kdir = rng.normal(size=(n_modes, 3))
+        kdir /= np.linalg.norm(kdir, axis=1, keepdims=True)
+        self._k = kdir * rng.uniform(15.0, 40.0, size=(n_modes, 1))
+        self._phase = rng.uniform(0.0, 2.0 * np.pi, size=n_modes)
+        raw = rng.normal(size=(n_modes, 3))
+        amp = raw - np.sum(raw * kdir, axis=1, keepdims=True) * kdir
+        amp /= np.linalg.norm(amp, axis=1, keepdims=True)
+        self._amp = amp
+
+    def inlet_positions(self) -> np.ndarray:
+        """3D positions of the inlet mouths (on the x=0 wall)."""
+        return np.array([(0.0, y, z) for y, z in self.inlet_centers])
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        x, y, z = pts[:, 0], pts[:, 1], pts[:, 2]
+        v = np.zeros_like(pts)
+
+        # Inlet jets: +x flow with Gaussian cross-section, decaying with
+        # distance into the box and spreading slightly.
+        for (cy, cz) in self.inlet_centers:
+            spread = self.inlet_radius * (1.0 + 2.0 * x)
+            r2 = ((y - cy) ** 2 + (z - cz) ** 2) / (spread ** 2)
+            profile = self.jet_speed * np.exp(-r2) * np.exp(-3.0 * x)
+            v[:, 0] += profile
+
+        # Outlet sink: inverse-square pull toward the outlet, capped.
+        ox, oy, oz = self.outlet_center
+        dx, dy, dz = ox - x, oy - y, oz - z
+        d2 = dx * dx + dy * dy + dz * dz + 0.02
+        pull = 0.12 / d2
+        v[:, 0] += pull * dx
+        v[:, 1] += pull * dy
+        v[:, 2] += pull * dz
+
+        # Two large recirculation rolls (about axes parallel to y), one per
+        # half of the box, counter-rotating: streamfunction-like vortices
+        # in the (x, z) plane modulated in y.
+        A = self.recirculation
+        v[:, 0] += A * np.sin(np.pi * x) * np.cos(np.pi * z) \
+            * np.cos(np.pi * (y - 0.5))
+        v[:, 2] += -A * np.cos(np.pi * x) * np.sin(np.pi * z) \
+            * np.cos(np.pi * (y - 0.5))
+
+        # Near-inlet turbulence: strong solenoidal modes enveloped around
+        # each inlet mouth.
+        if self.inlet_turbulence > 0:
+            envelope = np.zeros_like(x)
+            for (cy, cz) in self.inlet_centers:
+                d2i = x * x + (y - cy) ** 2 + (z - cz) ** 2
+                envelope += np.exp(-d2i / (2.0 * self.inlet_radius) ** 2)
+            # Damp the wall-normal component near the x=0 wall so
+            # turbulent kicks recirculate instead of ejecting particles
+            # straight through the inlet wall.
+            phases = pts @ self._k.T + self._phase
+            turb = (np.sin(phases) @ self._amp) / np.sqrt(len(self._phase))
+            turb[:, 0] *= np.minimum(1.0, x / 0.08)
+            v += self.inlet_turbulence * envelope[:, None] * turb
+        return v

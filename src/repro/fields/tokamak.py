@@ -1,0 +1,136 @@
+"""Synthetic tokamak magnetic field (NIMROD stand-in).
+
+The paper's fusion dataset has the property §5.2 hinges on: "regardless of
+seed placement, the streamlines tend to fill the interior of the torus
+fairly uniformly" — field lines are approximately closed, winding around the
+torus repeatedly, with a chaotic layer near the edge.
+
+The stand-in is the standard screw-pinch-like model field:
+
+* **toroidal** component ``B_phi ~ B0 * R0 / R`` along the torus
+  centreline (the 1/R fall-off of a toroidal field coil);
+* **poloidal** component winding around the magnetic axis with a radially
+  increasing safety-factor profile ``q(rho) = q0 + q1 * (rho/a)^2`` —
+  differential winding makes field lines ergodically cover nested toroidal
+  surfaces, so every streamline keeps traversing the whole torus;
+* a small **resonant perturbation** near the edge produces the chaotic
+  field lines the paper mentions.
+
+Field lines started anywhere inside the torus orbit it indefinitely
+(terminating only on the step budget), which is exactly the uniform-fill
+transport behaviour that makes Static Allocation competitive on this
+dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.fields.base import AnalyticField
+from repro.mesh.bounds import Bounds
+
+
+class TokamakField(AnalyticField):
+    """Toroidal fusion-device field on ``[-1, 1]^3``.
+
+    Parameters
+    ----------
+    major_radius:
+        Distance from the z-axis to the magnetic axis (R0).
+    minor_radius:
+        Plasma radius ``a`` around the magnetic axis.
+    b0:
+        Toroidal field strength at the magnetic axis.
+    q0, q1:
+        Safety-factor profile ``q(rho) = q0 + q1 (rho/a)^2``; larger q means
+        fewer poloidal turns per toroidal turn.
+    edge_chaos:
+        Amplitude of the edge perturbation (0 disables).
+    """
+
+    name = "tokamak"
+
+    def __init__(self, major_radius: float = 0.6, minor_radius: float = 0.32,
+                 b0: float = 1.0, q0: float = 1.2, q1: float = 1.6,
+                 edge_chaos: float = 0.08,
+                 domain: Optional[Bounds] = None) -> None:
+        super().__init__(domain or Bounds.cube(-1.0, 1.0))
+        if not (0 < minor_radius < major_radius):
+            raise ValueError("need 0 < minor_radius < major_radius")
+        self.major_radius = float(major_radius)
+        self.minor_radius = float(minor_radius)
+        self.b0 = float(b0)
+        self.q0 = float(q0)
+        self.q1 = float(q1)
+        self.edge_chaos = float(edge_chaos)
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        x, y, z = pts[:, 0], pts[:, 1], pts[:, 2]
+        R0, a = self.major_radius, self.minor_radius
+
+        R = np.sqrt(x * x + y * y)
+        R_safe = np.maximum(R, 0.05 * R0)
+        # Toroidal angle unit vector e_phi = (-y, x, 0)/R.
+        ephi_x = -y / R_safe
+        ephi_y = x / R_safe
+
+        # Minor-radius coordinates around the magnetic axis.
+        dr = R - R0          # radial (in the poloidal plane)
+        rho = np.sqrt(dr * dr + z * z)
+        rho_safe = np.maximum(rho, 1e-12)
+
+        # Toroidal field with 1/R fall-off, regularized near the machine
+        # axis (R -> 0): the real coil field diverges there but the axis
+        # is outside the plasma; tapering to zero gives integrators a
+        # clean critical line instead of a singularity.
+        Rc = 0.12 * R0
+        Bphi = self.b0 * R0 * R / (R * R + Rc * Rc)
+
+        # Poloidal winding: angular speed around the magnetic axis chosen
+        # so a field line makes one poloidal turn per q toroidal turns.
+        q = self.q0 + self.q1 * (rho_safe / a) ** 2
+        omega_pol = Bphi / (q * np.maximum(R_safe, 0.3 * R0)) \
+            * (R0 / np.maximum(R_safe, 0.3 * R0))
+        # Poloidal unit vector in the (dr, z) plane: (-z, dr)/rho.
+        Bpol_r = -z / rho_safe * omega_pol * rho_safe
+        Bpol_z = dr / rho_safe * omega_pol * rho_safe
+
+        # Confine: decay smoothly outside the plasma edge so exterior
+        # field lines drift gently instead of stopping dead.
+        envelope = 1.0 / (1.0 + np.exp((rho - 1.15 * a) / (0.08 * a)))
+        envelope = 0.05 + 0.95 * envelope
+
+        # Edge chaos: a resonant (m=3, n=2)-like perturbation peaking at
+        # the edge, breaking the outermost flux surfaces.
+        if self.edge_chaos > 0:
+            theta = np.arctan2(z, dr)
+            phi = np.arctan2(y, x)
+            pert = self.edge_chaos * np.exp(
+                -((rho - 0.9 * a) / (0.15 * a)) ** 2)
+            chaos = pert * np.sin(3.0 * theta - 2.0 * phi)
+            Bpol_r = Bpol_r + chaos * (-z / rho_safe)
+            Bpol_z = Bpol_z + chaos * (dr / rho_safe)
+
+        # Assemble in Cartesian components.  The poloidal radial part acts
+        # along the cylindrical-radial direction (x, y)/R.
+        er_x = x / R_safe
+        er_y = y / R_safe
+        out = np.empty_like(pts)
+        out[:, 0] = (Bphi * ephi_x + Bpol_r * er_x) * envelope
+        out[:, 1] = (Bphi * ephi_y + Bpol_r * er_y) * envelope
+        out[:, 2] = Bpol_z * envelope
+        return out
+
+    def flux_radius(self, points: np.ndarray) -> np.ndarray:
+        """Minor-radius coordinate rho of each point (test invariant).
+
+        For the unperturbed field (``edge_chaos = 0``), rho is approximately
+        conserved along streamlines away from the axis.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        R = np.sqrt(pts[:, 0] ** 2 + pts[:, 1] ** 2)
+        dr = R - self.major_radius
+        return np.sqrt(dr * dr + pts[:, 2] ** 2)

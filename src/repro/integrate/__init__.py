@@ -1,0 +1,37 @@
+"""Numerical streamline integration.
+
+Implements the integration scheme the paper uses — "an integration scheme of
+Runge-Kutta type with adaptive stepsize control as proposed by Dormand and
+Prince" — as a *batched* integrator: all particles resident in one block on
+one rank advance together through vectorized stage evaluations, which is the
+NumPy-idiomatic equivalent of the tight C++ inner loop in VisIt.
+
+Public surface
+--------------
+``Streamline``        one integral curve: state, status, geometry
+``Status``            termination reasons
+``IntegratorConfig``  tolerances, step bounds, termination thresholds
+``Dopri5``            adaptive Dormand-Prince RK5(4)
+``RK4``, ``Euler``    fixed-step baselines
+``advance_batch``     advance a batch of streamlines within one block
+``integrate_single``  convenience serial integration across blocks
+"""
+
+from repro.integrate.streamline import Status, Streamline
+from repro.integrate.config import IntegratorConfig
+from repro.integrate.dopri5 import Dopri5
+from repro.integrate.fixed import Euler, RK4
+from repro.integrate.advect import AdvectionResult, advance_batch
+from repro.integrate.single import integrate_single
+
+__all__ = [
+    "AdvectionResult",
+    "Dopri5",
+    "Euler",
+    "IntegratorConfig",
+    "RK4",
+    "Status",
+    "Streamline",
+    "advance_batch",
+    "integrate_single",
+]

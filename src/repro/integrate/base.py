@@ -1,0 +1,72 @@
+"""Batched integrator interface.
+
+Integrators advance a *batch* of particles through one trial step each.
+The velocity function ``f`` maps positions ``(k, 3)`` to velocities
+``(k, 3)`` (a block's trilinear sampler, or an analytic field in tests).
+
+``attempt_steps`` is a pure function of (positions, step sizes): it returns
+candidate new positions and a normalized error estimate per particle.  The
+caller (the advection kernel) decides acceptance and step-size adaptation,
+so fixed-step and adaptive integrators share one code path.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.integrate.config import IntegratorConfig
+
+VelocityFn = Callable[[np.ndarray], np.ndarray]
+
+
+class Integrator(abc.ABC):
+    """Advances batches of particles by one trial step."""
+
+    #: Human-readable name used in configs and reports.
+    name: str = "integrator"
+    #: Velocity evaluations per trial step (for cost models and tests).
+    stage_evals: int = 1
+    #: Whether the error estimate is meaningful (adaptive control).
+    adaptive: bool = False
+
+    @abc.abstractmethod
+    def attempt_steps(self, f: VelocityFn, pos: np.ndarray,
+                      h: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Trial-step every particle.
+
+        Parameters
+        ----------
+        f:
+            Velocity function ``(k, 3) -> (k, 3)``.
+        pos:
+            Current positions, ``(k, 3)``.
+        h:
+            Step sizes, ``(k,)``.
+
+        Returns
+        -------
+        (new_pos, err):
+            Candidate positions ``(k, 3)`` and normalized error ``(k,)``
+            (``err <= 1`` means acceptable; fixed-step integrators return
+            zeros).
+        """
+
+    @staticmethod
+    def adapt_h(h: np.ndarray, err: np.ndarray, order: int,
+                cfg: IntegratorConfig) -> np.ndarray:
+        """Standard controller: ``h * clip(safety * err^(-1/order), ...)``.
+
+        ``err == 0`` (exact or fixed-step) grows by ``grow_limit``,
+        saturating at ``h_max``.
+        """
+        # err is clamped away from 0 so the negative power stays finite
+        # (the huge result is immediately clipped to grow_limit).
+        factor = cfg.safety * np.power(
+            np.maximum(err, 1e-100), -1.0 / order)
+        np.clip(factor, cfg.shrink_limit, cfg.grow_limit, out=factor)
+        out = h * factor
+        np.clip(out, cfg.h_min, cfg.h_max, out=out)
+        return out

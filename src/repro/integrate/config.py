@@ -1,0 +1,65 @@
+"""Integrator configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class IntegratorConfig:
+    """Tolerances and guards for streamline integration.
+
+    Attributes
+    ----------
+    rtol, atol:
+        Relative/absolute tolerance of the embedded error estimate.
+    h_init:
+        Initial step size (integration-parameter units).
+    h_min:
+        Steps below this terminate the curve with ``STEP_UNDERFLOW``
+        (stiff spot or numerical pathology) rather than looping forever.
+    h_max:
+        Step-size ceiling; also prevents a particle from leaping across
+        multiple blocks in one step.
+    min_speed:
+        Speeds below this terminate with ``ZERO_VELOCITY`` (critical
+        point / stagnation), as customary for streamline tracers.
+    max_steps:
+        Accepted-step budget per streamline; termination reason
+        ``MAX_STEPS``.  The paper's tokamak curves, which orbit forever,
+        end this way.
+    safety, shrink_limit, grow_limit:
+        Standard step-controller parameters: ``h_new = h * clip(safety *
+        err^(-1/5), shrink_limit, grow_limit)``.
+    """
+
+    rtol: float = 1e-6
+    atol: float = 1e-8
+    h_init: float = 1e-2
+    h_min: float = 1e-10
+    h_max: float = 0.25
+    min_speed: float = 1e-6
+    max_steps: int = 1000
+    safety: float = 0.9
+    shrink_limit: float = 0.2
+    grow_limit: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.rtol <= 0 or self.atol <= 0:
+            raise ValueError("tolerances must be positive")
+        if not (0 < self.h_min <= self.h_init <= self.h_max):
+            raise ValueError(
+                f"need 0 < h_min <= h_init <= h_max, got "
+                f"{self.h_min}, {self.h_init}, {self.h_max}")
+        if self.min_speed < 0:
+            raise ValueError("min_speed must be non-negative")
+        if self.max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+        if not (0 < self.shrink_limit < 1 < self.grow_limit):
+            raise ValueError("need shrink_limit < 1 < grow_limit")
+        if not (0 < self.safety <= 1):
+            raise ValueError("safety must be in (0, 1]")
+
+    def with_max_steps(self, max_steps: int) -> "IntegratorConfig":
+        """Copy of this config with a different step budget."""
+        return replace(self, max_steps=max_steps)

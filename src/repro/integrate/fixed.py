@@ -1,0 +1,71 @@
+"""Fixed-step baseline integrators.
+
+Classical RK4 and forward Euler with the same batched interface as
+:class:`~repro.integrate.dopri5.Dopri5`.  They report zero error, so the
+shared step controller grows their step to ``h_max`` and every step is
+accepted — i.e. they behave as fixed-step schemes at ``h = min(h_init
+grown to h_max)``.  Used by the integrator-choice ablation benchmark and as
+cross-checks in the accuracy tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.integrate.base import Integrator, VelocityFn
+
+
+class RK4(Integrator):
+    """Classical fourth-order Runge-Kutta, fixed step."""
+
+    name = "rk4"
+    stage_evals = 4
+    adaptive = False
+    order = 4
+
+    def attempt_steps(self, f: VelocityFn, pos: np.ndarray,
+                      h: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Trial-step the batch; see :meth:`Integrator.attempt_steps`."""
+        pos = np.asarray(pos, dtype=np.float64)
+        h = np.asarray(h, dtype=np.float64)
+        hcol = h[:, None]
+        k1 = f(pos)
+        k2 = f(pos + 0.5 * hcol * k1)
+        k3 = f(pos + 0.5 * hcol * k2)
+        k4 = f(pos + hcol * k3)
+        new_pos = pos + (hcol / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        return new_pos, np.zeros(len(pos), dtype=np.float64)
+
+
+class Euler(Integrator):
+    """Forward Euler, fixed step.  The cheapest, least accurate baseline."""
+
+    name = "euler"
+    stage_evals = 1
+    adaptive = False
+    order = 1
+
+    def attempt_steps(self, f: VelocityFn, pos: np.ndarray,
+                      h: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Trial-step the batch; see :meth:`Integrator.attempt_steps`."""
+        pos = np.asarray(pos, dtype=np.float64)
+        h = np.asarray(h, dtype=np.float64)
+        new_pos = pos + h[:, None] * f(pos)
+        return new_pos, np.zeros(len(pos), dtype=np.float64)
+
+
+def make_integrator(name: str, rtol: float = 1e-6,
+                    atol: float = 1e-8) -> Integrator:
+    """Integrator factory by name ("dopri5", "rk4", "euler")."""
+    from repro.integrate.dopri5 import Dopri5
+
+    if name == "dopri5":
+        return Dopri5(rtol=rtol, atol=atol)
+    if name == "rk4":
+        return RK4()
+    if name == "euler":
+        return Euler()
+    raise ValueError(f"unknown integrator {name!r}; "
+                     "expected dopri5, rk4, or euler")

@@ -1,0 +1,170 @@
+"""Streamline state and termination bookkeeping.
+
+A :class:`Streamline` is one integral curve being advected through the
+block-decomposed domain.  It carries the integrator state (position, step
+size, integration time, step count), its geometry (the polyline traced so
+far, stored as per-advance segments), and its lifecycle :class:`Status`.
+
+Streamlines are the unit of communication in Static Allocation and the
+Hybrid algorithm; :meth:`Streamline.comm_nbytes` models the wire size of
+sending one (solver state + accumulated geometry), which is what makes
+geometry-heavy communication expensive (paper §8).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+#: Modelled bytes per geometry vertex on the wire and in memory
+#: (3 float64 coordinates; attribute payloads like time/speed are folded
+#: into the per-streamline overhead).
+VERTEX_NBYTES = 24
+
+#: Modelled fixed per-streamline memory overhead at full scale.  A VisIt-era
+#: integral-curve object buffers seed metadata, solver scratch, and
+#: attribute arrays; 512 KiB per curve at paper scale is what makes 22k
+#: curves concentrated on one rank exceed a ~1-2 GiB budget (paper §5.3).
+STREAMLINE_OVERHEAD_NBYTES = 512 * 1024
+
+#: Modelled wire size of the non-geometry part of a streamline message.
+STREAMLINE_HEADER_NBYTES = 256
+
+
+class Status(enum.Enum):
+    """Lifecycle of a streamline."""
+
+    ACTIVE = "active"                # still integrating
+    OUT_OF_BOUNDS = "out_of_bounds"  # left the global domain
+    MAX_STEPS = "max_steps"          # exhausted its step budget
+    ZERO_VELOCITY = "zero_velocity"  # reached a critical point
+    STEP_UNDERFLOW = "step_underflow"  # adaptive h collapsed below h_min
+
+    @property
+    def terminated(self) -> bool:
+        return self is not Status.ACTIVE
+
+
+@dataclass
+class Streamline:
+    """One integral curve.
+
+    Attributes
+    ----------
+    sid:
+        Globally unique streamline id.
+    seed:
+        Seed point (shape ``(3,)``).
+    position:
+        Current head of the curve.
+    h:
+        Current adaptive step size (integration-parameter units).
+    time:
+        Accumulated integration parameter t.
+    steps:
+        Accepted steps so far.
+    status:
+        Lifecycle state.
+    block_id:
+        Block currently containing :attr:`position` (``-1`` if outside).
+    segments:
+        Geometry: list of ``(m_i, 3)`` vertex arrays, one per advance call,
+        in order.  The seed is the first vertex of the first segment.
+    """
+
+    sid: int
+    seed: np.ndarray
+    position: np.ndarray = field(default=None)  # type: ignore[assignment]
+    h: float = 0.0
+    time: float = 0.0
+    steps: int = 0
+    status: Status = Status.ACTIVE
+    block_id: int = -1
+    segments: List[np.ndarray] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.seed = np.asarray(self.seed, dtype=np.float64).reshape(3)
+        if self.position is None:
+            self.position = self.seed.copy()
+        else:
+            self.position = np.asarray(self.position,
+                                       dtype=np.float64).reshape(3)
+
+    # ------------------------------------------------------------------ #
+    # Geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def n_vertices(self) -> int:
+        return sum(len(s) for s in self.segments)
+
+    def vertices(self) -> np.ndarray:
+        """Full polyline as one ``(n, 3)`` array (copy)."""
+        if not self.segments:
+            return self.seed.reshape(1, 3).copy()
+        return np.concatenate(self.segments, axis=0)
+
+    def arc_length(self) -> float:
+        """Total length of the polyline."""
+        verts = self.vertices()
+        if len(verts) < 2:
+            return 0.0
+        return float(np.sum(np.linalg.norm(np.diff(verts, axis=0), axis=1)))
+
+    def append_segment(self, vertices: np.ndarray) -> None:
+        """Attach the vertices produced by one advance call."""
+        arr = np.asarray(vertices, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != 3:
+            raise ValueError(f"segment must be (m, 3), got {arr.shape}")
+        if len(arr):
+            self.segments.append(arr)
+
+    # ------------------------------------------------------------------ #
+    # Modelled sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def geometry_nbytes(self) -> int:
+        """Modelled bytes of the accumulated geometry."""
+        return self.n_vertices * VERTEX_NBYTES
+
+    @property
+    def memory_nbytes(self) -> int:
+        """Modelled resident memory of this curve on a rank."""
+        return STREAMLINE_OVERHEAD_NBYTES + self.geometry_nbytes
+
+    def comm_nbytes(self, compact: bool = False) -> int:
+        """Modelled wire size of communicating this streamline.
+
+        ``compact=True`` models the paper's §8 proposal of sending only
+        solver state plus derived quantities instead of full geometry.
+        """
+        if compact:
+            return STREAMLINE_HEADER_NBYTES
+        return STREAMLINE_HEADER_NBYTES + self.geometry_nbytes
+
+    def terminate(self, status: Status) -> None:
+        """Mark the curve finished with the given reason."""
+        if status is Status.ACTIVE:
+            raise ValueError("cannot terminate with ACTIVE")
+        if self.status is not Status.ACTIVE:
+            raise RuntimeError(
+                f"streamline {self.sid} already terminated "
+                f"({self.status.value})")
+        self.status = status
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Streamline(sid={self.sid}, status={self.status.value}, "
+                f"steps={self.steps}, block={self.block_id}, "
+                f"vertices={self.n_vertices})")
+
+
+def make_streamlines(seeds: np.ndarray,
+                     start_id: int = 0) -> List[Streamline]:
+    """Create one streamline per seed point (``(k, 3)`` array)."""
+    seeds = np.atleast_2d(np.asarray(seeds, dtype=np.float64))
+    if seeds.shape[1] != 3:
+        raise ValueError(f"seeds must be (k, 3), got {seeds.shape}")
+    return [Streamline(sid=start_id + i, seed=seeds[i])
+            for i in range(len(seeds))]

@@ -1,0 +1,107 @@
+"""Axis-aligned bounding box arithmetic.
+
+All geometry in the library is expressed with :class:`Bounds`: the global
+domain, each block's extent, and seed-placement regions.  Points are numpy
+arrays of shape ``(3,)`` or batches of shape ``(k, 3)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """Closed axis-aligned box ``[lo, hi]`` in 3D.
+
+    ``lo`` and ``hi`` are tuples so instances are hashable and safely
+    shareable across simulated ranks.
+    """
+
+    lo: Tuple[float, float, float]
+    hi: Tuple[float, float, float]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != 3 or len(self.hi) != 3:
+            raise ValueError("Bounds must be 3-dimensional")
+        for axis, (a, b) in enumerate(zip(self.lo, self.hi)):
+            if not (a < b):
+                raise ValueError(
+                    f"degenerate bounds on axis {axis}: [{a}, {b}]")
+
+    @staticmethod
+    def cube(lo: float = 0.0, hi: float = 1.0) -> "Bounds":
+        """The axis-aligned cube ``[lo, hi]^3``."""
+        return Bounds((lo, lo, lo), (hi, hi, hi))
+
+    @staticmethod
+    def from_arrays(lo: Iterable[float], hi: Iterable[float]) -> "Bounds":
+        return Bounds(tuple(float(x) for x in lo),
+                      tuple(float(x) for x in hi))
+
+    @property
+    def lo_array(self) -> np.ndarray:
+        return np.asarray(self.lo, dtype=np.float64)
+
+    @property
+    def hi_array(self) -> np.ndarray:
+        return np.asarray(self.hi, dtype=np.float64)
+
+    @property
+    def size(self) -> np.ndarray:
+        """Edge lengths per axis."""
+        return self.hi_array - self.lo_array
+
+    @property
+    def center(self) -> np.ndarray:
+        return 0.5 * (self.lo_array + self.hi_array)
+
+    @property
+    def volume(self) -> float:
+        return float(np.prod(self.size))
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask: which of ``points`` (shape ``(k,3)`` or ``(3,)``)
+        lie inside the closed box."""
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        inside = np.all((pts >= self.lo_array) & (pts <= self.hi_array),
+                        axis=1)
+        if np.asarray(points).ndim == 1:
+            return inside[0]
+        return inside
+
+    def clamp(self, points: np.ndarray) -> np.ndarray:
+        """Project points onto the box (componentwise clip)."""
+        return np.clip(np.asarray(points, dtype=np.float64),
+                       self.lo_array, self.hi_array)
+
+    def normalized(self, points: np.ndarray) -> np.ndarray:
+        """Map points into box-relative coordinates in ``[0,1]^3``."""
+        pts = np.asarray(points, dtype=np.float64)
+        return (pts - self.lo_array) / self.size
+
+    def denormalized(self, unit_points: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`normalized`."""
+        pts = np.asarray(unit_points, dtype=np.float64)
+        return self.lo_array + pts * self.size
+
+    def expanded(self, margin: float) -> "Bounds":
+        """Box grown by ``margin`` on every face (negative shrinks)."""
+        lo = self.lo_array - margin
+        hi = self.hi_array + margin
+        return Bounds.from_arrays(lo, hi)
+
+    def intersects(self, other: "Bounds") -> bool:
+        """True if the two closed boxes overlap (sharing a face counts)."""
+        return bool(np.all(self.lo_array <= other.hi_array)
+                    and np.all(other.lo_array <= self.hi_array))
+
+    def subbox(self, lo_frac: Iterable[float],
+               hi_frac: Iterable[float]) -> "Bounds":
+        """The box spanning the given fractional corners of this box."""
+        lo = self.denormalized(np.asarray(tuple(lo_frac), dtype=np.float64))
+        hi = self.denormalized(np.asarray(tuple(hi_frac), dtype=np.float64))
+        return Bounds.from_arrays(lo, hi)

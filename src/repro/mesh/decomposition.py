@@ -1,0 +1,176 @@
+"""Regular domain decomposition into blocks.
+
+The paper treats data as "unmodified and pre-partitioned ... as output from a
+simulation": a global regular grid split into ``bx * by * bz`` spatially
+disjoint blocks.  :class:`Decomposition` owns that static partition; it is
+pure metadata (no field data), cheap to share across every simulated rank.
+
+Block ids are linear indices in x-fastest order, matching the usual
+simulation-output convention:  ``bid = i + bx * (j + by * k)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.mesh.bounds import Bounds
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """Static metadata of one block.
+
+    Attributes
+    ----------
+    block_id:
+        Linear id within the decomposition.
+    ijk:
+        Integer block coordinates ``(i, j, k)``.
+    bounds:
+        Spatial extent of the block.
+    node_dims:
+        Number of sample *nodes* per axis of the block's data array
+        (``cells + 1``; neighbouring blocks share boundary nodes, which
+        keeps trilinear interpolation continuous across block faces
+        without ghost data).
+    """
+
+    block_id: int
+    ijk: Tuple[int, int, int]
+    bounds: Bounds
+    node_dims: Tuple[int, int, int]
+
+    @property
+    def cell_dims(self) -> Tuple[int, int, int]:
+        return tuple(n - 1 for n in self.node_dims)
+
+    @property
+    def n_cells(self) -> int:
+        return int(np.prod(self.cell_dims))
+
+    @property
+    def n_nodes(self) -> int:
+        return int(np.prod(self.node_dims))
+
+    def node_coordinates(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-axis node coordinate vectors (inclusive of both faces)."""
+        lo, hi = self.bounds.lo_array, self.bounds.hi_array
+        return tuple(np.linspace(lo[a], hi[a], self.node_dims[a])
+                     for a in range(3))
+
+
+class Decomposition:
+    """Regular split of ``domain`` into ``blocks_per_axis`` blocks.
+
+    Parameters
+    ----------
+    domain:
+        Global bounds of the dataset.
+    blocks_per_axis:
+        ``(bx, by, bz)`` block counts.
+    cells_per_block:
+        ``(cx, cy, cz)`` cells in each block (all blocks equal-sized).
+    """
+
+    def __init__(self, domain: Bounds,
+                 blocks_per_axis: Sequence[int],
+                 cells_per_block: Sequence[int]) -> None:
+        bx, by, bz = (int(b) for b in blocks_per_axis)
+        cx, cy, cz = (int(c) for c in cells_per_block)
+        if min(bx, by, bz) < 1:
+            raise ValueError(f"blocks_per_axis must be >= 1, "
+                             f"got {(bx, by, bz)}")
+        if min(cx, cy, cz) < 1:
+            raise ValueError(f"cells_per_block must be >= 1, "
+                             f"got {(cx, cy, cz)}")
+        self.domain = domain
+        self.blocks_per_axis: Tuple[int, int, int] = (bx, by, bz)
+        self.cells_per_block: Tuple[int, int, int] = (cx, cy, cz)
+        self.n_blocks = bx * by * bz
+        self._block_size = domain.size / np.array([bx, by, bz], dtype=float)
+        self._infos: List[BlockInfo] = [None] * self.n_blocks  # type: ignore
+        node_dims = (cx + 1, cy + 1, cz + 1)
+        lo = domain.lo_array
+        for k in range(bz):
+            for j in range(by):
+                for i in range(bx):
+                    bid = self.linear_id(i, j, k)
+                    blo = lo + self._block_size * np.array([i, j, k])
+                    bhi = blo + self._block_size
+                    self._infos[bid] = BlockInfo(
+                        block_id=bid, ijk=(i, j, k),
+                        bounds=Bounds.from_arrays(blo, bhi),
+                        node_dims=node_dims)
+
+    def __len__(self) -> int:
+        return self.n_blocks
+
+    def __iter__(self) -> Iterator[BlockInfo]:
+        return iter(self._infos)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Decomposition({self.blocks_per_axis} blocks of "
+                f"{self.cells_per_block} cells over {self.domain})")
+
+    def linear_id(self, i: int, j: int, k: int) -> int:
+        """Linear block id from integer block coordinates."""
+        bx, by, bz = self.blocks_per_axis
+        if not (0 <= i < bx and 0 <= j < by and 0 <= k < bz):
+            raise IndexError(f"block coords {(i, j, k)} out of range "
+                             f"{self.blocks_per_axis}")
+        return i + bx * (j + by * k)
+
+    def block_coords(self, block_id: int) -> Tuple[int, int, int]:
+        """Inverse of :meth:`linear_id`."""
+        bx, by, _ = self.blocks_per_axis
+        if not 0 <= block_id < self.n_blocks:
+            raise IndexError(f"block id {block_id} out of range "
+                             f"[0, {self.n_blocks})")
+        i = block_id % bx
+        j = (block_id // bx) % by
+        k = block_id // (bx * by)
+        return (i, j, k)
+
+    def info(self, block_id: int) -> BlockInfo:
+        """Metadata of one block."""
+        if not 0 <= block_id < self.n_blocks:
+            raise IndexError(f"block id {block_id} out of range "
+                             f"[0, {self.n_blocks})")
+        return self._infos[block_id]
+
+    @property
+    def infos(self) -> Tuple[BlockInfo, ...]:
+        return tuple(self._infos)
+
+    @property
+    def global_cell_dims(self) -> Tuple[int, int, int]:
+        """Total cells per axis across the whole domain."""
+        return tuple(b * c for b, c in
+                     zip(self.blocks_per_axis, self.cells_per_block))
+
+    def locate(self, points: np.ndarray) -> np.ndarray:
+        """Block id containing each point; ``-1`` for points outside.
+
+        Points exactly on an interior block face belong to the
+        higher-indexed block except on the domain's upper faces, where they
+        are clamped into the last block (so the closed domain is fully
+        covered).
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        rel = (pts - self.domain.lo_array) / self._block_size
+        ijk = np.floor(rel).astype(np.int64)
+        counts = np.array(self.blocks_per_axis, dtype=np.int64)
+        inside = self.domain.contains(pts)
+        inside = np.atleast_1d(inside)
+        # Points on the top faces: clamp into the last block layer.
+        ijk = np.minimum(ijk, counts - 1)
+        ijk = np.maximum(ijk, 0)
+        bx, by, _ = self.blocks_per_axis
+        bids = ijk[:, 0] + bx * (ijk[:, 1] + by * ijk[:, 2])
+        bids = np.where(inside, bids, -1)
+        if np.asarray(points).ndim == 1:
+            return bids[0]
+        return bids

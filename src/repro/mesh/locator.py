@@ -1,0 +1,63 @@
+"""Point -> block lookup.
+
+A thin, cached wrapper over :meth:`Decomposition.locate` with helpers the
+algorithms use constantly: grouping particle batches by destination block
+and finding the block a particle enters when it exits its current one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.mesh.decomposition import Decomposition
+
+
+class BlockLocator:
+    """O(1) block lookup for a regular decomposition."""
+
+    def __init__(self, decomposition: Decomposition) -> None:
+        self.decomposition = decomposition
+
+    def locate(self, points: np.ndarray) -> np.ndarray:
+        """Block id per point (``-1`` outside the domain)."""
+        return self.decomposition.locate(points)
+
+    def group_by_block(self, points: np.ndarray,
+                       ids: np.ndarray) -> Dict[int, np.ndarray]:
+        """Partition particle indices by containing block.
+
+        Parameters
+        ----------
+        points:
+            ``(k, 3)`` positions.
+        ids:
+            ``(k,)`` caller-side identifiers to group (e.g. streamline ids).
+
+        Returns
+        -------
+        Mapping ``block_id -> array of ids`` for in-domain points; points
+        outside the domain are grouped under key ``-1``.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        idarr = np.asarray(ids)
+        if len(idarr) != len(pts):
+            raise ValueError(f"{len(idarr)} ids for {len(pts)} points")
+        bids = self.decomposition.locate(pts)
+        out: Dict[int, np.ndarray] = {}
+        order = np.argsort(bids, kind="stable")
+        sorted_bids = bids[order]
+        boundaries = np.flatnonzero(np.diff(sorted_bids)) + 1
+        for chunk in np.split(order, boundaries):
+            if len(chunk) == 0:
+                continue
+            out[int(bids[chunk[0]])] = idarr[chunk]
+        return out
+
+    def counts_by_block(self, points: np.ndarray) -> Dict[int, int]:
+        """Histogram of points per containing block (outside -> key -1)."""
+        bids = self.decomposition.locate(
+            np.atleast_2d(np.asarray(points, dtype=np.float64)))
+        uniq, counts = np.unique(bids, return_counts=True)
+        return {int(b): int(c) for b, c in zip(uniq, counts)}

@@ -1,0 +1,64 @@
+"""Block adjacency topology.
+
+Used by seeding (to spread dense clusters over a known number of blocks),
+by tests (to verify that streamlines only ever hop between adjacent blocks
+when the field is smooth), and by the hybrid master's locality-aware
+variants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.mesh.decomposition import Decomposition
+
+_FACE_OFFSETS: Tuple[Tuple[int, int, int], ...] = (
+    (-1, 0, 0), (1, 0, 0),
+    (0, -1, 0), (0, 1, 0),
+    (0, 0, -1), (0, 0, 1),
+)
+
+
+def face_neighbors(decomposition: Decomposition,
+                   block_id: int) -> List[int]:
+    """Ids of the up-to-6 face-adjacent blocks of ``block_id``."""
+    i, j, k = decomposition.block_coords(block_id)
+    bx, by, bz = decomposition.blocks_per_axis
+    out: List[int] = []
+    for di, dj, dk in _FACE_OFFSETS:
+        ni, nj, nk = i + di, j + dj, k + dk
+        if 0 <= ni < bx and 0 <= nj < by and 0 <= nk < bz:
+            out.append(decomposition.linear_id(ni, nj, nk))
+    return out
+
+
+def block_adjacency(decomposition: Decomposition,
+                    connectivity: str = "face") -> Dict[int, List[int]]:
+    """Full adjacency map for the decomposition.
+
+    Parameters
+    ----------
+    connectivity:
+        ``"face"`` (6-neighbourhood) or ``"full"`` (26-neighbourhood
+        including edges and corners).
+    """
+    if connectivity not in ("face", "full"):
+        raise ValueError(f"unknown connectivity {connectivity!r}")
+    bx, by, bz = decomposition.blocks_per_axis
+    adj: Dict[int, List[int]] = {}
+    if connectivity == "face":
+        offsets = _FACE_OFFSETS
+    else:
+        offsets = tuple(
+            (di, dj, dk)
+            for di in (-1, 0, 1) for dj in (-1, 0, 1) for dk in (-1, 0, 1)
+            if (di, dj, dk) != (0, 0, 0))
+    for bid in range(decomposition.n_blocks):
+        i, j, k = decomposition.block_coords(bid)
+        nbrs: List[int] = []
+        for di, dj, dk in offsets:
+            ni, nj, nk = i + di, j + dj, k + dk
+            if 0 <= ni < bx and 0 <= nj < by and 0 <= nk < bz:
+                nbrs.append(decomposition.linear_id(ni, nj, nk))
+        adj[bid] = nbrs
+    return adj

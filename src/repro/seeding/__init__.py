@@ -1,0 +1,24 @@
+"""Seed-point generation.
+
+The paper classifies problems by seed-set *size* (small vs. large) and
+*distribution* (sparse vs. dense, §3.1) and evaluates with: uniformly
+sparse seeds over the domain, dense clusters near features, a regular
+16x16x16 grid (thermal sparse), and 22,000 seeds on a circle around an
+inlet (thermal dense / stream-surface replica).
+"""
+
+from repro.seeding.seeds import (
+    box_seeds,
+    circle_seeds,
+    dense_cluster_seeds,
+    grid_seeds,
+    sparse_random_seeds,
+)
+
+__all__ = [
+    "box_seeds",
+    "circle_seeds",
+    "dense_cluster_seeds",
+    "grid_seeds",
+    "sparse_random_seeds",
+]

@@ -1,0 +1,119 @@
+"""Deterministic seed-point generators.
+
+All generators return ``(k, 3)`` float64 arrays and are deterministic in
+their ``seed`` argument.  Generators clamp nothing: callers choose regions
+inside the field domain (seeds outside a domain terminate immediately, which
+dedicated tests cover).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mesh.bounds import Bounds
+
+
+def sparse_random_seeds(bounds: Bounds, count: int,
+                        seed: int = 0) -> np.ndarray:
+    """Uniform random seeds over ``bounds`` (the paper's "sparse" case)."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    rng = np.random.default_rng(seed)
+    u = rng.uniform(size=(count, 3))
+    return bounds.denormalized(u)
+
+
+def grid_seeds(bounds: Bounds,
+               dims: Tuple[int, int, int] = (16, 16, 16),
+               margin: float = 0.02) -> np.ndarray:
+    """Regular grid of seeds (the thermal sparse case: 16x16x16 = 4096).
+
+    ``margin`` insets the grid from the domain faces (fraction of each
+    edge) so no seed starts exactly on the boundary.
+    """
+    if min(dims) < 1:
+        raise ValueError(f"dims must be >= 1, got {dims}")
+    if not 0 <= margin < 0.5:
+        raise ValueError(f"margin must be in [0, 0.5), got {margin}")
+    axes = []
+    for n in dims:
+        if n == 1:
+            axes.append(np.array([0.5]))
+        else:
+            axes.append(np.linspace(margin, 1.0 - margin, n))
+    gx, gy, gz = np.meshgrid(*axes, indexing="ij")
+    unit = np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=1)
+    return bounds.denormalized(unit)
+
+
+def dense_cluster_seeds(center: Sequence[float], radius: float, count: int,
+                        seed: int = 0,
+                        clip_bounds: Optional[Bounds] = None) -> np.ndarray:
+    """Gaussian cluster of seeds around ``center`` (the "dense" case).
+
+    ``radius`` is the standard deviation per axis.  With ``clip_bounds``,
+    samples are re-drawn until inside (deterministic rejection sampling).
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    rng = np.random.default_rng(seed)
+    c = np.asarray(center, dtype=np.float64).reshape(3)
+    out = np.empty((count, 3))
+    filled = 0
+    attempts = 0
+    while filled < count:
+        attempts += 1
+        if attempts > 1000:
+            raise RuntimeError(
+                "dense_cluster_seeds: rejection sampling is not converging; "
+                "is the cluster center inside clip_bounds?")
+        need = count - filled
+        pts = c + rng.normal(scale=radius, size=(need, 3))
+        if clip_bounds is not None:
+            mask = clip_bounds.contains(pts)
+            pts = pts[mask]
+        out[filled:filled + len(pts)] = pts
+        filled += len(pts)
+    return out
+
+
+def circle_seeds(center: Sequence[float], radius: float, count: int,
+                 normal: Sequence[float] = (1.0, 0.0, 0.0)) -> np.ndarray:
+    """Seeds evenly spaced on a circle (the stream-surface replica:
+    "22,000 streamlines in the shape of a circle immediately around the
+    inlet").
+
+    ``normal`` orients the circle's plane.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    c = np.asarray(center, dtype=np.float64).reshape(3)
+    n = np.asarray(normal, dtype=np.float64).reshape(3)
+    norm = np.linalg.norm(n)
+    if norm == 0:
+        raise ValueError("normal must be nonzero")
+    n = n / norm
+    # Build an orthonormal basis {u, v} of the circle plane.
+    helper = np.array([0.0, 0.0, 1.0]) if abs(n[2]) < 0.9 \
+        else np.array([1.0, 0.0, 0.0])
+    u = np.cross(n, helper)
+    u /= np.linalg.norm(u)
+    v = np.cross(n, u)
+    theta = np.linspace(0.0, 2.0 * np.pi, count, endpoint=False)
+    return (c[None, :]
+            + radius * np.cos(theta)[:, None] * u[None, :]
+            + radius * np.sin(theta)[:, None] * v[None, :])
+
+
+def box_seeds(bounds: Bounds, count: int, seed: int = 0,
+              lo_frac: Sequence[float] = (0.0, 0.0, 0.0),
+              hi_frac: Sequence[float] = (1.0, 1.0, 1.0)) -> np.ndarray:
+    """Uniform random seeds inside a fractional sub-box of ``bounds``."""
+    sub = bounds.subbox(lo_frac, hi_frac)
+    return sparse_random_seeds(sub, count, seed=seed)

@@ -1,0 +1,69 @@
+"""Deterministic discrete-event simulation of a distributed-memory machine.
+
+This package is the substitute for the Cray XT5 + MPI substrate used in the
+paper.  Each simulated *rank* is a Python coroutine (a generator that yields
+:class:`~repro.sim.engine.Request` objects); the :class:`~repro.sim.engine.Engine`
+interleaves ranks in simulated time.  Compute, network, and filesystem costs
+are charged in simulated seconds according to a :class:`~repro.sim.machine.MachineSpec`.
+
+The simulation is fully deterministic: events are ordered by
+``(time, sequence number)`` and all randomness flows through seeded
+``numpy.random.Generator`` instances, so identical configurations always
+produce identical schedules and metrics.
+
+Public surface
+--------------
+``Engine``            event loop and simulated clock
+``Process``           a simulated rank's executing coroutine
+``MachineSpec``       machine cost model (latencies, bandwidths, memory)
+``Network``           message transport between ranks
+``Comm``              per-rank MPI-like send/recv endpoint
+``FileSystem``        shared parallel filesystem with server contention
+``MemoryAccount``     per-rank memory accounting, raises ``SimOutOfMemory``
+``RankMetrics``       per-rank timers and counters
+"""
+
+from repro.sim.cluster import Cluster, RankContext
+from repro.sim.engine import (
+    DeadlockError,
+    Engine,
+    Process,
+    ProcessFailure,
+    Request,
+    Signal,
+    Sleep,
+    Wait,
+)
+from repro.sim.filesystem import FileSystem
+from repro.sim.machine import MachineSpec, jaguar_like, slow_filesystem, slow_network
+from repro.sim.memory import MemoryAccount, SimOutOfMemory
+from repro.sim.metrics import RankMetrics, TimerCategory
+from repro.sim.network import Comm, Message, Network
+from repro.sim.trace import Trace, TraceRecord
+
+__all__ = [
+    "Cluster",
+    "Comm",
+    "DeadlockError",
+    "Engine",
+    "FileSystem",
+    "MachineSpec",
+    "MemoryAccount",
+    "Message",
+    "Network",
+    "Process",
+    "ProcessFailure",
+    "RankContext",
+    "RankMetrics",
+    "Request",
+    "Signal",
+    "SimOutOfMemory",
+    "Sleep",
+    "TimerCategory",
+    "Trace",
+    "TraceRecord",
+    "Wait",
+    "jaguar_like",
+    "slow_filesystem",
+    "slow_network",
+]

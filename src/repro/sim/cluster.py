@@ -1,0 +1,103 @@
+"""Bundles the simulated machine's per-run singletons.
+
+A :class:`Cluster` wires together the engine, network, filesystem, and the
+per-rank metrics/memory accounts for one simulated run, and hands each
+algorithm rank a :class:`RankContext` with everything it needs: its comm
+endpoint, the shared filesystem, its memory account, its metrics, and a
+``compute()`` helper that both advances simulated time and charges the
+compute timer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional
+
+from repro.sim.engine import Engine, Request, Sleep
+from repro.sim.filesystem import FileSystem
+from repro.sim.machine import MachineSpec
+from repro.sim.memory import MemoryAccount
+from repro.sim.metrics import RankMetrics, TimerCategory
+from repro.sim.network import Comm, Network
+from repro.sim.trace import Trace
+
+
+class Cluster:
+    """One simulated machine instance for one run."""
+
+    def __init__(self, spec: MachineSpec, trace: Optional[Trace] = None) -> None:
+        self.spec = spec
+        self.engine = Engine()
+        self.metrics: Dict[int, RankMetrics] = {
+            r: RankMetrics(rank=r) for r in range(spec.n_ranks)}
+        self.network = Network(self.engine, spec, self.metrics)
+        self.filesystem = FileSystem(self.engine, spec, self.metrics)
+        self.memory: Dict[int, MemoryAccount] = {
+            r: MemoryAccount(rank=r, capacity=spec.memory_bytes)
+            for r in range(spec.n_ranks)}
+        # Note: an empty Trace is falsy (len 0), so test against None.
+        if trace is None:
+            trace = Trace(enabled=False)
+        trace._clock = lambda: self.engine.now
+        self.trace = trace
+
+    def context(self, rank: int) -> "RankContext":
+        """Build the per-rank context handed to algorithm code."""
+        if not 0 <= rank < self.spec.n_ranks:
+            raise ValueError(f"rank {rank} out of range "
+                             f"[0, {self.spec.n_ranks})")
+        return RankContext(
+            rank=rank,
+            spec=self.spec,
+            comm=self.network.endpoint(rank),
+            filesystem=self.filesystem,
+            memory=self.memory[rank],
+            metrics=self.metrics[rank],
+            trace=self.trace,
+            engine=self.engine,
+        )
+
+    def run(self, max_events: Optional[int] = None) -> float:
+        """Run the simulation to completion; returns wall-clock time."""
+        wall = self.engine.run(max_events=max_events)
+        for rank, m in self.metrics.items():
+            mem = self.memory[rank]
+            m.peak_memory_bytes = mem.peak
+        return wall
+
+
+@dataclass
+class RankContext:
+    """Everything one simulated rank needs to execute algorithm code."""
+
+    rank: int
+    spec: MachineSpec
+    comm: Comm
+    filesystem: FileSystem
+    memory: MemoryAccount
+    metrics: RankMetrics
+    trace: Trace
+    engine: Engine
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def compute(self, steps: int) -> Generator[Request, Any, float]:
+        """Charge ``steps`` integration steps of compute time.
+
+        Returns the simulated seconds consumed.  Must be called with
+        ``yield from``.
+        """
+        if steps < 0:
+            raise ValueError(f"negative step count: {steps}")
+        seconds = steps * self.spec.seconds_per_step
+        if seconds > 0:
+            yield Sleep(seconds)
+        self.metrics.charge(TimerCategory.COMPUTE, seconds)
+        self.metrics.steps += steps
+        return seconds
+
+    def read_block_bytes(self, nbytes: int) -> Generator[Request, Any, float]:
+        """Blocking filesystem read charged to this rank's I/O timer."""
+        return (yield from self.filesystem.read(self.rank, nbytes))

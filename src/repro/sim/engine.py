@@ -1,0 +1,296 @@
+"""Deterministic discrete-event engine.
+
+The engine owns a simulated clock and a priority queue of timestamped
+callbacks.  Simulated ranks are :class:`Process` objects wrapping Python
+generators.  A process communicates with the engine by ``yield``-ing
+:class:`Request` objects:
+
+``Sleep(duration)``
+    Suspend the process and resume it ``duration`` simulated seconds later.
+
+``Wait(signal)``
+    Suspend until ``signal.fire(value)`` is called; the fired value becomes
+    the result of the ``yield``.
+
+Composite blocking operations (receiving a message, reading a block from the
+simulated filesystem, ...) are ordinary generator functions built from these
+two primitives and invoked with ``yield from``.
+
+Determinism
+-----------
+Events with equal timestamps are ordered by a monotonically increasing
+sequence number, so the schedule never depends on hash order or memory
+addresses.  Running the same program twice produces bit-identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class DeadlockError(RuntimeError):
+    """Raised when live processes remain but no future event can wake them."""
+
+
+class ProcessFailure(RuntimeError):
+    """Wraps an exception raised inside a simulated process.
+
+    Attributes
+    ----------
+    process:
+        The :class:`Process` whose coroutine raised.
+    cause:
+        The original exception (also available as ``__cause__``).
+    """
+
+    def __init__(self, process: "Process", cause: BaseException):
+        super().__init__(f"process {process.name!r} failed: {cause!r}")
+        self.process = process
+        self.cause = cause
+
+
+class Request:
+    """Base class for values a process may ``yield`` to the engine."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Sleep(Request):
+    """Suspend the yielding process for ``duration`` simulated seconds."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative sleep duration: {self.duration}")
+
+
+class Signal(Request):
+    """A wakeup channel processes can wait on.
+
+    ``fire(value)`` resumes every currently-waiting process with ``value``.
+    A process that waits *after* a fire does not see past fires (signals are
+    edge-triggered); state that must persist belongs in mailboxes or other
+    explicit queues.
+    """
+
+    __slots__ = ("name", "_waiters")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: list[Process] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Signal({self.name!r}, waiters={len(self._waiters)})"
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all waiting processes; returns the number woken."""
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc._engine._schedule_resume(proc, value)
+        return len(waiters)
+
+
+@dataclass(frozen=True)
+class Wait(Request):
+    """Suspend the yielding process until ``signal`` fires."""
+
+    signal: Signal
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+
+
+class Process:
+    """A simulated rank: a generator driven by the engine.
+
+    Parameters
+    ----------
+    engine:
+        Owning engine.
+    name:
+        Stable human-readable identifier (appears in traces and errors).
+    program:
+        A generator that yields :class:`Request` objects.
+    """
+
+    def __init__(self, engine: "Engine", name: str,
+                 program: Generator[Request, Any, Any]) -> None:
+        self._engine = engine
+        self.name = name
+        self._gen = program
+        self.alive = True
+        self.result: Any = None
+        self.blocked_since: float = 0.0
+        self.finished = Signal(f"{name}.finished")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "done"
+        return f"Process({self.name!r}, {state})"
+
+    def _step(self, send_value: Any) -> None:
+        engine = self._engine
+        try:
+            request = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.alive = False
+            self.result = stop.value
+            engine._live_processes -= 1
+            self.finished.fire(stop.value)
+            return
+        except Exception as exc:
+            self.alive = False
+            engine._live_processes -= 1
+            failure = ProcessFailure(self, exc)
+            failure.__cause__ = exc
+            engine._fail(failure)
+            return
+        self.blocked_since = engine.now
+        if isinstance(request, Sleep):
+            engine._schedule(engine.now + request.duration,
+                             lambda: self._step(None))
+        elif isinstance(request, Wait):
+            request.signal._waiters.append(self)
+        elif isinstance(request, Signal):
+            # Allow ``yield signal`` as shorthand for ``yield Wait(signal)``.
+            request._waiters.append(self)
+        else:
+            self.alive = False
+            engine._live_processes -= 1
+            failure = ProcessFailure(
+                self, TypeError(f"process yielded non-Request: {request!r}"))
+            engine._fail(failure)
+
+
+class Engine:
+    """Deterministic discrete-event loop.
+
+    Typical use::
+
+        engine = Engine()
+        engine.spawn("rank0", program(...))
+        engine.run()
+        print(engine.now)   # simulated completion time
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[_Event] = []
+        self._seq = 0
+        self._live_processes = 0
+        self._processes: list[Process] = []
+        self._failure: Optional[ProcessFailure] = None
+        self._running = False
+
+    # ------------------------------------------------------------------ #
+    # Scheduling primitives
+    # ------------------------------------------------------------------ #
+    def _schedule(self, time: float, fn: Callable[[], None]) -> None:
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule event in the past: {time} < {self.now}")
+        self._seq += 1
+        heapq.heappush(self._queue, _Event(time, self._seq, fn))
+
+    def _schedule_resume(self, proc: Process, value: Any) -> None:
+        self._schedule(self.now, lambda: proc._step(value))
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` at absolute simulated time ``time``."""
+        self._schedule(time, fn)
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._schedule(self.now + delay, fn)
+
+    def _fail(self, failure: ProcessFailure) -> None:
+        if self._failure is None:
+            self._failure = failure
+
+    # ------------------------------------------------------------------ #
+    # Process management
+    # ------------------------------------------------------------------ #
+    def spawn(self, name: str,
+              program: Generator[Request, Any, Any]) -> Process:
+        """Register a new process and schedule its first step at ``now``."""
+        proc = Process(self, name, program)
+        self._processes.append(proc)
+        self._live_processes += 1
+        self._schedule(self.now, lambda: proc._step(None))
+        return proc
+
+    @property
+    def processes(self) -> Iterable[Process]:
+        return tuple(self._processes)
+
+    @property
+    def live_process_count(self) -> int:
+        return self._live_processes
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Drain the event queue; returns the final simulated time.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the clock would pass this time (the event at
+            ``until`` itself still runs).
+        max_events:
+            Safety valve for tests; raises ``RuntimeError`` when exceeded.
+
+        Raises
+        ------
+        ProcessFailure
+            If any process raised; the first failure wins and is re-raised
+            after the loop stops (no further events execute).
+        DeadlockError
+            If live processes remain but the event queue is empty.
+        """
+        if self._running:
+            raise RuntimeError("engine.run() is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                if self._failure is not None:
+                    raise self._failure
+                event = heapq.heappop(self._queue)
+                if until is not None and event.time > until:
+                    heapq.heappush(self._queue, event)
+                    break
+                if event.time < self.now:
+                    raise AssertionError("event queue time went backwards")
+                self.now = event.time
+                event.fn()
+                processed += 1
+                if max_events is not None and processed > max_events:
+                    raise RuntimeError(
+                        f"exceeded max_events={max_events}; "
+                        "likely a livelock in the simulated program")
+            if self._failure is not None:
+                raise self._failure
+            if self._live_processes > 0 and until is None:
+                blocked = [p.name for p in self._processes if p.alive]
+                raise DeadlockError(
+                    f"{self._live_processes} live processes blocked forever: "
+                    f"{blocked[:8]}{'...' if len(blocked) > 8 else ''}")
+        finally:
+            self._running = False
+        return self.now

@@ -1,0 +1,92 @@
+"""Per-rank memory accounting.
+
+The paper's §5.3 result hinges on memory being finite: with dense thermal
+seeding, Static Allocation concentrates every streamline on one processor and
+*runs out of memory*.  :class:`MemoryAccount` tracks modelled allocations
+(resident blocks, buffered streamline state and geometry) against a capacity
+and raises :class:`SimOutOfMemory` when it is exceeded, which the run driver
+surfaces as an OOM outcome exactly like the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class SimOutOfMemory(RuntimeError):
+    """A simulated rank exceeded its memory capacity."""
+
+    def __init__(self, rank: int, requested: int, in_use: int,
+                 capacity: int, label: str) -> None:
+        super().__init__(
+            f"rank {rank}: allocation of {requested} B ({label}) exceeds "
+            f"capacity ({in_use} B in use of {capacity} B)")
+        self.rank = rank
+        self.requested = requested
+        self.in_use = in_use
+        self.capacity = capacity
+        self.label = label
+
+
+@dataclass
+class MemoryAccount:
+    """Tracks modelled memory of one rank, by labelled category.
+
+    Labels are free-form strings ("block", "streamline", ...) so tests and
+    traces can see *what* filled memory, not just that it filled.
+    """
+
+    rank: int
+    capacity: int
+    _in_use: int = 0
+    _peak: int = 0
+    _by_label: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def peak(self) -> int:
+        return self._peak
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def usage_by_label(self) -> Dict[str, int]:
+        """Current usage per category (copy)."""
+        return dict(self._by_label)
+
+    def allocate(self, nbytes: int, label: str = "anon") -> None:
+        """Reserve ``nbytes``; raises :class:`SimOutOfMemory` if over capacity."""
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        if self._in_use + nbytes > self.capacity:
+            raise SimOutOfMemory(self.rank, nbytes, self._in_use,
+                                 self.capacity, label)
+        self._in_use += nbytes
+        self._by_label[label] = self._by_label.get(label, 0) + nbytes
+        if self._in_use > self._peak:
+            self._peak = self._in_use
+
+    def free(self, nbytes: int, label: str = "anon") -> None:
+        """Release ``nbytes`` previously allocated under ``label``."""
+        if nbytes < 0:
+            raise ValueError(f"negative free: {nbytes}")
+        held = self._by_label.get(label, 0)
+        if nbytes > held:
+            raise ValueError(
+                f"rank {self.rank}: freeing {nbytes} B of {label!r} "
+                f"but only {held} B allocated")
+        self._in_use -= nbytes
+        self._by_label[label] = held - nbytes
+
+    def would_fit(self, nbytes: int) -> bool:
+        """True if ``allocate(nbytes)`` would succeed right now."""
+        return self._in_use + nbytes <= self.capacity

@@ -1,0 +1,114 @@
+"""Per-rank timers and counters.
+
+The paper's evaluation (§5) reports, besides wall-clock time, the total time
+spent in I/O, the total time spent posting/managing communication, and block
+load/purge counts (for the block-efficiency metric E).  :class:`RankMetrics`
+accumulates exactly those quantities per simulated rank;
+:class:`RunMetrics`-style aggregation lives in :mod:`repro.analysis.metrics`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class TimerCategory(str, enum.Enum):
+    """Where a rank's busy time is charged."""
+
+    COMPUTE = "compute"
+    IO = "io"
+    COMM = "comm"
+    OTHER = "other"
+
+
+@dataclass
+class RankMetrics:
+    """Accumulated activity of one simulated rank.
+
+    Timers (simulated seconds)
+    --------------------------
+    compute_time:   particle-advection work
+    io_time:        blocking on filesystem reads
+    comm_time:      posting sends/receives and message management
+    other_time:     bookkeeping charged explicitly by algorithms
+
+    Counters
+    --------
+    blocks_loaded / blocks_purged:  LRU cache traffic (block efficiency)
+    cache_hits:                     block requests served from cache
+    msgs_sent / bytes_sent:         network traffic originated here
+    msgs_received:                  messages drained from the mailbox
+    steps:                          integration steps executed
+    streamlines_completed:          curves that terminated on this rank
+    """
+
+    rank: int
+    compute_time: float = 0.0
+    io_time: float = 0.0
+    comm_time: float = 0.0
+    other_time: float = 0.0
+    blocks_loaded: int = 0
+    blocks_purged: int = 0
+    cache_hits: int = 0
+    msgs_sent: int = 0
+    bytes_sent: int = 0
+    msgs_received: int = 0
+    steps: int = 0
+    streamlines_completed: int = 0
+    peak_memory_bytes: int = 0
+    finish_time: float = 0.0
+
+    def charge(self, category: TimerCategory, seconds: float) -> None:
+        """Add ``seconds`` of busy time to ``category``."""
+        if seconds < 0:
+            raise ValueError(f"negative charge: {seconds}")
+        if category is TimerCategory.COMPUTE:
+            self.compute_time += seconds
+        elif category is TimerCategory.IO:
+            self.io_time += seconds
+        elif category is TimerCategory.COMM:
+            self.comm_time += seconds
+        else:
+            self.other_time += seconds
+
+    @property
+    def busy_time(self) -> float:
+        """Total charged time across all categories."""
+        return (self.compute_time + self.io_time
+                + self.comm_time + self.other_time)
+
+    def idle_time(self, wall_clock: float) -> float:
+        """Time this rank spent neither computing, reading, nor posting."""
+        return max(0.0, wall_clock - self.busy_time)
+
+    @property
+    def block_efficiency(self) -> float:
+        """Paper Eq. (2): E = (B_loaded - B_purged) / B_loaded.
+
+        A rank that loaded nothing is vacuously efficient (E = 1).
+        """
+        if self.blocks_loaded == 0:
+            return 1.0
+        return (self.blocks_loaded - self.blocks_purged) / self.blocks_loaded
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict view (stable keys), used by reports and traces."""
+        return {
+            "rank": self.rank,
+            "compute_time": self.compute_time,
+            "io_time": self.io_time,
+            "comm_time": self.comm_time,
+            "other_time": self.other_time,
+            "blocks_loaded": self.blocks_loaded,
+            "blocks_purged": self.blocks_purged,
+            "cache_hits": self.cache_hits,
+            "msgs_sent": self.msgs_sent,
+            "bytes_sent": self.bytes_sent,
+            "msgs_received": self.msgs_received,
+            "steps": self.steps,
+            "streamlines_completed": self.streamlines_completed,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "finish_time": self.finish_time,
+        }

@@ -1,0 +1,179 @@
+"""Simulated interconnect and per-rank communication endpoints.
+
+The model is deliberately simple but captures the two effects the paper's
+communication metric is sensitive to:
+
+* **Posting cost** — every send and every received message charges CPU time
+  to the rank's ``comm`` timer (the paper measures "time required to post
+  send and receive operations and associated communication management").
+  Payload bytes also charge a per-byte packing cost, which is what makes
+  communicating long streamline *geometry* expensive (paper §8).
+* **Transport** — each rank's outgoing NIC serializes its messages
+  (``busy-until`` per sender); a message arrives after NIC serialization
+  plus wire latency.  Delivery appends to the destination mailbox and fires
+  its signal, waking a blocked receiver.
+
+All communication is asynchronous, as in the paper's implementation: sends
+never block on the receiver, and receivers poll or block on their mailbox.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Generator, List, Optional
+
+from repro.sim.engine import Engine, Request, Signal, Sleep, Wait
+from repro.sim.machine import MachineSpec
+from repro.sim.metrics import RankMetrics, TimerCategory
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message in flight or in a mailbox.
+
+    ``kind`` is a small string protocol tag (e.g. ``"streamline"``,
+    ``"status"``, ``"assign"``); ``payload`` is an arbitrary Python object
+    owned by the receiver after delivery; ``nbytes`` is the modelled wire
+    size used for all cost accounting.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: Any
+    nbytes: int
+    send_time: float
+    msg_id: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"negative message size: {self.nbytes}")
+
+
+class Network:
+    """Transport fabric connecting all ranks.
+
+    Create one per simulation, then obtain per-rank :class:`Comm` endpoints
+    via :meth:`endpoint`.
+    """
+
+    def __init__(self, engine: Engine, spec: MachineSpec,
+                 metrics: Dict[int, RankMetrics]) -> None:
+        self.engine = engine
+        self.spec = spec
+        self.metrics = metrics
+        self._endpoints: Dict[int, "Comm"] = {}
+        self._nic_busy_until: Dict[int, float] = {}
+        self._msg_ids = itertools.count()
+        self.total_messages = 0
+        self.total_bytes = 0
+
+    def endpoint(self, rank: int) -> "Comm":
+        """The (unique) communication endpoint for ``rank``."""
+        comm = self._endpoints.get(rank)
+        if comm is None:
+            comm = Comm(self, rank)
+            self._endpoints[rank] = comm
+        return comm
+
+    def _transport(self, msg: Message) -> None:
+        """Schedule delivery of ``msg`` (called after the sender's post)."""
+        now = self.engine.now
+        depart = max(now, self._nic_busy_until.get(msg.src, 0.0))
+        depart += msg.nbytes / self.spec.comm_bandwidth
+        self._nic_busy_until[msg.src] = depart
+        arrive = depart + self.spec.comm_latency
+        self.total_messages += 1
+        self.total_bytes += msg.nbytes
+        self.engine.call_at(arrive, lambda: self._deliver(msg))
+
+    def _deliver(self, msg: Message) -> None:
+        dst = self._endpoints.get(msg.dst)
+        if dst is None:
+            raise RuntimeError(
+                f"message {msg.kind!r} to rank {msg.dst} has no endpoint")
+        dst._mailbox.append(msg)
+        dst._arrival.fire()
+
+
+class Comm:
+    """MPI-like endpoint for one rank.
+
+    All methods that consume simulated time are generators and must be
+    invoked with ``yield from`` inside a simulated process.
+    """
+
+    def __init__(self, network: Network, rank: int) -> None:
+        self.network = network
+        self.rank = rank
+        self._mailbox: Deque[Message] = deque()
+        self._arrival = Signal(f"rank{rank}.mail")
+
+    # ------------------------------------------------------------------ #
+    # Sending
+    # ------------------------------------------------------------------ #
+    def send(self, dst: int, kind: str, payload: Any,
+             nbytes: int) -> Generator[Request, Any, Message]:
+        """Post an asynchronous send; returns the in-flight message.
+
+        Charges the sender's ``comm`` timer for the post (overhead +
+        per-byte packing), then hands the message to the network.  The
+        sender never blocks on the receiver.
+        """
+        if dst == self.rank:
+            raise ValueError(f"rank {self.rank} sending to itself")
+        spec = self.network.spec
+        post = spec.post_time(nbytes)
+        if post > 0:
+            yield Sleep(post)
+        m = self.network.metrics[self.rank]
+        m.charge(TimerCategory.COMM, post)
+        m.msgs_sent += 1
+        m.bytes_sent += nbytes
+        msg = Message(src=self.rank, dst=dst, kind=kind, payload=payload,
+                      nbytes=nbytes, send_time=self.network.engine.now,
+                      msg_id=next(self.network._msg_ids))
+        self.network._transport(msg)
+        return msg
+
+    # ------------------------------------------------------------------ #
+    # Receiving
+    # ------------------------------------------------------------------ #
+    @property
+    def pending(self) -> int:
+        """Number of delivered-but-undrained messages."""
+        return len(self._mailbox)
+
+    def _drain_now(self) -> List[Message]:
+        msgs: List[Message] = []
+        while self._mailbox:
+            msgs.append(self._mailbox.popleft())
+        return msgs
+
+    def _charge_recv(self, msgs: List[Message]) -> float:
+        spec = self.network.spec
+        cost = sum(spec.comm_post_overhead for _ in msgs)
+        m = self.network.metrics[self.rank]
+        m.charge(TimerCategory.COMM, cost)
+        m.msgs_received += len(msgs)
+        return cost
+
+    def try_recv(self) -> Generator[Request, Any, List[Message]]:
+        """Drain the mailbox without blocking (may return an empty list)."""
+        msgs = self._drain_now()
+        cost = self._charge_recv(msgs)
+        if cost > 0:
+            yield Sleep(cost)
+        return msgs
+
+    def recv_wait(self) -> Generator[Request, Any, List[Message]]:
+        """Block until at least one message is available, then drain all."""
+        while not self._mailbox:
+            yield Wait(self._arrival)
+        msgs = self._drain_now()
+        cost = self._charge_recv(msgs)
+        if cost > 0:
+            yield Sleep(cost)
+        return msgs

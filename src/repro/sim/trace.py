@@ -1,0 +1,79 @@
+"""Lightweight structured event trace.
+
+Algorithms emit trace records ("rank 3 loaded block 17 at t=0.42") through a
+:class:`Trace`.  Tracing is off by default — the hot paths call
+:meth:`Trace.emit` unconditionally, so the disabled path must be a cheap
+no-op.  Tests use traces to assert protocol properties (e.g. a Static
+Allocation rank never loads a block it does not own); the experiment harness
+can dump traces for debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event."""
+
+    time: float
+    rank: int
+    event: str
+    detail: Tuple[Tuple[str, Any], ...]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for k, v in self.detail:
+            if k == key:
+                return v
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {"time": self.time, "rank": self.rank,
+                             "event": self.event}
+        d.update(self.detail)
+        return d
+
+
+class Trace:
+    """Collects :class:`TraceRecord` objects when enabled."""
+
+    def __init__(self, enabled: bool = False,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.enabled = enabled
+        self._clock = clock or (lambda: 0.0)
+        self._records: List[TraceRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def emit(self, rank: int, event: str, **detail: Any) -> None:
+        """Record an event (no-op unless enabled)."""
+        if not self.enabled:
+            return
+        self._records.append(TraceRecord(
+            time=self._clock(), rank=rank, event=event,
+            detail=tuple(sorted(detail.items()))))
+
+    def select(self, event: Optional[str] = None,
+               rank: Optional[int] = None) -> List[TraceRecord]:
+        """Filter records by event name and/or rank."""
+        out = []
+        for r in self._records:
+            if event is not None and r.event != event:
+                continue
+            if rank is not None and r.rank != rank:
+                continue
+            out.append(r)
+        return out
+
+    def counts(self) -> Dict[str, int]:
+        """Histogram of event names."""
+        c: Dict[str, int] = {}
+        for r in self._records:
+            c[r.event] = c.get(r.event, 0) + 1
+        return c

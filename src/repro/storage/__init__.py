@@ -1,0 +1,24 @@
+"""Out-of-core block storage: stores, caches, and the data cost model.
+
+"Very large" in the paper means the dataset cannot be resident: blocks are
+read from the parallel filesystem on demand and cached per rank in an LRU
+cache with a user-defined bound (§4.2, §5).  This package provides:
+
+``DataCostModel``    modelled full-scale sizes (block bytes, etc.)
+``BlockStore``       deterministic block provider (samples the analytic
+                     field on demand; optional real on-disk .npy backing)
+``LRUBlockCache``    bounded cache with load/purge/hit accounting
+"""
+
+from repro.storage.costmodel import DataCostModel
+from repro.storage.store import BlockStore, DiskBlockStore, write_block_file, read_block_file
+from repro.storage.cache import LRUBlockCache
+
+__all__ = [
+    "BlockStore",
+    "DataCostModel",
+    "DiskBlockStore",
+    "LRUBlockCache",
+    "read_block_file",
+    "write_block_file",
+]

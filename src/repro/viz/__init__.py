@@ -1,0 +1,24 @@
+"""Streamline geometry export.
+
+The paper's figures render streamlines in VisIt; this package writes the
+computed polylines in formats any viewer can open:
+
+``write_obj``         Wavefront OBJ line elements
+``write_csv``         flat CSV (sid, vertex index, x, y, z)
+``write_vtk_polydata`` legacy-ASCII VTK PolyData (lines + per-curve data)
+``polyline_stats``    summary statistics of a set of curves
+"""
+
+from repro.viz.export import (
+    polyline_stats,
+    write_csv,
+    write_obj,
+    write_vtk_polydata,
+)
+
+__all__ = [
+    "polyline_stats",
+    "write_csv",
+    "write_obj",
+    "write_vtk_polydata",
+]

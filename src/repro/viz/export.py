@@ -1,0 +1,127 @@
+"""Polyline writers and geometry statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.integrate.streamline import Streamline
+
+
+def write_obj(path: Path, streamlines: Sequence[Streamline],
+              comment: str = "streamlines") -> int:
+    """Write polylines as Wavefront OBJ line elements.
+
+    Returns the number of vertices written.  Curves with fewer than two
+    vertices are skipped (OBJ lines need at least two).
+    """
+    total = 0
+    with open(path, "w") as f:
+        f.write(f"# {comment}\n")
+        offset = 1
+        for line in streamlines:
+            verts = line.vertices()
+            if len(verts) < 2:
+                continue
+            for v in verts:
+                f.write(f"v {v[0]:.6f} {v[1]:.6f} {v[2]:.6f}\n")
+            indices = " ".join(str(offset + i) for i in range(len(verts)))
+            f.write(f"l {indices}\n")
+            offset += len(verts)
+            total += len(verts)
+    return total
+
+
+def write_csv(path: Path, streamlines: Sequence[Streamline]) -> int:
+    """Write every vertex as a CSV row: sid, index, x, y, z, status.
+
+    Returns the number of rows written.
+    """
+    rows = 0
+    with open(path, "w") as f:
+        f.write("sid,index,x,y,z,status\n")
+        for line in streamlines:
+            status = line.status.value
+            for i, v in enumerate(line.vertices()):
+                f.write(f"{line.sid},{i},{v[0]:.6f},{v[1]:.6f},"
+                        f"{v[2]:.6f},{status}\n")
+                rows += 1
+    return rows
+
+
+def write_vtk_polydata(path: Path, streamlines: Sequence[Streamline],
+                       title: str = "streamlines") -> int:
+    """Write legacy-ASCII VTK PolyData with per-curve cell data.
+
+    Cell data: ``sid`` and ``steps`` per polyline, so viewers can color
+    curves individually.  Returns the number of polylines written.
+    """
+    usable = [l for l in streamlines if len(l.vertices()) >= 2]
+    n_points = sum(len(l.vertices()) for l in usable)
+    with open(path, "w") as f:
+        f.write("# vtk DataFile Version 3.0\n")
+        f.write(f"{title}\n")
+        f.write("ASCII\nDATASET POLYDATA\n")
+        f.write(f"POINTS {n_points} double\n")
+        for line in usable:
+            for v in line.vertices():
+                f.write(f"{v[0]:.6f} {v[1]:.6f} {v[2]:.6f}\n")
+        size = sum(len(l.vertices()) + 1 for l in usable)
+        f.write(f"LINES {len(usable)} {size}\n")
+        offset = 0
+        for line in usable:
+            n = len(line.vertices())
+            idx = " ".join(str(offset + i) for i in range(n))
+            f.write(f"{n} {idx}\n")
+            offset += n
+        f.write(f"CELL_DATA {len(usable)}\n")
+        f.write("SCALARS sid int 1\nLOOKUP_TABLE default\n")
+        for line in usable:
+            f.write(f"{line.sid}\n")
+        f.write("SCALARS steps int 1\nLOOKUP_TABLE default\n")
+        for line in usable:
+            f.write(f"{line.steps}\n")
+    return len(usable)
+
+
+@dataclass(frozen=True)
+class PolylineStats:
+    """Summary of a set of streamlines."""
+
+    count: int
+    total_vertices: int
+    mean_vertices: float
+    mean_arc_length: float
+    max_arc_length: float
+    status_counts: Dict[str, int]
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        statuses = ", ".join(f"{k}={v}"
+                             for k, v in sorted(self.status_counts.items()))
+        return (f"{self.count} curves, {self.total_vertices} vertices "
+                f"(mean {self.mean_vertices:.1f}/curve), arc length mean "
+                f"{self.mean_arc_length:.3f} max {self.max_arc_length:.3f}"
+                f" [{statuses}]")
+
+
+def polyline_stats(streamlines: Sequence[Streamline]) -> PolylineStats:
+    """Compute summary statistics of a set of curves."""
+    lines = list(streamlines)
+    if not lines:
+        return PolylineStats(0, 0, 0.0, 0.0, 0.0, {})
+    verts = [len(l.vertices()) for l in lines]
+    arcs = [l.arc_length() for l in lines]
+    statuses: Dict[str, int] = {}
+    for l in lines:
+        statuses[l.status.value] = statuses.get(l.status.value, 0) + 1
+    return PolylineStats(
+        count=len(lines),
+        total_vertices=int(np.sum(verts)),
+        mean_vertices=float(np.mean(verts)),
+        mean_arc_length=float(np.mean(arcs)),
+        max_arc_length=float(np.max(arcs)),
+        status_counts=statuses,
+    )

@@ -1,0 +1,118 @@
+"""Tests of the §6 decision-guideline recommender."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.heuristics import (
+    ProblemTraits,
+    recommend_algorithm,
+    traits_of_problem,
+)
+from repro.core.problem import ProblemSpec
+from repro.fields import ThermalHydraulicsField, TokamakField
+from repro.seeding import circle_seeds, sparse_random_seeds
+from repro.sim.machine import MachineSpec
+from repro.storage.costmodel import DataCostModel
+
+
+def test_small_data_prefers_ondemand():
+    traits = ProblemTraits(data_fits_memory=True, seed_count=10_000,
+                           seed_spread=0.5)
+    algo, reasons = recommend_algorithm(traits)
+    assert algo == "ondemand"
+    assert any("fits in memory" in r for r in reasons)
+
+
+def test_large_dense_seed_set_prefers_ondemand():
+    """The §5.3 thermal-dense configuration: Static would OOM."""
+    traits = ProblemTraits(data_fits_memory=False, seed_count=22_000,
+                           seed_spread=0.004)
+    algo, reasons = recommend_algorithm(traits)
+    assert algo == "ondemand"
+    assert any("out-of-memory" in r for r in reasons)
+
+
+def test_known_uniform_flow_prefers_static():
+    traits = ProblemTraits(data_fits_memory=False, seed_count=50,
+                           seed_spread=0.6, flow_known_uniform=True)
+    algo, _ = recommend_algorithm(traits)
+    assert algo == "static"
+
+
+def test_unknown_flow_prefers_hybrid():
+    """'It is particularly recommended when the flow field is not well
+    understood' (paper §6)."""
+    traits = ProblemTraits(data_fits_memory=False, seed_count=20_000,
+                           seed_spread=0.5, flow_known_uniform=None)
+    algo, reasons = recommend_algorithm(traits)
+    assert algo == "hybrid"
+    assert any("adapt" in r for r in reasons)
+
+
+def test_traits_validation():
+    with pytest.raises(ValueError):
+        ProblemTraits(data_fits_memory=True, seed_count=0, seed_spread=0.5)
+    with pytest.raises(ValueError):
+        ProblemTraits(data_fits_memory=True, seed_count=1, seed_spread=1.5)
+
+
+def test_traits_of_problem_dense_circle():
+    field = ThermalHydraulicsField()
+    cy, cz = field.inlet_centers[0]
+    problem = ProblemSpec(
+        field=field,
+        seeds=circle_seeds((0.06, cy, cz), 0.02, 500),
+        blocks_per_axis=(8, 8, 8), cells_per_block=(4, 4, 4))
+    traits = traits_of_problem(problem)
+    assert traits.seed_count == 500
+    assert traits.seed_spread < 0.05  # dense
+    assert not traits.data_fits_memory  # 512 x 12 MB >> 2 GB
+
+
+def test_traits_of_problem_sparse():
+    field = TokamakField()
+    problem = ProblemSpec(
+        field=field,
+        seeds=sparse_random_seeds(field.domain, 2000, seed=1),
+        blocks_per_axis=(4, 4, 4), cells_per_block=(4, 4, 4))
+    traits = traits_of_problem(problem)
+    assert traits.seed_spread > 0.5
+
+
+def test_traits_small_data_detection():
+    field = TokamakField()
+    problem = ProblemSpec(
+        field=field,
+        seeds=sparse_random_seeds(field.domain, 10, seed=1),
+        blocks_per_axis=(2, 2, 2), cells_per_block=(4, 4, 4),
+        cost_model=DataCostModel(modelled_cells_per_block=1000))
+    traits = traits_of_problem(problem, MachineSpec(n_ranks=4))
+    assert traits.data_fits_memory
+
+
+def test_end_to_end_recommendations_match_paper_scenarios():
+    # Thermal dense: ondemand wins (paper §5.3).
+    field = ThermalHydraulicsField()
+    cy, cz = field.inlet_centers[0]
+    dense = ProblemSpec(
+        field=field, seeds=circle_seeds((0.06, cy, cz), 0.02, 22000),
+        blocks_per_axis=(8, 8, 8), cells_per_block=(4, 4, 4))
+    algo, _ = recommend_algorithm(traits_of_problem(dense))
+    assert algo == "ondemand"
+
+    # Unknown-structure sparse problem: hybrid (paper's general advice).
+    sparse = ProblemSpec(
+        field=field,
+        seeds=sparse_random_seeds(field.domain, 4096, seed=2),
+        blocks_per_axis=(8, 8, 8), cells_per_block=(4, 4, 4))
+    algo, _ = recommend_algorithm(traits_of_problem(sparse))
+    assert algo == "hybrid"
+
+    # Tokamak with known-uniform fill and sparse seeds: static.
+    tok = TokamakField()
+    fusion = ProblemSpec(
+        field=tok, seeds=sparse_random_seeds(tok.domain, 80, seed=3),
+        blocks_per_axis=(8, 8, 8), cells_per_block=(4, 4, 4))
+    algo, _ = recommend_algorithm(
+        traits_of_problem(fusion, flow_known_uniform=True))
+    assert algo == "static"

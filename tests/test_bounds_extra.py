@@ -1,0 +1,41 @@
+"""Additional Bounds coverage: denormalized edge cases and equality."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.bounds import Bounds
+
+
+def test_equality_and_repr_fields():
+    a = Bounds.cube(0.0, 1.0)
+    b = Bounds((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+    assert a == b
+    assert a.lo == (0.0, 0.0, 0.0)
+
+
+def test_denormalized_outside_unit_extrapolates():
+    b = Bounds.cube(0.0, 2.0)
+    out = b.denormalized(np.array([1.5, -0.5, 0.5]))
+    assert np.allclose(out, [3.0, -1.0, 1.0])
+
+
+def test_expanded_negative_shrinks_and_validates():
+    b = Bounds.cube(0.0, 1.0)
+    small = b.expanded(-0.2)
+    assert small.lo == (0.2, 0.2, 0.2)
+    with pytest.raises(ValueError):
+        b.expanded(-0.6)  # would invert the box
+
+
+def test_contains_batch_shapes():
+    b = Bounds.cube(0.0, 1.0)
+    single = b.contains(np.array([0.5, 0.5, 0.5]))
+    assert isinstance(bool(single), bool)
+    batch = b.contains(np.zeros((4, 3)) + 0.5)
+    assert batch.shape == (4,)
+
+
+def test_center_and_size_consistency():
+    b = Bounds((-2.0, 0.0, 1.0), (2.0, 1.0, 4.0))
+    assert np.allclose(b.center, [0.0, 0.5, 2.5])
+    assert np.allclose(b.lo_array + b.size, b.hi_array)

@@ -1,0 +1,71 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    import repro.analysis.experiments as exp
+    exp._DISK_LOADED = False
+    exp.clear_cache()
+    yield
+    exp.clear_cache()
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_scenarios_command(capsys):
+    assert main(["scenarios", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    for dataset in ("astro", "fusion", "thermal"):
+        assert dataset in out
+    assert "hybrid" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "--dataset", "astro", "--seeding", "sparse",
+                 "--algorithm", "ondemand", "--ranks", "4",
+                 "--scale", "0.02"]) == 0
+    out = capsys.readouterr().out
+    assert "wall clock" in out
+    assert "block efficiency" in out
+
+
+def test_run_command_reports_oom(capsys):
+    assert main(["run", "--dataset", "thermal", "--seeding", "dense",
+                 "--algorithm", "static", "--ranks", "8",
+                 "--scale", "0.6"]) == 0
+    out = capsys.readouterr().out
+    assert "OUT OF MEMORY" in out
+
+
+def test_figure_command(capsys):
+    assert main(["figure", "6", "--dataset", "astro", "--scale", "0.02",
+                 "--ranks", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6" in out
+    assert "I/O" in out
+
+
+def test_figure_command_wrong_number(capsys):
+    assert main(["figure", "9", "--dataset", "astro",
+                 "--scale", "0.02"]) == 2
+    assert "not a astro figure" in capsys.readouterr().err
+
+
+def test_recommend_command(capsys):
+    assert main(["recommend", "--seeds", "22000", "--spread",
+                 "0.004"]) == 0
+    out = capsys.readouterr().out
+    assert "ondemand" in out
+
+
+def test_recommend_hybrid_for_unknown_flow(capsys):
+    assert main(["recommend", "--seeds", "5000", "--spread", "0.5"]) == 0
+    assert "hybrid" in capsys.readouterr().out

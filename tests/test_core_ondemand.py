@@ -1,0 +1,90 @@
+"""Tests of Load On Demand protocol properties."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.driver import run_streamlines
+from repro.core.ondemand import seeds_grouped_by_block
+from repro.fields import SupernovaField
+from repro.integrate import IntegratorConfig
+from repro.seeding import sparse_random_seeds
+from repro.sim.machine import MachineSpec
+
+
+@pytest.fixture(scope="module")
+def problem():
+    field = SupernovaField()
+    seeds = sparse_random_seeds(
+        field.domain.subbox((0.2, 0.2, 0.2), (0.8, 0.8, 0.8)), 30,
+        seed=10)
+    return repro.ProblemSpec(
+        field=field, seeds=seeds,
+        blocks_per_axis=(4, 4, 4), cells_per_block=(6, 6, 6),
+        integ=IntegratorConfig(max_steps=100, rtol=1e-5, atol=1e-7))
+
+
+def test_zero_communication(problem):
+    """'Obviously, no communication occurs with the Load On Demand
+    algorithm' (paper §5.1)."""
+    result = run_streamlines(problem, algorithm="ondemand",
+                             machine=MachineSpec(n_ranks=8))
+    assert result.ok
+    assert result.messages_sent == 0
+    assert result.comm_time == 0.0
+
+
+def test_seed_grouping_sorts_by_block(problem):
+    order = seeds_grouped_by_block(problem)
+    bids = problem.seed_blocks[order]
+    assert np.all(np.diff(bids) >= 0)
+
+
+def test_redundant_loads_across_ranks(problem):
+    """Different ranks load the same blocks — Load On Demand's major flaw
+    (paper §5.3)."""
+    result = run_streamlines(problem, algorithm="ondemand",
+                             machine=MachineSpec(n_ranks=8))
+    assert result.blocks_loaded > problem.n_blocks * 0.6
+    # More total loads than distinct blocks touched would require.
+    static = run_streamlines(problem, algorithm="static",
+                             machine=MachineSpec(n_ranks=8))
+    assert result.blocks_loaded > static.blocks_loaded
+
+
+def test_small_cache_forces_purges(problem):
+    big = run_streamlines(problem, algorithm="ondemand",
+                          machine=MachineSpec(n_ranks=8, cache_blocks=64))
+    small = run_streamlines(problem, algorithm="ondemand",
+                            machine=MachineSpec(n_ranks=8, cache_blocks=2))
+    assert small.blocks_purged > big.blocks_purged
+    assert small.block_efficiency < big.block_efficiency
+    assert small.io_time > big.io_time
+
+
+def test_more_memory_less_io(problem):
+    """'Clearly, having more main memory available decreases the need for
+    I/O operations' (paper §4.2)."""
+    iot = []
+    for cap in (2, 8, 64):
+        r = run_streamlines(problem, algorithm="ondemand",
+                            machine=MachineSpec(n_ranks=8,
+                                                cache_blocks=cap))
+        iot.append(r.io_time)
+    assert iot[0] >= iot[1] >= iot[2]
+
+
+def test_ranks_terminate_independently(problem):
+    """Ranks with less work finish earlier (no global barrier)."""
+    result = run_streamlines(problem, algorithm="ondemand",
+                             machine=MachineSpec(n_ranks=8))
+    finishes = sorted(m.finish_time for m in result.rank_metrics)
+    assert finishes[0] < finishes[-1]
+
+
+def test_seed_partition_is_even(problem):
+    result = run_streamlines(problem, algorithm="ondemand",
+                             machine=MachineSpec(n_ranks=6))
+    done_per_rank = [m.streamlines_completed for m in result.rank_metrics]
+    assert sum(done_per_rank) == problem.n_seeds
+    assert max(done_per_rank) - min(done_per_rank) <= 1

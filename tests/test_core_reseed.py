@@ -1,0 +1,134 @@
+"""Tests of §8 dynamic seed creation in the distributed hybrid."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.config import HybridConfig
+from repro.core.driver import run_streamlines
+from repro.core.reseed import (
+    CallbackReseed,
+    ContinueThroughBudget,
+    GapRefineReseed,
+)
+from repro.fields import SupernovaField, TokamakField
+from repro.integrate import IntegratorConfig
+from repro.integrate.streamline import Status, Streamline
+from repro.seeding import dense_cluster_seeds, sparse_random_seeds
+from repro.sim.machine import MachineSpec
+
+
+@pytest.fixture(scope="module")
+def problem():
+    field = SupernovaField()
+    seeds = sparse_random_seeds(
+        field.domain.subbox((0.25, 0.25, 0.25), (0.75, 0.75, 0.75)), 12,
+        seed=55)
+    return repro.ProblemSpec(
+        field=field, seeds=seeds,
+        blocks_per_axis=(4, 4, 4), cells_per_block=(5, 5, 5),
+        integ=IntegratorConfig(max_steps=60, rtol=1e-4, atol=1e-6))
+
+
+def test_callback_reseed_validation():
+    with pytest.raises(ValueError):
+        CallbackReseed(lambda l: np.zeros((2, 3)), budget=-1)
+    bad = CallbackReseed(lambda l: np.zeros((2, 2)))
+    line = Streamline(sid=0, seed=np.zeros(3))
+    with pytest.raises(ValueError):
+        bad.new_seeds(line)
+
+
+def test_callback_reseed_empty_ok():
+    policy = CallbackReseed(lambda l: np.zeros((0, 3)))
+    line = Streamline(sid=0, seed=np.zeros(3))
+    assert policy.new_seeds(line).shape == (0, 3)
+
+
+def test_reseed_requires_hybrid(problem):
+    with pytest.raises(ValueError, match="hybrid"):
+        run_streamlines(problem, algorithm="static",
+                        machine=MachineSpec(n_ranks=4),
+                        reseed=ContinueThroughBudget(budget=4))
+
+
+def test_dynamic_seeds_are_integrated(problem):
+    """Each terminated curve spawns one child until the budget runs out;
+    the run must finish with original + spawned curves all terminated."""
+    spawned_from = []
+
+    def spawn(line):
+        spawned_from.append(line.sid)
+        # One child at a nudged position (stays in-domain for interior
+        # terminations; out-of-domain spawns are dropped by the master).
+        return (line.position * 0.5).reshape(1, 3)
+
+    policy = CallbackReseed(spawn, budget=6)
+    result = run_streamlines(problem, algorithm="hybrid",
+                             machine=MachineSpec(n_ranks=6),
+                             reseed=policy)
+    assert result.ok
+    n_dynamic = len(result.streamlines) - problem.n_seeds
+    assert n_dynamic > 0
+    assert n_dynamic <= 6
+    # Spawned curves terminated like any other.
+    dynamic = result.streamlines[problem.n_seeds:]
+    assert all(l.status.terminated for l in dynamic)
+    assert all(l.sid >= 1_000_000 for l in dynamic)
+
+
+def test_budget_zero_spawns_nothing(problem):
+    policy = CallbackReseed(lambda l: l.position.reshape(1, 3), budget=0)
+    result = run_streamlines(problem, algorithm="hybrid",
+                             machine=MachineSpec(n_ranks=6),
+                             reseed=policy)
+    assert result.ok
+    assert len(result.streamlines) == problem.n_seeds
+
+
+def test_continue_through_budget_extends_orbits():
+    """Tokamak curves end on MAX_STEPS and respawn at their endpoint,
+    effectively extending the orbit across multiple curve objects."""
+    field = TokamakField()
+    seeds = dense_cluster_seeds((field.major_radius, 0.0, 0.0), 0.05, 4,
+                                seed=3, clip_bounds=field.domain)
+    problem = repro.ProblemSpec(
+        field=field, seeds=seeds,
+        blocks_per_axis=(4, 4, 4), cells_per_block=(5, 5, 5),
+        integ=IntegratorConfig(max_steps=40, h_max=0.04,
+                               rtol=1e-4, atol=1e-6))
+    result = run_streamlines(problem, algorithm="hybrid",
+                             machine=MachineSpec(n_ranks=4),
+                             reseed=ContinueThroughBudget(budget=8))
+    assert result.ok
+    assert len(result.streamlines) == 4 + 8  # every orbit continues
+    # A spawned curve starts where some earlier curve stopped.
+    originals = result.streamlines[:4]
+    children = result.streamlines[4:]
+    starts = np.stack([c.seed for c in children])
+    ends = np.stack([o.position for o in result.streamlines])
+    for s in starts:
+        assert np.min(np.linalg.norm(ends - s, axis=1)) < 1e-9
+
+
+def test_gap_refine_reseed_policy_unit():
+    policy = GapRefineReseed(axis=1, max_gap=0.1, budget=10)
+    a = Streamline(sid=0, seed=np.array([0.0, 0.0, 0.0]))
+    a.position = np.array([0.0, 0.0, 0.0])
+    assert len(policy.new_seeds(a)) == 0  # no neighbour yet
+    b = Streamline(sid=1, seed=np.array([0.0, 0.2, 0.0]))
+    b.position = np.array([5.0, 5.0, 5.0])  # far from a's endpoint
+    out = policy.new_seeds(b)
+    assert out.shape == (1, 3)
+    assert np.allclose(out[0], [0.0, 0.1, 0.0])  # midpoint of seeds
+
+
+def test_determinism_with_reseeding(problem):
+    policy_a = ContinueThroughBudget(budget=5)
+    policy_b = ContinueThroughBudget(budget=5)
+    a = run_streamlines(problem, algorithm="hybrid",
+                        machine=MachineSpec(n_ranks=6), reseed=policy_a)
+    b = run_streamlines(problem, algorithm="hybrid",
+                        machine=MachineSpec(n_ranks=6), reseed=policy_b)
+    assert a.wall_clock == b.wall_clock
+    assert len(a.streamlines) == len(b.streamlines)

@@ -1,0 +1,99 @@
+"""Tests of Static Allocation protocol properties."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.base import owner_of_block
+from repro.core.driver import run_streamlines
+from repro.fields import SupernovaField
+from repro.integrate import IntegratorConfig
+from repro.seeding import dense_cluster_seeds, sparse_random_seeds
+from repro.sim.machine import MachineSpec
+from repro.sim.trace import Trace
+
+
+@pytest.fixture(scope="module")
+def problem():
+    field = SupernovaField()
+    seeds = sparse_random_seeds(
+        field.domain.subbox((0.2, 0.2, 0.2), (0.8, 0.8, 0.8)), 30,
+        seed=9)
+    return repro.ProblemSpec(
+        field=field, seeds=seeds,
+        blocks_per_axis=(4, 4, 4), cells_per_block=(6, 6, 6),
+        integ=IntegratorConfig(max_steps=100, rtol=1e-5, atol=1e-7))
+
+
+def run_traced(problem, n_ranks=8, **spec_kw):
+    trace = Trace(enabled=True)
+    result = run_streamlines(problem, algorithm="static",
+                             machine=MachineSpec(n_ranks=n_ranks,
+                                                 **spec_kw),
+                             trace=trace)
+    return result, trace
+
+
+def test_ranks_only_load_owned_blocks(problem):
+    result, trace = run_traced(problem)
+    n_blocks = problem.n_blocks
+    for record in trace.select(event="block_load"):
+        owner = owner_of_block(record.get("block"), n_blocks, 8)
+        assert owner == record.rank, \
+            f"rank {record.rank} loaded foreign block {record.get('block')}"
+
+
+def test_block_efficiency_is_ideal(problem):
+    """Paper Figure 7/12/16: Static Allocation 'performs ideally, loading
+    each block once and never purging'."""
+    result, _ = run_traced(problem)
+    assert result.blocks_purged == 0
+    assert result.block_efficiency == 1.0
+
+
+def test_each_block_loaded_at_most_once_globally(problem):
+    result, trace = run_traced(problem)
+    loads = [r.get("block") for r in trace.select(event="block_load")]
+    assert len(loads) == len(set(loads))
+    assert result.blocks_loaded == len(loads)
+
+
+def test_streamlines_communicated_to_owner(problem):
+    _, trace = run_traced(problem)
+    n_blocks = problem.n_blocks
+    sent = trace.select(event="line_sent")
+    assert sent, "sparse supernova curves must cross rank boundaries"
+    for record in sent:
+        assert owner_of_block(record.get("block"), n_blocks, 8) \
+            == record.get("dest")
+
+
+def test_io_less_than_ondemand(problem):
+    static = run_streamlines(problem, algorithm="static",
+                             machine=MachineSpec(n_ranks=8))
+    ondemand = run_streamlines(problem, algorithm="ondemand",
+                               machine=MachineSpec(n_ranks=8,
+                                                   cache_blocks=4))
+    assert static.io_time < ondemand.io_time
+    assert static.blocks_loaded <= ondemand.blocks_loaded
+
+
+def test_dense_seeds_concentrate_load(problem):
+    """With a dense cluster, one rank does almost all the compute —
+    the load-imbalance pathology of §5.3."""
+    field = problem.field
+    dense = problem.with_seeds(dense_cluster_seeds(
+        (0.4, 0.4, 0.4), 0.02, 40, seed=1, clip_bounds=field.domain))
+    result = run_streamlines(dense, algorithm="static",
+                             machine=MachineSpec(n_ranks=8))
+    assert result.ok
+    per_rank_steps = sorted(m.steps for m in result.rank_metrics)
+    total = sum(per_rank_steps)
+    assert per_rank_steps[-1] > 0.35 * total  # one rank dominates
+
+
+def test_no_communication_with_one_rank(problem):
+    result = run_streamlines(problem, algorithm="static",
+                             machine=MachineSpec(n_ranks=1))
+    assert result.ok
+    assert result.messages_sent == 0

@@ -1,0 +1,50 @@
+"""Additional decomposition coverage: asymmetric grids and iteration."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.bounds import Bounds
+from repro.mesh.decomposition import Decomposition
+
+
+def test_single_block_decomposition():
+    dec = Decomposition(Bounds.cube(0.0, 1.0), (1, 1, 1), (4, 4, 4))
+    assert dec.n_blocks == 1
+    assert dec.info(0).bounds == dec.domain
+    assert dec.locate(np.array([0.5, 0.5, 0.5])) == 0
+
+
+def test_anisotropic_blocks_and_cells():
+    dec = Decomposition(Bounds((0, 0, 0), (4.0, 2.0, 1.0)),
+                        (4, 2, 1), (10, 5, 2))
+    assert dec.n_blocks == 8
+    info = dec.info(dec.linear_id(3, 1, 0))
+    assert np.allclose(info.bounds.lo_array, [3.0, 1.0, 0.0])
+    assert np.allclose(info.bounds.hi_array, [4.0, 2.0, 1.0])
+    assert info.node_dims == (11, 6, 3)
+    assert dec.global_cell_dims == (40, 10, 2)
+
+
+def test_info_iteration_order_is_linear_ids():
+    dec = Decomposition(Bounds.cube(0.0, 1.0), (2, 3, 2), (2, 2, 2))
+    ids = [info.block_id for info in dec]
+    assert ids == list(range(12))
+    assert dec.infos[5].block_id == 5
+
+
+def test_negative_domain_coordinates():
+    dec = Decomposition(Bounds.cube(-8.0, 8.0), (4, 4, 4), (3, 3, 3))
+    assert dec.locate(np.array([-7.9, -7.9, -7.9])) == 0
+    assert dec.locate(np.array([7.9, 7.9, 7.9])) == 63
+    for bid in (0, 21, 63):
+        assert dec.info(bid).bounds.contains(dec.info(bid).bounds.center)
+
+
+def test_paper_scale_decomposition():
+    """The evaluation's 512-block layout."""
+    dec = Decomposition(Bounds.cube(-1.0, 1.0), (8, 8, 8), (8, 8, 8))
+    assert dec.n_blocks == 512
+    # Every block has equal volume.
+    vols = {round(info.bounds.volume, 12) for info in dec}
+    assert len(vols) == 1
+    assert dec.global_cell_dims == (64, 64, 64)

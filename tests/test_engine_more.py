@@ -1,0 +1,116 @@
+"""Additional engine/network edge cases discovered during development."""
+
+import pytest
+
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Engine, Signal, Sleep, Wait
+from repro.sim.machine import MachineSpec
+
+
+def test_nested_generators_compose():
+    """yield from composes blocking helpers, the core coding pattern."""
+    engine = Engine()
+    log = []
+
+    def helper(n):
+        for i in range(n):
+            yield Sleep(1.0)
+        return n * 10
+
+    def prog():
+        a = yield from helper(2)
+        b = yield from helper(1)
+        log.append((a, b, engine.now))
+
+    engine.spawn("p", prog())
+    engine.run()
+    assert log == [(20, 10, 3.0)]
+
+
+def test_process_can_spawn_process():
+    engine = Engine()
+    log = []
+
+    def child():
+        yield Sleep(1.0)
+        log.append("child")
+
+    def parent():
+        engine.spawn("child", child())
+        yield Sleep(0.5)
+        log.append("parent")
+
+    engine.spawn("parent", parent())
+    engine.run()
+    assert log == ["parent", "child"]
+
+
+def test_signal_refire_after_drain():
+    """A signal can be waited on repeatedly (edge-triggered each time)."""
+    engine = Engine()
+    sig = Signal()
+    hits = []
+
+    def waiter():
+        for _ in range(3):
+            v = yield Wait(sig)
+            hits.append(v)
+
+    def firer():
+        for i in range(3):
+            yield Sleep(1.0)
+            sig.fire(i)
+
+    engine.spawn("w", waiter())
+    engine.spawn("f", firer())
+    engine.run()
+    assert hits == [0, 1, 2]
+
+
+def test_messages_to_self_via_third_rank():
+    """Request/response ping-pong between two ranks terminates."""
+    cluster = Cluster(MachineSpec(n_ranks=2))
+    transcript = []
+
+    def ping(ctx):
+        for i in range(3):
+            yield from ctx.comm.send(1, "ping", i, 10)
+            msgs = yield from ctx.comm.recv_wait()
+            transcript.append(("pong", msgs[0].payload))
+
+    def pong(ctx):
+        for _ in range(3):
+            msgs = yield from ctx.comm.recv_wait()
+            for m in msgs:
+                yield from ctx.comm.send(0, "pong", m.payload + 100, 10)
+
+    cluster.engine.spawn("ping", ping(cluster.context(0)))
+    cluster.engine.spawn("pong", pong(cluster.context(1)))
+    cluster.run()
+    assert transcript == [("pong", 100), ("pong", 101), ("pong", 102)]
+
+
+def test_wall_clock_reflects_critical_path():
+    """Two independent ranks: the wall clock is the max, not the sum."""
+    cluster = Cluster(MachineSpec(n_ranks=2, seconds_per_step=1.0))
+
+    def prog(ctx, steps):
+        yield from ctx.compute(steps)
+
+    cluster.engine.spawn("a", prog(cluster.context(0), 3))
+    cluster.engine.spawn("b", prog(cluster.context(1), 7))
+    wall = cluster.run()
+    assert wall == pytest.approx(7.0)
+    assert cluster.metrics[0].compute_time == pytest.approx(3.0)
+
+
+def test_engine_not_reentrant():
+    engine = Engine()
+
+    def prog():
+        engine.run()
+        yield Sleep(0.0)
+
+    engine.spawn("p", prog())
+    with pytest.raises(Exception):
+        engine.run()

@@ -1,0 +1,40 @@
+"""Tests of the compact-communication comparison (§8)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.ext.compactcomm import compare_compact_communication
+from repro.fields import SupernovaField
+from repro.integrate import IntegratorConfig
+from repro.seeding import sparse_random_seeds
+from repro.sim.machine import MachineSpec
+
+
+@pytest.fixture(scope="module")
+def problem():
+    field = SupernovaField()
+    seeds = sparse_random_seeds(
+        field.domain.subbox((0.2, 0.2, 0.2), (0.8, 0.8, 0.8)), 30,
+        seed=21)
+    return repro.ProblemSpec(
+        field=field, seeds=seeds,
+        blocks_per_axis=(4, 4, 4), cells_per_block=(6, 6, 6),
+        integ=IntegratorConfig(max_steps=100, rtol=1e-5, atol=1e-7))
+
+
+def test_compact_comm_saves_bytes(problem):
+    report = compare_compact_communication(
+        problem, machine=MachineSpec(n_ranks=8))
+    assert report.compact_bytes <= report.full_bytes
+    assert 0.0 <= report.bytes_saved_fraction <= 1.0
+    assert report.bytes_saved == report.full_bytes - report.compact_bytes
+
+
+def test_compact_comm_report_fields(problem):
+    report = compare_compact_communication(
+        problem, machine=MachineSpec(n_ranks=8))
+    assert report.full_wall > 0
+    assert report.compact_wall > 0
+    assert report.comm_time_saved \
+        == pytest.approx(report.full_comm_time - report.compact_comm_time)

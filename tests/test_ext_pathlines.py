@@ -1,0 +1,167 @@
+"""Tests of the pathline extension (§8)."""
+
+import numpy as np
+import pytest
+
+from repro.ext.pathlines import (
+    IOPlan,
+    TimeBlockKey,
+    UnsteadyDecomposition,
+    integrate_pathlines,
+    io_plan_comparison,
+)
+from repro.fields.base import FrozenTimeField, TimeVaryingField
+from repro.fields.library import RigidRotationField, UniformField
+from repro.integrate.config import IntegratorConfig
+from repro.integrate.streamline import Status
+from repro.mesh.bounds import Bounds
+from repro.mesh.decomposition import Decomposition
+
+
+class AcceleratingField(TimeVaryingField):
+    """v = (1 + t, 0, 0): analytic pathline x(t) = x0 + t + t^2/2."""
+
+    name = "accelerating"
+
+    @property
+    def domain(self):
+        return Bounds.cube(0.0, 4.0)
+
+    @property
+    def time_range(self):
+        return (0.0, 2.0)
+
+    def evaluate(self, points, t):
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        out = np.zeros_like(pts)
+        out[:, 0] = 1.0 + t
+        return out
+
+
+def make_unsteady(field, n_timesteps=9, blocks=(2, 2, 2)):
+    spatial = Decomposition(field.domain, blocks, (6, 6, 6))
+    return UnsteadyDecomposition(spatial, n_timesteps, field.time_range)
+
+
+def test_unsteady_decomposition_validation():
+    field = AcceleratingField()
+    spatial = Decomposition(field.domain, (2, 2, 2), (4, 4, 4))
+    with pytest.raises(ValueError):
+        UnsteadyDecomposition(spatial, 1, (0.0, 1.0))
+    with pytest.raises(ValueError):
+        UnsteadyDecomposition(spatial, 4, (1.0, 1.0))
+
+
+def test_time_indices_bracketing():
+    dec = make_unsteady(AcceleratingField(), n_timesteps=5)  # t = 0,.5,..2
+    lo, hi, w = dec.time_indices(0.75)
+    assert (lo, hi) == (1, 2)
+    assert w == pytest.approx(0.5)
+    lo, hi, w = dec.time_indices(2.0)  # top edge
+    assert (lo, hi) == (3, 4)
+    with pytest.raises(ValueError):
+        dec.time_indices(2.5)
+
+
+def test_pathline_matches_analytic_solution():
+    """x(t) = x0 + t + t^2/2 for the accelerating field."""
+    field = AcceleratingField()
+    dec = make_unsteady(field, n_timesteps=21)
+    seeds = np.array([[0.5, 2.0, 2.0]])
+    cfg = IntegratorConfig(max_steps=100_000, h_init=0.02, h_max=0.02)
+    lines, stats = integrate_pathlines(field, dec, seeds, cfg=cfg)
+    line = lines[0]
+    # Runs until t = 2 (end of data) unless it exits the box first.
+    expect_x = 0.5 + line.time + 0.5 * line.time ** 2
+    assert line.position[0] == pytest.approx(expect_x, abs=1e-3)
+    assert stats.loads > 0
+
+
+def test_pathline_through_frozen_field_equals_streamline_shape():
+    """A steady field lifted in time gives circular pathlines."""
+    steady = RigidRotationField(domain=Bounds.cube(-1.0, 1.0))
+    field = FrozenTimeField(steady, time_range=(0.0, 2.0 * np.pi))
+    spatial = Decomposition(steady.domain, (2, 2, 2), (6, 6, 6))
+    dec = UnsteadyDecomposition(spatial, 5, field.time_range)
+    seeds = np.array([[0.5, 0.0, 0.0]])
+    cfg = IntegratorConfig(max_steps=100_000, h_init=0.01, h_max=0.01)
+    lines, _ = integrate_pathlines(field, dec, seeds, cfg=cfg)
+    v = lines[0].vertices()
+    r = np.sqrt(v[:, 0] ** 2 + v[:, 1] ** 2)
+    assert np.allclose(r, 0.5, atol=0.01)  # stays on its circle
+    # Completed (close to) a full revolution by t = 2*pi.
+    assert lines[0].time == pytest.approx(2.0 * np.pi, abs=0.05)
+
+
+def test_pathline_ends_at_data_end():
+    # Unit speed, 2 seconds of data, 4-unit box: data ends first.
+    steady = UniformField(velocity=(1.0, 0.0, 0.0),
+                          domain=Bounds.cube(0.0, 4.0))
+    field = FrozenTimeField(steady, time_range=(0.0, 2.0))
+    dec = make_unsteady(field)
+    lines, _ = integrate_pathlines(
+        field, dec, np.array([[0.1, 2.0, 2.0]]),
+        cfg=IntegratorConfig(max_steps=100_000, h_init=0.05, h_max=0.05))
+    assert lines[0].status is Status.MAX_STEPS  # end-of-data termination
+    assert lines[0].time == pytest.approx(2.0, abs=1e-6)
+    assert lines[0].position[0] == pytest.approx(2.1, abs=1e-6)
+
+
+def test_pathline_exits_domain():
+    field = AcceleratingField()
+    dec = make_unsteady(field)
+    lines, _ = integrate_pathlines(
+        field, dec, np.array([[3.9, 2.0, 2.0]]),
+        cfg=IntegratorConfig(max_steps=100_000, h_init=0.05, h_max=0.05))
+    assert lines[0].status is Status.OUT_OF_BOUNDS
+
+
+def test_out_of_domain_seed():
+    field = AcceleratingField()
+    dec = make_unsteady(field)
+    lines, _ = integrate_pathlines(field, dec,
+                                   np.array([[9.0, 9.0, 9.0]]))
+    assert lines[0].status is Status.OUT_OF_BOUNDS
+
+
+def test_small_cache_purges_time_blocks():
+    field = AcceleratingField()
+    dec = make_unsteady(field, n_timesteps=11)
+    # Two nearby seeds traverse the same (block, time) pairs; a tight
+    # cache evicts them between curves and must reload.
+    seeds = np.array([[0.2, 1.0, 1.0], [0.25, 1.0, 1.0]])
+    cfg = IntegratorConfig(max_steps=100_000, h_init=0.02, h_max=0.02)
+    _, tight = integrate_pathlines(field, dec, seeds, cfg=cfg,
+                                   cache_slots=2)
+    _, roomy = integrate_pathlines(field, dec, seeds, cfg=cfg,
+                                   cache_slots=64)
+    assert tight.loads > roomy.loads
+    assert tight.block_efficiency < 1.0
+    assert roomy.block_efficiency == 1.0
+
+
+def test_io_plan_forwarding_saves_reads():
+    """The §8 read-once-forward plan reads each (block, time) once."""
+    k = TimeBlockKey
+    touches = [
+        [k(0, 0), k(1, 0), k(1, 1)],   # curve 0 on rank 0
+        [k(1, 0), k(1, 1), k(2, 1)],   # curve 1 on rank 1
+        [k(0, 0), k(2, 1)],            # curve 2 on rank 1
+    ]
+    naive, fwd = io_plan_comparison({}, n_ranks=2,
+                                    seed_assignment=[0, 1, 1],
+                                    touches_by_curve=touches)
+    # Rank 0 needs 3 pairs; rank 1 needs 4 distinct pairs -> naive 7.
+    assert naive.reads_from_disk == 7
+    assert naive.blocks_forwarded == 0
+    # 4 distinct pairs overall; 3 rank-needs are satisfied by forwards.
+    assert fwd.reads_from_disk == 4
+    assert fwd.blocks_forwarded == 3
+    assert fwd.total_transfers() == naive.reads_from_disk
+
+
+def test_io_plan_validation():
+    with pytest.raises(ValueError):
+        io_plan_comparison({}, 2, [0], [])
+    with pytest.raises(ValueError):
+        io_plan_comparison({}, 2, [5], [[TimeBlockKey(0, 0)]])

@@ -1,0 +1,81 @@
+"""Tests of stream-surface computation with dynamic seed insertion."""
+
+import numpy as np
+import pytest
+
+from repro.ext.surface import StreamSurface, compute_stream_surface
+from repro.fields.library import SaddleField, UniformField
+from repro.integrate.config import IntegratorConfig
+from repro.mesh.bounds import Bounds
+from repro.mesh.decomposition import Decomposition
+
+
+def seeding_segment(a, b):
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+
+    def curve(u: np.ndarray) -> np.ndarray:
+        return a[None, :] + np.asarray(u)[:, None] * (b - a)[None, :]
+
+    return curve
+
+
+def test_uniform_flow_needs_no_refinement():
+    """Parallel streamlines never diverge: zero insertions."""
+    field = UniformField(velocity=(1.0, 0.0, 0.0),
+                         domain=Bounds.cube(0.0, 1.0))
+    dec = Decomposition(field.domain, (2, 2, 2), (5, 5, 5))
+    surface = compute_stream_surface(
+        field, dec, seeding_segment([0.05, 0.2, 0.5], [0.05, 0.8, 0.5]),
+        initial_seeds=6, max_gap=0.2,
+        cfg=IntegratorConfig(max_steps=100, h_max=0.05))
+    assert surface.inserted == 0
+    assert len(surface.streamlines) == 6
+
+
+def test_diverging_flow_inserts_seeds():
+    """A saddle separates neighbours exponentially: refinement fires."""
+    field = SaddleField(expand=2.0, domain=Bounds.cube(-1.0, 1.0))
+    dec = Decomposition(field.domain, (2, 2, 2), (5, 5, 5))
+    surface = compute_stream_surface(
+        field, dec,
+        seeding_segment([-0.02, 0.5, 0.0], [0.02, 0.5, 0.0]),
+        initial_seeds=3, max_gap=0.08,
+        cfg=IntegratorConfig(max_steps=150, h_max=0.02))
+    assert surface.inserted > 0
+    assert len(surface.streamlines) == 3 + surface.inserted
+    # Parameters remain sorted along the seeding curve.
+    assert surface.seed_parameters == sorted(surface.seed_parameters)
+
+
+def test_refinement_respects_budget():
+    field = SaddleField(expand=3.0, domain=Bounds.cube(-1.0, 1.0))
+    dec = Decomposition(field.domain, (2, 2, 2), (5, 5, 5))
+    surface = compute_stream_surface(
+        field, dec,
+        seeding_segment([-0.05, 0.5, 0.0], [0.05, 0.5, 0.0]),
+        initial_seeds=3, max_gap=0.0001, max_insertions=7, max_rounds=3,
+        cfg=IntegratorConfig(max_steps=60, h_max=0.02))
+    assert surface.inserted <= 7
+    assert surface.rounds <= 3
+
+
+def test_triangle_estimate_positive():
+    field = UniformField(velocity=(1.0, 0.0, 0.0),
+                         domain=Bounds.cube(0.0, 1.0))
+    dec = Decomposition(field.domain, (1, 1, 1), (6, 6, 6))
+    surface = compute_stream_surface(
+        field, dec, seeding_segment([0.05, 0.2, 0.5], [0.05, 0.8, 0.5]),
+        initial_seeds=4, max_gap=0.5,
+        cfg=IntegratorConfig(max_steps=50, h_max=0.05))
+    assert surface.triangle_count_estimate() > 0
+
+
+def test_parameter_validation():
+    field = UniformField(domain=Bounds.cube(0.0, 1.0))
+    dec = Decomposition(field.domain, (1, 1, 1), (4, 4, 4))
+    curve = seeding_segment([0.1, 0.1, 0.5], [0.1, 0.9, 0.5])
+    with pytest.raises(ValueError):
+        compute_stream_surface(field, dec, curve, initial_seeds=1)
+    with pytest.raises(ValueError):
+        compute_stream_surface(field, dec, curve, max_gap=0.0)

@@ -1,0 +1,168 @@
+"""Tests of the three application-dataset stand-ins.
+
+These check the *transport structure* each field must contribute to the
+evaluation (DESIGN.md §2), not specific velocity values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fields import (
+    SupernovaField,
+    ThermalHydraulicsField,
+    TokamakField,
+)
+from repro.integrate import IntegratorConfig, integrate_single
+from repro.mesh.decomposition import Decomposition
+from repro.seeding import circle_seeds, dense_cluster_seeds, sparse_random_seeds
+
+
+def blocks_visited(field, seeds, max_steps=150):
+    dec = Decomposition(field.domain, (4, 4, 4), (6, 6, 6))
+    cfg = IntegratorConfig(max_steps=max_steps, rtol=1e-4, atol=1e-6)
+    blocks = {}
+    lines = integrate_single(field, dec, seeds, cfg, blocks=blocks)
+    return lines, blocks, dec
+
+
+# --------------------------------------------------------------------- #
+# Supernova
+# --------------------------------------------------------------------- #
+def test_supernova_deterministic_in_seed():
+    a = SupernovaField(seed=3)
+    b = SupernovaField(seed=3)
+    c = SupernovaField(seed=4)
+    pts = np.random.default_rng(0).uniform(-0.9, 0.9, size=(20, 3))
+    assert np.allclose(a.evaluate(pts), b.evaluate(pts))
+    assert not np.allclose(a.evaluate(pts), c.evaluate(pts))
+
+
+def test_supernova_finite_everywhere():
+    f = SupernovaField()
+    pts = np.random.default_rng(1).uniform(-1, 1, size=(500, 3))
+    v = f.evaluate(pts)
+    assert np.all(np.isfinite(v))
+    assert np.all(np.linalg.norm(v, axis=1) < 50.0)
+
+
+def test_supernova_core_attracts():
+    """Radial velocity component is negative inside the core radius."""
+    f = SupernovaField()
+    rng = np.random.default_rng(2)
+    d = rng.normal(size=(50, 3))
+    d /= np.linalg.norm(d, axis=1, keepdims=True)
+    pts = d * (0.5 * f.core_radius)
+    v = f.evaluate(pts)
+    radial = np.einsum("kc,kc->k", v, d)
+    assert np.mean(radial) < 0.0
+
+
+def test_supernova_rotates_about_z():
+    f = SupernovaField(turbulence=0.0)
+    p = np.array([[0.3, 0.0, 0.0]])
+    v = f.evaluate(p)
+    assert v[0, 1] > 0.0  # counter-clockwise rotation
+
+
+def test_supernova_sparse_seeds_traverse_many_blocks():
+    f = SupernovaField()
+    seeds = sparse_random_seeds(f.domain, 30, seed=5)
+    lines, blocks, dec = blocks_visited(f, seeds)
+    per_curve = [len(set(np.unique(dec.locate(l.vertices()))))
+                 for l in lines]
+    assert np.mean(per_curve) > 3.0
+
+
+def test_supernova_invalid_radii_rejected():
+    with pytest.raises(ValueError):
+        SupernovaField(core_radius=0.5, shock_radius=0.3)
+
+
+# --------------------------------------------------------------------- #
+# Tokamak
+# --------------------------------------------------------------------- #
+def test_tokamak_field_is_toroidal():
+    """Inside the plasma, the field is dominated by the toroidal
+    component (perpendicular to the cylindrical radius)."""
+    f = TokamakField(edge_chaos=0.0)
+    p = np.array([[f.major_radius, 0.0, 0.0]])
+    v = f.evaluate(p)
+    # At this point e_phi = (0, 1, 0).
+    assert abs(v[0, 1]) > 5 * abs(v[0, 0])
+    assert abs(v[0, 1]) > 5 * abs(v[0, 2])
+
+
+def test_tokamak_flux_radius_nearly_conserved():
+    """Without edge chaos, field lines stay on their flux surface."""
+    f = TokamakField(edge_chaos=0.0)
+    seeds = np.array([[f.major_radius + 0.1, 0.0, 0.0]])
+    dec = Decomposition(f.domain, (4, 4, 4), (8, 8, 8))
+    cfg = IntegratorConfig(max_steps=400, h_max=0.02, rtol=1e-6, atol=1e-9)
+    lines = integrate_single(f, dec, seeds, cfg)
+    rho = f.flux_radius(lines[0].vertices())
+    # Sampled-grid interpolation adds error; rho must stay near 0.1.
+    assert rho.min() > 0.04 and rho.max() < 0.2
+
+
+def test_tokamak_lines_orbit_not_exit():
+    """Seeds inside the torus keep orbiting (MAX_STEPS termination)."""
+    f = TokamakField()
+    seeds = dense_cluster_seeds((f.major_radius, 0.0, 0.0), 0.05, 12,
+                                seed=7, clip_bounds=f.domain)
+    lines, _, _ = blocks_visited(f, seeds, max_steps=150)
+    max_steps_count = sum(l.status.name == "MAX_STEPS" for l in lines)
+    assert max_steps_count >= 10
+
+
+def test_tokamak_finite_near_machine_axis():
+    f = TokamakField()
+    pts = np.array([[0.0, 0.0, 0.0], [1e-6, 0.0, 0.5]])
+    v = f.evaluate(pts)
+    assert np.all(np.isfinite(v))
+    assert np.all(np.abs(v) < 100)
+
+
+def test_tokamak_invalid_radii_rejected():
+    with pytest.raises(ValueError):
+        TokamakField(major_radius=0.3, minor_radius=0.4)
+
+
+# --------------------------------------------------------------------- #
+# Thermal hydraulics
+# --------------------------------------------------------------------- #
+def test_thermal_jets_flow_into_box():
+    f = ThermalHydraulicsField()
+    inlets = f.inlet_positions() + [0.01, 0.0, 0.0]
+    v = f.evaluate(inlets)
+    assert np.all(v[:, 0] > 0.5)  # strong +x at the inlet mouths
+
+
+def test_thermal_no_outflow_through_inlet_wall():
+    """Near x=0 the x-velocity is non-negative (wall damping)."""
+    f = ThermalHydraulicsField()
+    rng = np.random.default_rng(3)
+    pts = rng.uniform(size=(200, 3))
+    pts[:, 0] = 1e-9
+    assert np.all(f.evaluate(pts)[:, 0] >= -1e-9)
+
+
+def test_thermal_outlet_pulls():
+    f = ThermalHydraulicsField()
+    p = np.array([[0.9, 0.85, 0.85]])
+    v = f.evaluate(p)
+    to_outlet = np.asarray(f.outlet_center) - p[0]
+    assert np.dot(v[0], to_outlet) > 0.0
+
+
+def test_thermal_dense_circle_touches_few_blocks():
+    """The dense inlet seeding needs little data (paper §5.3)."""
+    f = ThermalHydraulicsField()
+    cy, cz = f.inlet_centers[0]
+    seeds = circle_seeds((0.06, cy, cz), 0.03, 40)
+    lines, blocks, _ = blocks_visited(f, seeds, max_steps=60)
+    assert len(blocks) <= 32  # out of 64
+
+
+def test_thermal_needs_an_inlet():
+    with pytest.raises(ValueError):
+        ThermalHydraulicsField(inlet_centers=())

@@ -1,0 +1,114 @@
+"""Tests of the reference field library (closed-form behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.fields.library import (
+    ABCFlowField,
+    DoubleGyreField,
+    RigidRotationField,
+    SaddleField,
+    SinkField,
+    SourceField,
+    UniformField,
+)
+
+
+def batch(*pts):
+    return np.array(pts, dtype=np.float64)
+
+
+def test_uniform_everywhere():
+    f = UniformField(velocity=(2.0, -1.0, 0.5))
+    out = f.evaluate(batch([0.1, 0.2, 0.3], [0.9, 0.9, 0.9]))
+    assert np.allclose(out, [[2.0, -1.0, 0.5]] * 2)
+
+
+def test_uniform_rejects_bad_velocity():
+    with pytest.raises(ValueError):
+        UniformField(velocity=(1.0, 2.0))
+
+
+def test_rotation_is_tangential():
+    f = RigidRotationField(omega=2.0)
+    pts = batch([0.5, 0.0, 0.1], [0.0, 0.3, -0.2])
+    v = f.evaluate(pts)
+    # v perpendicular to radial direction in the xy-plane.
+    radial = pts.copy()
+    radial[:, 2] = 0.0
+    assert np.allclose(np.einsum("kc,kc->k", v, radial), 0.0)
+    # Speed = omega * cylindrical radius.
+    r = np.linalg.norm(radial, axis=1)
+    assert np.allclose(np.linalg.norm(v, axis=1), 2.0 * r)
+
+
+def test_rotation_zero_on_axis():
+    f = RigidRotationField()
+    assert np.allclose(f.evaluate(batch([0.0, 0.0, 0.5])), 0.0)
+
+
+def test_source_points_outward_sink_inward():
+    src = SourceField(strength=2.0)
+    snk = SinkField(strength=2.0)
+    p = batch([0.3, 0.4, 0.0])
+    assert np.allclose(src.evaluate(p), 2.0 * p)
+    assert np.allclose(snk.evaluate(p), -2.0 * p)
+
+
+def test_saddle_axes():
+    f = SaddleField(expand=3.0, contract=2.0)
+    v = f.evaluate(batch([1.0, 1.0, 1.0]))
+    assert np.allclose(v, [[3.0, -2.0, -2.0]])
+
+
+def test_abc_flow_is_beltrami():
+    """For the ABC flow, curl(v) = v — check via finite differences."""
+    f = ABCFlowField()
+    rng = np.random.default_rng(0)
+    pts = rng.uniform(0.5, 5.5, size=(10, 3))
+    eps = 1e-6
+
+    def partial(axis):
+        d = np.zeros(3)
+        d[axis] = eps
+        return (f.evaluate(pts + d) - f.evaluate(pts - d)) / (2 * eps)
+
+    dv_dx, dv_dy, dv_dz = partial(0), partial(1), partial(2)
+    curl = np.stack([
+        dv_dy[:, 2] - dv_dz[:, 1],
+        dv_dz[:, 0] - dv_dx[:, 2],
+        dv_dx[:, 1] - dv_dy[:, 0],
+    ], axis=1)
+    assert np.allclose(curl, f.evaluate(pts), atol=1e-5)
+
+
+def test_double_gyre_no_flow_through_walls():
+    f = DoubleGyreField()
+    # x-velocity vanishes on x=0 and x=2 walls; y-velocity on y=0, y=1.
+    ys = np.linspace(0.05, 0.95, 7)
+    walls_x = np.array([[0.0, y, 0.5] for y in ys]
+                       + [[2.0, y, 0.5] for y in ys])
+    assert np.allclose(f.evaluate(walls_x)[:, 0], 0.0, atol=1e-12)
+    xs = np.linspace(0.05, 1.95, 7)
+    walls_y = np.array([[x, 0.0, 0.5] for x in xs]
+                       + [[x, 1.0, 0.5] for x in xs])
+    assert np.allclose(f.evaluate(walls_y)[:, 1], 0.0, atol=1e-12)
+
+
+def test_double_gyre_is_planar():
+    f = DoubleGyreField()
+    rng = np.random.default_rng(1)
+    pts = rng.uniform(size=(20, 3)) * [2.0, 1.0, 1.0]
+    assert np.allclose(f.evaluate(pts)[:, 2], 0.0)
+
+
+def test_speed_helper():
+    f = UniformField(velocity=(3.0, 4.0, 0.0))
+    s = f.speed(batch([0.5, 0.5, 0.5]))
+    assert np.allclose(s, [5.0])
+
+
+def test_callable_protocol():
+    f = SourceField()
+    p = batch([0.1, 0.1, 0.1])
+    assert np.allclose(f(p), f.evaluate(p))

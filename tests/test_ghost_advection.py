@@ -1,0 +1,64 @@
+"""Ghost-layer sampling: correctness of the one-cell-overlap option.
+
+The paper notes blocks "may or may not have ghost cells for connectivity
+purposes".  The default pipeline shares boundary nodes instead; these
+tests cover the ghost path for users who want overlap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fields import UniformField, sample_block
+from repro.fields.library import RigidRotationField
+from repro.mesh.bounds import Bounds
+from repro.mesh.decomposition import Decomposition
+
+
+@pytest.fixture
+def dec():
+    return Decomposition(Bounds.cube(0.0, 1.0), (2, 2, 2), (4, 4, 4))
+
+
+def test_ghost_data_matches_neighbour_interior(dec):
+    """A block's ghost nodes carry exactly the neighbour's interior
+    samples (same field, same coordinates)."""
+    field = RigidRotationField(domain=Bounds.cube(0.0, 1.0))
+    left = sample_block(field, dec.info(dec.linear_id(0, 0, 0)),
+                        ghost_layers=1)
+    right = sample_block(field, dec.info(dec.linear_id(1, 0, 0)),
+                         ghost_layers=0)
+    # Left block's +x ghost plane == right block's second node plane.
+    # Left ghost data shape: (4+1+2) nodes in x; index -1 is the ghost.
+    ghost_plane = left.data[-1, 1:-1, 1:-1]
+    neighbour_plane = right.data[1, :, :]
+    assert np.allclose(ghost_plane, neighbour_plane, atol=1e-12)
+
+
+def test_ghost_sampling_interpolates_across_face(dec):
+    field = RigidRotationField(domain=Bounds.cube(0.0, 1.0))
+    block = sample_block(field, dec.info(0), ghost_layers=2)
+    # Query a strip straddling the +x face of the block.
+    xs = np.linspace(0.45, 0.55, 11)
+    pts = np.stack([xs, np.full_like(xs, 0.2),
+                    np.full_like(xs, 0.2)], axis=1)
+    out = block.velocity(pts)
+    ref = field.evaluate(pts)
+    assert np.allclose(out, ref, atol=1e-12)  # linear field: exact
+
+
+def test_ghost_layers_change_memory_footprint(dec):
+    field = UniformField(domain=Bounds.cube(0.0, 1.0))
+    g0 = sample_block(field, dec.info(0), ghost_layers=0)
+    g2 = sample_block(field, dec.info(0), ghost_layers=2)
+    assert g2.nbytes_actual > g0.nbytes_actual
+    assert g2.data.shape[0] == g0.data.shape[0] + 4
+
+
+def test_ghost_block_still_reports_true_bounds(dec):
+    field = UniformField(domain=Bounds.cube(0.0, 1.0))
+    block = sample_block(field, dec.info(0), ghost_layers=1)
+    assert block.bounds == dec.info(0).bounds
+    assert block.sample_bounds.lo[0] < block.bounds.lo[0]
+    # contains() uses true bounds, not ghost-extended ones.
+    just_outside = np.array([0.52, 0.1, 0.1])
+    assert not bool(np.all(block.contains(just_outside)))

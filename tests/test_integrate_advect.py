@@ -1,0 +1,174 @@
+"""Tests of the in-block advection kernel and streamline lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.fields import UniformField, sample_block
+from repro.fields.library import RigidRotationField, SinkField
+from repro.integrate.advect import advance_batch
+from repro.integrate.config import IntegratorConfig
+from repro.integrate.dopri5 import Dopri5
+from repro.integrate.streamline import Status, Streamline, make_streamlines
+from repro.mesh.bounds import Bounds
+from repro.mesh.decomposition import Decomposition
+
+
+def make_setup(field, blocks=(2, 2, 2), cells=(6, 6, 6)):
+    dec = Decomposition(field.domain, blocks, cells)
+    return dec
+
+
+def block_of(field, dec, bid):
+    return sample_block(field, dec.info(bid))
+
+
+def test_uniform_flow_exits_block():
+    field = UniformField(velocity=(1.0, 0.0, 0.0),
+                         domain=Bounds.cube(0.0, 1.0))
+    dec = make_setup(field)
+    block = block_of(field, dec, 0)
+    line = Streamline(sid=0, seed=np.array([0.1, 0.25, 0.25]),
+                      block_id=0)
+    cfg = IntegratorConfig(max_steps=500, h_max=0.05)
+    res = advance_batch([line], block, field.domain, Dopri5(), cfg)
+    assert line.status is Status.ACTIVE
+    assert res.exited == [line]
+    assert res.terminated == []
+    assert line.position[0] > 0.5  # crossed the block face
+    assert line.block_id == -2  # caller must relocate
+
+
+def test_uniform_flow_eventually_out_of_domain():
+    field = UniformField(velocity=(1.0, 0.0, 0.0),
+                         domain=Bounds.cube(0.0, 1.0))
+    dec = make_setup(field)
+    # Last block in x: the particle will exit the domain itself.
+    bid = dec.linear_id(1, 0, 0)
+    block = block_of(field, dec, bid)
+    line = Streamline(sid=0, seed=np.array([0.6, 0.25, 0.25]),
+                      block_id=bid)
+    cfg = IntegratorConfig(max_steps=500, h_max=0.05)
+    res = advance_batch([line], block, field.domain, Dopri5(), cfg)
+    assert line.status is Status.OUT_OF_BOUNDS
+    assert res.terminated == [line]
+
+
+def test_max_steps_termination():
+    field = RigidRotationField(domain=Bounds.cube(-1.0, 1.0))
+    dec = make_setup(field)
+    bid = int(dec.locate(np.array([0.1, 0.1, 0.1])))
+    block = block_of(field, dec, bid)
+    line = Streamline(sid=0, seed=np.array([0.1, 0.1, 0.1]), block_id=bid)
+    cfg = IntegratorConfig(max_steps=5, h_init=0.001, h_max=0.001)
+    advance_batch([line], block, field.domain, Dopri5(), cfg)
+    assert line.status is Status.MAX_STEPS
+    assert line.steps == 5
+
+
+def test_zero_velocity_termination_at_sink():
+    field = SinkField(domain=Bounds.cube(-1.0, 1.0))
+    dec = make_setup(field)
+    bid = int(dec.locate(np.array([0.05, 0.05, 0.05])))
+    block = block_of(field, dec, bid)
+    line = Streamline(sid=0, seed=np.array([0.05, 0.05, 0.05]),
+                      block_id=bid)
+    cfg = IntegratorConfig(max_steps=5000, min_speed=1e-4, h_max=0.1)
+    advance_batch([line], block, field.domain, Dopri5(), cfg)
+    assert line.status is Status.ZERO_VELOCITY
+    # The particle converged near the origin.
+    assert np.linalg.norm(line.position) < 0.05
+
+
+def test_geometry_accumulates_with_seed_first():
+    field = UniformField(velocity=(1.0, 0.0, 0.0),
+                         domain=Bounds.cube(0.0, 1.0))
+    dec = make_setup(field)
+    block = block_of(field, dec, 0)
+    seed = np.array([0.1, 0.2, 0.2])
+    line = Streamline(sid=0, seed=seed, block_id=0)
+    cfg = IntegratorConfig(max_steps=100, h_max=0.02)
+    advance_batch([line], block, field.domain, Dopri5(), cfg)
+    verts = line.vertices()
+    assert np.allclose(verts[0], seed)
+    assert len(verts) == line.steps + 1
+    # Vertices advance monotonically in x for uniform +x flow.
+    assert np.all(np.diff(verts[:, 0]) > 0)
+
+
+def test_batch_equals_individual_trajectories():
+    field = RigidRotationField(domain=Bounds.cube(-1.0, 1.0))
+    dec = make_setup(field)
+    bid = int(dec.locate(np.array([0.2, 0.2, 0.1])))
+    cfg = IntegratorConfig(max_steps=50, h_max=0.02)
+    rng = np.random.default_rng(0)
+    seeds = dec.info(bid).bounds.denormalized(
+        rng.uniform(0.3, 0.7, size=(6, 3)))
+
+    batch_lines = make_streamlines(seeds)
+    for l in batch_lines:
+        l.block_id = bid
+    advance_batch(batch_lines, block_of(field, dec, bid), field.domain,
+                  Dopri5(), cfg)
+
+    for i, seed in enumerate(seeds):
+        solo = Streamline(sid=100 + i, seed=seed, block_id=bid)
+        advance_batch([solo], block_of(field, dec, bid), field.domain,
+                      Dopri5(), cfg)
+        assert solo.status == batch_lines[i].status
+        assert solo.steps == batch_lines[i].steps
+        assert np.allclose(solo.vertices(), batch_lines[i].vertices(),
+                           atol=1e-14)
+
+
+def test_empty_batch():
+    field = UniformField(domain=Bounds.cube(0.0, 1.0))
+    dec = make_setup(field)
+    res = advance_batch([], block_of(field, dec, 0), field.domain,
+                        Dopri5(), IntegratorConfig())
+    assert res.attempted_steps == 0
+    assert res.exited == [] and res.terminated == []
+
+
+def test_inactive_line_rejected():
+    field = UniformField(domain=Bounds.cube(0.0, 1.0))
+    dec = make_setup(field)
+    line = Streamline(sid=0, seed=np.array([0.1, 0.1, 0.1]))
+    line.terminate(Status.MAX_STEPS)
+    with pytest.raises(ValueError):
+        advance_batch([line], block_of(field, dec, 0), field.domain,
+                      Dopri5(), IntegratorConfig())
+
+
+def test_attempted_at_least_accepted():
+    field = RigidRotationField(domain=Bounds.cube(-1.0, 1.0))
+    dec = make_setup(field)
+    bid = int(dec.locate(np.array([0.2, 0.2, 0.0])))
+    line = Streamline(sid=0, seed=np.array([0.2, 0.2, 0.0]), block_id=bid)
+    cfg = IntegratorConfig(max_steps=40, h_max=0.05)
+    res = advance_batch([line], block_of(field, dec, bid), field.domain,
+                        Dopri5(), cfg)
+    assert res.attempted_steps >= res.accepted_steps
+    assert res.accepted_steps == line.steps
+
+
+def test_streamline_state_persists_across_calls():
+    """Advancing block-by-block must keep h, steps, and time."""
+    field = UniformField(velocity=(1.0, 0.0, 0.0),
+                         domain=Bounds.cube(0.0, 1.0))
+    dec = make_setup(field)
+    line = Streamline(sid=0, seed=np.array([0.05, 0.3, 0.3]), block_id=0)
+    cfg = IntegratorConfig(max_steps=1000, h_max=0.01)
+    hops = 0
+    while line.status is Status.ACTIVE:
+        bid = int(dec.locate(line.position))
+        if bid < 0:
+            line.terminate(Status.OUT_OF_BOUNDS)
+            break
+        line.block_id = bid
+        advance_batch([line], block_of(field, dec, bid), field.domain,
+                      Dopri5(), cfg)
+        hops += 1
+        assert hops < 500
+    # Crossed the whole domain: ~0.95 units of x at |v| = 1.
+    assert line.time == pytest.approx(0.95, abs=0.05)
+    assert line.steps >= 90

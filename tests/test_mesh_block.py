@@ -1,0 +1,86 @@
+"""Tests of loaded blocks and their velocity sampler."""
+
+import numpy as np
+import pytest
+
+from repro.fields import UniformField, sample_block
+from repro.fields.library import RigidRotationField
+from repro.mesh.block import Block
+from repro.mesh.bounds import Bounds
+from repro.mesh.decomposition import Decomposition
+
+
+@pytest.fixture
+def dec():
+    return Decomposition(Bounds.cube(0.0, 1.0), (2, 2, 2), (4, 4, 4))
+
+
+def test_block_shape_validation(dec):
+    info = dec.info(0)
+    with pytest.raises(ValueError):
+        Block(info=info, data=np.zeros((3, 3, 3, 3)))
+    with pytest.raises(ValueError):
+        Block(info=info, data=np.zeros((5, 5, 5, 3), dtype=np.float32))
+
+
+def test_sampled_block_matches_field_at_nodes(dec):
+    field = RigidRotationField(domain=Bounds.cube(0.0, 1.0))
+    block = sample_block(field, dec.info(3))
+    xs, ys, zs = dec.info(3).node_coordinates()
+    p = np.array([xs[2], ys[1], zs[3]])
+    assert np.allclose(block.velocity(p), field.evaluate(p[None])[0],
+                       atol=1e-12)
+
+
+def test_velocity_single_vs_batch(dec):
+    field = RigidRotationField(domain=Bounds.cube(0.0, 1.0))
+    block = sample_block(field, dec.info(0))
+    pts = np.array([[0.1, 0.2, 0.3], [0.3, 0.1, 0.2]])
+    batch = block.velocity(pts)
+    assert batch.shape == (2, 3)
+    assert np.allclose(block.velocity(pts[0]), batch[0])
+
+
+def test_velocity_exact_for_linear_field(dec):
+    """Rotation is linear in position, so trilinear sampling is exact."""
+    field = RigidRotationField(domain=Bounds.cube(0.0, 1.0))
+    block = sample_block(field, dec.info(5))
+    rng = np.random.default_rng(0)
+    unit = rng.uniform(size=(40, 3))
+    pts = block.bounds.denormalized(unit)
+    assert np.allclose(block.velocity(pts), field.evaluate(pts), atol=1e-12)
+
+
+def test_contains(dec):
+    field = UniformField(domain=Bounds.cube(0.0, 1.0))
+    block = sample_block(field, dec.info(0))
+    assert block.contains(np.array([0.25, 0.25, 0.25]))
+    assert not bool(np.all(block.contains(np.array([[0.75, 0.25, 0.25]]))))
+
+
+def test_ghost_layers_extend_sample_bounds(dec):
+    field = UniformField(domain=Bounds.cube(0.0, 1.0))
+    block = sample_block(field, dec.info(0), ghost_layers=1)
+    assert block.ghost_layers == 1
+    sb = block.sample_bounds
+    assert sb.lo[0] < block.bounds.lo[0]
+    assert sb.hi[0] > block.bounds.hi[0]
+    # Data grew by two nodes per axis.
+    assert block.data.shape[0] == dec.info(0).node_dims[0] + 2
+
+
+def test_ghost_block_interpolates_beyond_face(dec):
+    field = RigidRotationField(domain=Bounds.cube(0.0, 1.0))
+    block = sample_block(field, dec.info(0), ghost_layers=1)
+    # A point just past the block face but inside the ghost region.
+    p = np.array([0.52, 0.2, 0.2])
+    assert np.allclose(block.velocity(p), field.evaluate(p[None])[0],
+                       atol=1e-12)
+
+
+def test_block_ids_and_bounds(dec):
+    field = UniformField(domain=Bounds.cube(0.0, 1.0))
+    block = sample_block(field, dec.info(6))
+    assert block.block_id == 6
+    assert block.bounds == dec.info(6).bounds
+    assert block.nbytes_actual == block.data.nbytes

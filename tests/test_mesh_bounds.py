@@ -1,0 +1,82 @@
+"""Tests of axis-aligned box arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.bounds import Bounds
+
+
+def test_cube_constructor():
+    b = Bounds.cube(-1.0, 2.0)
+    assert b.lo == (-1.0, -1.0, -1.0)
+    assert b.hi == (2.0, 2.0, 2.0)
+
+
+def test_degenerate_bounds_rejected():
+    with pytest.raises(ValueError):
+        Bounds((0, 0, 0), (1, 0, 1))
+    with pytest.raises(ValueError):
+        Bounds((0, 0, 0), (1, -1, 1))
+
+
+def test_wrong_dimension_rejected():
+    with pytest.raises(ValueError):
+        Bounds((0, 0), (1, 1))  # type: ignore[arg-type]
+
+
+def test_size_center_volume():
+    b = Bounds((0.0, 0.0, 0.0), (2.0, 4.0, 8.0))
+    assert np.allclose(b.size, [2, 4, 8])
+    assert np.allclose(b.center, [1, 2, 4])
+    assert b.volume == pytest.approx(64.0)
+
+
+def test_contains_single_and_batch():
+    b = Bounds.cube(0.0, 1.0)
+    assert b.contains(np.array([0.5, 0.5, 0.5]))
+    assert not b.contains(np.array([1.5, 0.5, 0.5]))
+    # Closed bounds: faces are inside.
+    assert b.contains(np.array([0.0, 0.0, 0.0]))
+    assert b.contains(np.array([1.0, 1.0, 1.0]))
+    pts = np.array([[0.5, 0.5, 0.5], [2.0, 0.5, 0.5], [0.0, 1.0, 0.5]])
+    assert list(b.contains(pts)) == [True, False, True]
+
+
+def test_clamp():
+    b = Bounds.cube(0.0, 1.0)
+    out = b.clamp(np.array([[1.5, -0.5, 0.5]]))
+    assert np.allclose(out, [[1.0, 0.0, 0.5]])
+
+
+def test_normalize_denormalize_roundtrip():
+    b = Bounds((-1.0, 0.0, 2.0), (1.0, 4.0, 3.0))
+    pts = np.array([[0.0, 2.0, 2.5], [-1.0, 0.0, 2.0]])
+    unit = b.normalized(pts)
+    assert np.allclose(unit, [[0.5, 0.5, 0.5], [0.0, 0.0, 0.0]])
+    assert np.allclose(b.denormalized(unit), pts)
+
+
+def test_expanded():
+    b = Bounds.cube(0.0, 1.0).expanded(0.5)
+    assert b.lo == (-0.5, -0.5, -0.5)
+    assert b.hi == (1.5, 1.5, 1.5)
+
+
+def test_intersects():
+    a = Bounds.cube(0.0, 1.0)
+    assert a.intersects(Bounds.cube(0.5, 2.0))
+    # Sharing a face counts as intersecting.
+    assert a.intersects(Bounds((1.0, 0.0, 0.0), (2.0, 1.0, 1.0)))
+    assert not a.intersects(Bounds.cube(1.5, 2.0))
+
+
+def test_subbox():
+    b = Bounds.cube(0.0, 2.0)
+    sub = b.subbox((0.25, 0.25, 0.25), (0.75, 0.75, 0.75))
+    assert sub.lo == (0.5, 0.5, 0.5)
+    assert sub.hi == (1.5, 1.5, 1.5)
+
+
+def test_bounds_hashable():
+    assert len({Bounds.cube(0, 1), Bounds.cube(0, 1),
+                Bounds.cube(0, 2)}) == 2

@@ -1,0 +1,133 @@
+"""Tests of the regular block decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.bounds import Bounds
+from repro.mesh.decomposition import Decomposition
+
+
+@pytest.fixture
+def dec():
+    return Decomposition(Bounds.cube(0.0, 1.0), (4, 2, 2), (8, 8, 8))
+
+
+def test_block_count(dec):
+    assert dec.n_blocks == 16
+    assert len(dec) == 16
+    assert len(list(dec)) == 16
+
+
+def test_linear_id_roundtrip(dec):
+    for bid in range(dec.n_blocks):
+        i, j, k = dec.block_coords(bid)
+        assert dec.linear_id(i, j, k) == bid
+
+
+def test_linear_id_x_fastest(dec):
+    assert dec.linear_id(0, 0, 0) == 0
+    assert dec.linear_id(1, 0, 0) == 1
+    assert dec.linear_id(0, 1, 0) == 4
+    assert dec.linear_id(0, 0, 1) == 8
+
+
+def test_out_of_range_rejected(dec):
+    with pytest.raises(IndexError):
+        dec.linear_id(4, 0, 0)
+    with pytest.raises(IndexError):
+        dec.block_coords(16)
+    with pytest.raises(IndexError):
+        dec.info(-1)
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        Decomposition(Bounds.cube(0, 1), (0, 1, 1), (4, 4, 4))
+    with pytest.raises(ValueError):
+        Decomposition(Bounds.cube(0, 1), (2, 2, 2), (4, 0, 4))
+
+
+def test_blocks_tile_the_domain(dec):
+    """Union of block volumes equals the domain volume; blocks disjoint."""
+    total = sum(info.bounds.volume for info in dec)
+    assert total == pytest.approx(dec.domain.volume)
+    infos = list(dec)
+    for a in range(4):  # spot check disjoint interiors
+        for b in range(a + 1, 4):
+            ia, ib = infos[a].bounds, infos[b].bounds
+            overlap_lo = np.maximum(ia.lo_array, ib.lo_array)
+            overlap_hi = np.minimum(ia.hi_array, ib.hi_array)
+            interior = np.all(overlap_hi - overlap_lo > 1e-12)
+            assert not interior
+
+
+def test_block_bounds(dec):
+    info = dec.info(dec.linear_id(1, 0, 1))
+    assert np.allclose(info.bounds.lo_array, [0.25, 0.0, 0.5])
+    assert np.allclose(info.bounds.hi_array, [0.5, 0.5, 1.0])
+
+
+def test_node_dims_and_cells(dec):
+    info = dec.info(0)
+    assert info.node_dims == (9, 9, 9)
+    assert info.cell_dims == (8, 8, 8)
+    assert info.n_cells == 512
+    assert info.n_nodes == 729
+
+
+def test_node_coordinates_cover_block(dec):
+    info = dec.info(3)
+    xs, ys, zs = info.node_coordinates()
+    assert xs[0] == pytest.approx(info.bounds.lo[0])
+    assert xs[-1] == pytest.approx(info.bounds.hi[0])
+    assert len(xs) == info.node_dims[0]
+
+
+def test_neighbouring_blocks_share_boundary_nodes(dec):
+    a = dec.info(dec.linear_id(0, 0, 0))
+    b = dec.info(dec.linear_id(1, 0, 0))
+    xa = a.node_coordinates()[0]
+    xb = b.node_coordinates()[0]
+    assert xa[-1] == pytest.approx(xb[0])
+
+
+def test_locate_center_of_each_block(dec):
+    for info in dec:
+        assert dec.locate(info.bounds.center) == info.block_id
+
+
+def test_locate_outside_domain(dec):
+    assert dec.locate(np.array([2.0, 0.5, 0.5])) == -1
+    assert dec.locate(np.array([-0.1, 0.5, 0.5])) == -1
+
+
+def test_locate_domain_faces_are_inside(dec):
+    # Upper domain corner clamps into the last block.
+    assert dec.locate(np.array([1.0, 1.0, 1.0])) == dec.n_blocks - 1
+    assert dec.locate(np.array([0.0, 0.0, 0.0])) == 0
+
+
+def test_locate_interior_face_goes_to_upper_block(dec):
+    # Point exactly on the x-face between blocks 0 and 1.
+    assert dec.locate(np.array([0.25, 0.1, 0.1])) == 1
+
+
+def test_locate_batch(dec):
+    pts = np.array([[0.1, 0.1, 0.1], [0.9, 0.9, 0.9], [3.0, 0.0, 0.0]])
+    out = dec.locate(pts)
+    assert out.shape == (3,)
+    assert out[0] == 0
+    assert out[1] == dec.n_blocks - 1
+    assert out[2] == -1
+
+
+def test_global_cell_dims(dec):
+    assert dec.global_cell_dims == (32, 16, 16)
+
+
+def test_locate_matches_info_bounds_randomly(dec):
+    rng = np.random.default_rng(0)
+    pts = rng.uniform(size=(200, 3))
+    bids = dec.locate(pts)
+    for p, bid in zip(pts, bids):
+        assert dec.info(int(bid)).bounds.contains(p)

@@ -1,0 +1,97 @@
+"""Tests of the block locator helpers and adjacency topology."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.bounds import Bounds
+from repro.mesh.decomposition import Decomposition
+from repro.mesh.locator import BlockLocator
+from repro.mesh.topology import block_adjacency, face_neighbors
+
+
+@pytest.fixture
+def dec():
+    return Decomposition(Bounds.cube(0.0, 1.0), (3, 3, 3), (4, 4, 4))
+
+
+@pytest.fixture
+def locator(dec):
+    return BlockLocator(dec)
+
+
+def test_group_by_block(locator, dec):
+    pts = np.array([
+        [0.1, 0.1, 0.1],   # block 0
+        [0.15, 0.1, 0.1],  # block 0
+        [0.5, 0.5, 0.5],   # center block
+        [9.0, 9.0, 9.0],   # outside
+    ])
+    groups = locator.group_by_block(pts, np.array([10, 11, 12, 13]))
+    assert set(groups[0]) == {10, 11}
+    center = int(dec.locate(np.array([0.5, 0.5, 0.5])))
+    assert list(groups[center]) == [12]
+    assert list(groups[-1]) == [13]
+
+
+def test_group_by_block_mismatched_ids(locator):
+    with pytest.raises(ValueError):
+        locator.group_by_block(np.zeros((2, 3)), np.array([1]))
+
+
+def test_counts_by_block(locator):
+    pts = np.array([[0.1, 0.1, 0.1]] * 3 + [[0.9, 0.9, 0.9]])
+    counts = locator.counts_by_block(pts)
+    assert counts[0] == 3
+    assert sum(counts.values()) == 4
+
+
+def test_face_neighbors_corner_and_center(dec):
+    corner = dec.linear_id(0, 0, 0)
+    assert len(face_neighbors(dec, corner)) == 3
+    center = dec.linear_id(1, 1, 1)
+    assert len(face_neighbors(dec, center)) == 6
+
+
+def test_face_neighbors_are_mutual(dec):
+    for bid in range(dec.n_blocks):
+        for nbr in face_neighbors(dec, bid):
+            assert bid in face_neighbors(dec, nbr)
+
+
+def test_face_neighbors_share_a_face(dec):
+    for bid in (0, 13, 26):
+        a = dec.info(bid).bounds
+        for nbr in face_neighbors(dec, bid):
+            b = dec.info(nbr).bounds
+            assert a.intersects(b)
+            # Exactly one axis differs in block coords.
+            ca = dec.block_coords(bid)
+            cb = dec.block_coords(nbr)
+            assert sum(x != y for x, y in zip(ca, cb)) == 1
+
+
+def test_full_adjacency_counts(dec):
+    adj = block_adjacency(dec, connectivity="full")
+    corner = dec.linear_id(0, 0, 0)
+    assert len(adj[corner]) == 7   # 2x2x2 neighbourhood minus itself
+    center = dec.linear_id(1, 1, 1)
+    assert len(adj[center]) == 26
+
+
+def test_adjacency_validation(dec):
+    with pytest.raises(ValueError):
+        block_adjacency(dec, connectivity="diagonal")
+
+
+def test_networkx_graph_is_connected(dec):
+    """The block adjacency graph must be one connected component."""
+    import networkx as nx
+
+    g = nx.Graph()
+    for bid, nbrs in block_adjacency(dec).items():
+        for n in nbrs:
+            g.add_edge(bid, n)
+    assert g.number_of_nodes() == dec.n_blocks
+    assert nx.is_connected(g)
+    # A 3x3x3 face-adjacency grid has diameter 6 (corner to corner).
+    assert nx.diameter(g) == 6

@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.base import owner_of_block, partition_contiguous
+from repro.mesh.bounds import Bounds
+from repro.mesh.decomposition import Decomposition
+from repro.mesh.interpolate import trilinear
+from repro.integrate.base import Integrator
+from repro.integrate.config import IntegratorConfig
+from repro.storage.cache import LRUBlockCache
+
+
+# --------------------------------------------------------------------- #
+# Partitioning
+# --------------------------------------------------------------------- #
+@given(n_items=st.integers(1, 2000), n_parts=st.integers(1, 128))
+def test_partition_exact_cover(n_items, n_parts):
+    total = 0
+    prev_end = 0
+    for part in range(n_parts):
+        r = partition_contiguous(n_items, n_parts, part)
+        assert r.start == prev_end
+        prev_end = r.stop
+        total += len(r)
+    assert prev_end == n_items
+    assert total == n_items
+
+
+@given(n_blocks=st.integers(1, 600), n_ranks=st.integers(1, 600))
+def test_owner_is_consistent_with_partition(n_blocks, n_ranks):
+    for bid in range(0, n_blocks, max(1, n_blocks // 17)):
+        owner = owner_of_block(bid, n_blocks, n_ranks)
+        assert bid in partition_contiguous(n_blocks, n_ranks, owner)
+
+
+# --------------------------------------------------------------------- #
+# Bounds / decomposition
+# --------------------------------------------------------------------- #
+coords = st.floats(min_value=-50.0, max_value=50.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+@given(lo=st.tuples(coords, coords, coords),
+       size=st.tuples(st.floats(0.1, 10), st.floats(0.1, 10),
+                      st.floats(0.1, 10)),
+       u=st.tuples(st.floats(0, 1), st.floats(0, 1), st.floats(0, 1)))
+def test_bounds_normalize_roundtrip(lo, size, u):
+    b = Bounds.from_arrays(lo, np.asarray(lo) + np.asarray(size))
+    p = b.denormalized(np.asarray(u))
+    assert b.contains(p)
+    back = b.normalized(p)
+    assert np.allclose(back, u, atol=1e-9)
+
+
+@given(bx=st.integers(1, 6), by=st.integers(1, 6), bz=st.integers(1, 6),
+       u=st.tuples(st.floats(0, 1, exclude_max=True),
+                   st.floats(0, 1, exclude_max=True),
+                   st.floats(0, 1, exclude_max=True)))
+def test_locate_agrees_with_block_bounds(bx, by, bz, u):
+    dec = Decomposition(Bounds.cube(0.0, 1.0), (bx, by, bz), (2, 2, 2))
+    p = np.asarray(u)
+    bid = int(dec.locate(p))
+    assert bid >= 0
+    assert dec.info(bid).bounds.contains(p)
+
+
+# --------------------------------------------------------------------- #
+# Interpolation
+# --------------------------------------------------------------------- #
+@given(seed=st.integers(0, 10_000),
+       k=st.integers(1, 20))
+@settings(max_examples=40)
+def test_trilinear_within_data_range(seed, k):
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(-3, 3, size=(4, 5, 3, 2))
+    pts = rng.uniform(size=(k, 3))
+    out = trilinear(data, pts)
+    assert np.all(out >= data.min() - 1e-9)
+    assert np.all(out <= data.max() + 1e-9)
+    assert np.all(np.isfinite(out))
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=30)
+def test_trilinear_reproduces_affine(seed):
+    rng = np.random.default_rng(seed)
+    a, b, c, d = rng.uniform(-2, 2, size=4)
+    xs = np.linspace(0, 1, 4)
+    gx, gy, gz = np.meshgrid(xs, xs, xs, indexing="ij")
+    data = (a * gx + b * gy + c * gz + d)[..., None]
+    pts = rng.uniform(size=(10, 3))
+    expect = a * pts[:, 0] + b * pts[:, 1] + c * pts[:, 2] + d
+    assert np.allclose(trilinear(data, pts)[:, 0], expect, atol=1e-10)
+
+
+# --------------------------------------------------------------------- #
+# Step controller
+# --------------------------------------------------------------------- #
+@given(h=st.floats(1e-8, 0.2), err=st.floats(0.0, 1e6),
+       order=st.integers(1, 5))
+def test_adapt_h_always_within_bounds(h, err, order):
+    cfg = IntegratorConfig()
+    out = Integrator.adapt_h(np.array([h]), np.array([err]), order, cfg)
+    assert cfg.h_min <= out[0] <= cfg.h_max
+    assert np.isfinite(out[0])
+
+
+@given(h=st.floats(1e-6, 0.1))
+def test_adapt_h_monotone_in_error(h):
+    cfg = IntegratorConfig()
+    errs = np.array([0.01, 0.5, 2.0, 50.0])
+    out = Integrator.adapt_h(np.full(4, h), errs, 5, cfg)
+    assert np.all(np.diff(out) <= 1e-15)  # larger error -> smaller h
+
+
+# --------------------------------------------------------------------- #
+# LRU cache
+# --------------------------------------------------------------------- #
+class _FakeBlock:
+    def __init__(self, bid):
+        self.block_id = bid
+
+
+@given(capacity=st.integers(1, 8),
+       ops=st.lists(st.integers(0, 15), min_size=1, max_size=60))
+def test_lru_invariants(capacity, ops):
+    cache = LRUBlockCache(capacity)
+    for bid in ops:
+        if cache.get(bid) is None:
+            cache.put(_FakeBlock(bid))  # type: ignore[arg-type]
+        # Invariants after every operation:
+        assert len(cache) <= capacity
+        assert cache.loads - cache.purges == len(cache)
+        assert 0.0 <= cache.block_efficiency <= 1.0
+        ids = cache.resident_ids
+        assert len(ids) == len(set(ids))
+
+
+@given(capacity=st.integers(1, 6),
+       ops=st.lists(st.integers(0, 9), min_size=5, max_size=40))
+def test_lru_most_recent_always_resident(capacity, ops):
+    cache = LRUBlockCache(capacity)
+    for bid in ops:
+        if cache.get(bid) is None:
+            cache.put(_FakeBlock(bid))  # type: ignore[arg-type]
+        assert bid in cache  # the just-touched block is never evicted

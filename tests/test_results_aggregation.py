@@ -1,0 +1,109 @@
+"""Tests of RunResult aggregation arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import STATUS_OK, STATUS_OOM, RunResult
+from repro.integrate.streamline import Status, Streamline
+from repro.sim.metrics import RankMetrics, TimerCategory
+
+
+def make_metrics(rank, compute=0.0, io=0.0, comm=0.0, loaded=0, purged=0,
+                 msgs=0, nbytes=0, steps=0):
+    m = RankMetrics(rank=rank)
+    m.charge(TimerCategory.COMPUTE, compute)
+    m.charge(TimerCategory.IO, io)
+    m.charge(TimerCategory.COMM, comm)
+    m.blocks_loaded = loaded
+    m.blocks_purged = purged
+    m.msgs_sent = msgs
+    m.bytes_sent = nbytes
+    m.steps = steps
+    return m
+
+
+def make_result(**kw):
+    metrics = [
+        make_metrics(0, compute=2.0, io=1.0, comm=0.5, loaded=4,
+                     purged=1, msgs=3, nbytes=100, steps=10),
+        make_metrics(1, compute=4.0, io=0.5, comm=0.0, loaded=6,
+                     purged=0, msgs=0, nbytes=0, steps=30),
+    ]
+    defaults = dict(algorithm="static", status=STATUS_OK, n_ranks=2,
+                    wall_clock=5.0, rank_metrics=metrics, streamlines=[])
+    defaults.update(kw)
+    return RunResult(**defaults)
+
+
+def test_sums_across_ranks():
+    r = make_result()
+    assert r.compute_time == pytest.approx(6.0)
+    assert r.io_time == pytest.approx(1.5)
+    assert r.comm_time == pytest.approx(0.5)
+    assert r.blocks_loaded == 10
+    assert r.blocks_purged == 1
+    assert r.messages_sent == 3
+    assert r.bytes_sent == 100
+    assert r.total_steps == 40
+
+
+def test_block_efficiency_aggregate():
+    r = make_result()
+    assert r.block_efficiency == pytest.approx(9 / 10)
+
+
+def test_block_efficiency_no_loads():
+    r = make_result(rank_metrics=[RankMetrics(rank=0)])
+    assert r.block_efficiency == 1.0
+
+
+def test_parallel_efficiency():
+    r = make_result()
+    busy = 3.5 + 4.5
+    assert r.parallel_efficiency == pytest.approx(busy / (2 * 5.0))
+
+
+def test_idle_time():
+    r = make_result()
+    assert r.idle_time == pytest.approx((5.0 - 3.5) + (5.0 - 4.5))
+
+
+def test_status_counts_and_vertices():
+    lines = []
+    for i, status in enumerate((Status.MAX_STEPS, Status.MAX_STEPS,
+                                Status.OUT_OF_BOUNDS)):
+        l = Streamline(sid=i, seed=np.zeros(3))
+        l.append_segment(np.zeros((i + 2, 3)))
+        l.terminate(status)
+        lines.append(l)
+    r = make_result(streamlines=lines)
+    assert r.status_counts() == {"max_steps": 2, "out_of_bounds": 1}
+    assert r.total_vertices() == 2 + 3 + 4
+
+
+def test_oom_summary_minimal():
+    r = RunResult(algorithm="static", status=STATUS_OOM, n_ranks=4,
+                  wall_clock=1.0, rank_metrics=[], oom_rank=2)
+    assert not r.ok
+    s = r.summary()
+    assert s["status"] == STATUS_OOM
+    assert s["oom_rank"] == 2
+    assert "wall_clock" not in s
+
+
+def test_ok_summary_keys():
+    s = make_result().summary()
+    for key in ("wall_clock", "io_time", "comm_time", "block_efficiency",
+                "messages", "steps", "parallel_efficiency"):
+        assert key in s
+
+
+def test_rank_table_formats_busiest_first():
+    r = make_result()
+    table = r.rank_table()
+    lines = table.splitlines()
+    assert lines[0].split()[:3] == ["rank", "compute", "io"]
+    # Rank 1 is busiest (compute 4.0 + io 0.5) and sorts first.
+    assert lines[1].split()[0] == "1"
+    assert len(lines) == 3
+    assert len(r.rank_table(top=1).splitlines()) == 2

@@ -1,0 +1,120 @@
+"""Tests of the seed generators."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.bounds import Bounds
+from repro.seeding import (
+    box_seeds,
+    circle_seeds,
+    dense_cluster_seeds,
+    grid_seeds,
+    sparse_random_seeds,
+)
+
+
+@pytest.fixture
+def bounds():
+    return Bounds.cube(0.0, 1.0)
+
+
+def test_sparse_random_inside_and_deterministic(bounds):
+    a = sparse_random_seeds(bounds, 100, seed=1)
+    b = sparse_random_seeds(bounds, 100, seed=1)
+    c = sparse_random_seeds(bounds, 100, seed=2)
+    assert a.shape == (100, 3)
+    assert np.all(bounds.contains(a))
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_sparse_random_count_validation(bounds):
+    with pytest.raises(ValueError):
+        sparse_random_seeds(bounds, 0)
+
+
+def test_grid_seeds_shape_and_margin(bounds):
+    s = grid_seeds(bounds, (4, 3, 2), margin=0.1)
+    assert s.shape == (24, 3)
+    assert s[:, 0].min() == pytest.approx(0.1)
+    assert s[:, 0].max() == pytest.approx(0.9)
+
+
+def test_grid_seeds_thermal_sparse_case(bounds):
+    """The paper's 16x16x16 = 4096 grid."""
+    s = grid_seeds(bounds, (16, 16, 16))
+    assert s.shape == (4096, 3)
+    assert np.all(bounds.contains(s))
+
+
+def test_grid_seeds_singleton_axis(bounds):
+    s = grid_seeds(bounds, (1, 2, 2))
+    assert np.allclose(s[:, 0], 0.5)
+
+
+def test_grid_seeds_validation(bounds):
+    with pytest.raises(ValueError):
+        grid_seeds(bounds, (0, 2, 2))
+    with pytest.raises(ValueError):
+        grid_seeds(bounds, (2, 2, 2), margin=0.6)
+
+
+def test_dense_cluster_centered(bounds):
+    s = dense_cluster_seeds((0.5, 0.5, 0.5), 0.05, 500, seed=3)
+    assert s.shape == (500, 3)
+    assert np.allclose(s.mean(axis=0), [0.5, 0.5, 0.5], atol=0.02)
+    assert np.allclose(s.std(axis=0), 0.05, atol=0.02)
+
+
+def test_dense_cluster_clipping(bounds):
+    s = dense_cluster_seeds((0.02, 0.5, 0.5), 0.1, 300, seed=4,
+                            clip_bounds=bounds)
+    assert np.all(bounds.contains(s))
+
+
+def test_dense_cluster_impossible_clip():
+    far = Bounds.cube(100.0, 101.0)
+    with pytest.raises(RuntimeError):
+        dense_cluster_seeds((0.0, 0.0, 0.0), 0.01, 10, clip_bounds=far)
+
+
+def test_dense_cluster_validation():
+    with pytest.raises(ValueError):
+        dense_cluster_seeds((0, 0, 0), -1.0, 10)
+    with pytest.raises(ValueError):
+        dense_cluster_seeds((0, 0, 0), 1.0, 0)
+
+
+def test_circle_seeds_geometry():
+    center = np.array([0.5, 0.5, 0.5])
+    s = circle_seeds(center, 0.1, 64, normal=(1.0, 0.0, 0.0))
+    assert s.shape == (64, 3)
+    # All points at distance radius from center.
+    assert np.allclose(np.linalg.norm(s - center, axis=1), 0.1)
+    # All in the plane x = 0.5 (normal is x).
+    assert np.allclose(s[:, 0], 0.5)
+    # Evenly spaced: consecutive gaps equal.
+    gaps = np.linalg.norm(np.diff(np.vstack([s, s[:1]]), axis=0), axis=1)
+    assert np.allclose(gaps, gaps[0])
+
+
+def test_circle_seeds_arbitrary_normal():
+    n = np.array([1.0, 1.0, 1.0])
+    s = circle_seeds((0, 0, 0), 1.0, 16, normal=n)
+    assert np.allclose(s @ n, 0.0, atol=1e-12)
+
+
+def test_circle_seeds_validation():
+    with pytest.raises(ValueError):
+        circle_seeds((0, 0, 0), 0.0, 8)
+    with pytest.raises(ValueError):
+        circle_seeds((0, 0, 0), 1.0, 8, normal=(0, 0, 0))
+    with pytest.raises(ValueError):
+        circle_seeds((0, 0, 0), 1.0, 0)
+
+
+def test_box_seeds_subregion(bounds):
+    s = box_seeds(bounds, 200, seed=5, lo_frac=(0.5, 0.5, 0.5),
+                  hi_frac=(1.0, 1.0, 1.0))
+    assert np.all(s >= 0.5)
+    assert np.all(s <= 1.0)

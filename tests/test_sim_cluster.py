@@ -1,0 +1,85 @@
+"""Tests of the Cluster/RankContext wiring."""
+
+import pytest
+
+from repro.sim.cluster import Cluster, RankContext
+from repro.sim.machine import MachineSpec
+from repro.sim.trace import Trace
+
+
+def test_context_out_of_range():
+    cluster = Cluster(MachineSpec(n_ranks=2))
+    with pytest.raises(ValueError):
+        cluster.context(2)
+    with pytest.raises(ValueError):
+        cluster.context(-1)
+
+
+def test_compute_charges_time_and_steps():
+    cluster = Cluster(MachineSpec(n_ranks=1, seconds_per_step=0.5))
+    ctx = cluster.context(0)
+
+    def prog():
+        seconds = yield from ctx.compute(4)
+        assert seconds == pytest.approx(2.0)
+
+    cluster.engine.spawn("p", prog())
+    wall = cluster.run()
+    assert wall == pytest.approx(2.0)
+    assert cluster.metrics[0].compute_time == pytest.approx(2.0)
+    assert cluster.metrics[0].steps == 4
+
+
+def test_compute_zero_steps_is_free():
+    cluster = Cluster(MachineSpec(n_ranks=1))
+    ctx = cluster.context(0)
+
+    def prog():
+        yield from ctx.compute(0)
+
+    cluster.engine.spawn("p", prog())
+    assert cluster.run() == 0.0
+
+
+def test_compute_negative_steps_rejected():
+    cluster = Cluster(MachineSpec(n_ranks=1))
+    ctx = cluster.context(0)
+
+    def prog():
+        yield from ctx.compute(-1)
+
+    cluster.engine.spawn("p", prog())
+    with pytest.raises(Exception):
+        cluster.run()
+
+
+def test_passed_trace_is_used_even_when_empty():
+    """Regression: an empty Trace is falsy; Cluster must still adopt it."""
+    trace = Trace(enabled=True)
+    cluster = Cluster(MachineSpec(n_ranks=1), trace=trace)
+    assert cluster.trace is trace
+    ctx = cluster.context(0)
+
+    def prog():
+        yield from ctx.compute(1)
+        ctx.trace.emit(0, "tick")
+
+    cluster.engine.spawn("p", prog())
+    cluster.run()
+    assert len(trace) == 1
+    assert trace.select(event="tick")[0].time > 0
+
+
+def test_peak_memory_recorded_after_run():
+    cluster = Cluster(MachineSpec(n_ranks=2))
+    ctx = cluster.context(0)
+
+    def prog():
+        ctx.memory.allocate(1000, "x")
+        yield from ctx.compute(1)
+        ctx.memory.free(1000, "x")
+
+    cluster.engine.spawn("p", prog())
+    cluster.run()
+    assert cluster.metrics[0].peak_memory_bytes == 1000
+    assert cluster.metrics[1].peak_memory_bytes == 0

@@ -1,0 +1,82 @@
+"""Tests of per-rank memory accounting and simulated OOM."""
+
+import pytest
+
+from repro.sim.memory import MemoryAccount, SimOutOfMemory
+
+
+def test_allocate_and_free():
+    mem = MemoryAccount(rank=0, capacity=1000)
+    mem.allocate(400, "block")
+    assert mem.in_use == 400
+    assert mem.available == 600
+    mem.free(400, "block")
+    assert mem.in_use == 0
+
+
+def test_oom_raised_with_context():
+    mem = MemoryAccount(rank=3, capacity=100)
+    mem.allocate(80, "block")
+    with pytest.raises(SimOutOfMemory) as exc_info:
+        mem.allocate(30, "streamline")
+    err = exc_info.value
+    assert err.rank == 3
+    assert err.requested == 30
+    assert err.in_use == 80
+    assert err.capacity == 100
+    assert err.label == "streamline"
+    # Failed allocation must not corrupt accounting.
+    assert mem.in_use == 80
+
+
+def test_exact_fit_allowed():
+    mem = MemoryAccount(rank=0, capacity=100)
+    mem.allocate(100)
+    assert mem.available == 0
+
+
+def test_peak_tracks_high_water_mark():
+    mem = MemoryAccount(rank=0, capacity=1000)
+    mem.allocate(600)
+    mem.free(500)
+    mem.allocate(100)
+    assert mem.peak == 600
+    assert mem.in_use == 200
+
+
+def test_usage_by_label():
+    mem = MemoryAccount(rank=0, capacity=1000)
+    mem.allocate(100, "block")
+    mem.allocate(200, "streamline")
+    mem.allocate(50, "block")
+    assert mem.usage_by_label() == {"block": 150, "streamline": 200}
+
+
+def test_over_free_rejected():
+    mem = MemoryAccount(rank=0, capacity=1000)
+    mem.allocate(100, "block")
+    with pytest.raises(ValueError):
+        mem.free(200, "block")
+    with pytest.raises(ValueError):
+        mem.free(10, "other-label")
+
+
+def test_would_fit():
+    mem = MemoryAccount(rank=0, capacity=100)
+    assert mem.would_fit(100)
+    mem.allocate(60)
+    assert mem.would_fit(40)
+    assert not mem.would_fit(41)
+
+
+def test_negative_amounts_rejected():
+    mem = MemoryAccount(rank=0, capacity=100)
+    with pytest.raises(ValueError):
+        mem.allocate(-1)
+    with pytest.raises(ValueError):
+        mem.free(-1)
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        MemoryAccount(rank=0, capacity=0)

@@ -1,0 +1,64 @@
+"""Tests of per-rank metrics and the block-efficiency formula."""
+
+import pytest
+
+from repro.sim.metrics import RankMetrics, TimerCategory
+
+
+def test_charge_routes_to_correct_timer():
+    m = RankMetrics(rank=0)
+    m.charge(TimerCategory.COMPUTE, 1.0)
+    m.charge(TimerCategory.IO, 2.0)
+    m.charge(TimerCategory.COMM, 3.0)
+    m.charge(TimerCategory.OTHER, 4.0)
+    assert m.compute_time == 1.0
+    assert m.io_time == 2.0
+    assert m.comm_time == 3.0
+    assert m.other_time == 4.0
+    assert m.busy_time == 10.0
+
+
+def test_negative_charge_rejected():
+    m = RankMetrics(rank=0)
+    with pytest.raises(ValueError):
+        m.charge(TimerCategory.IO, -0.1)
+
+
+def test_idle_time():
+    m = RankMetrics(rank=0)
+    m.charge(TimerCategory.COMPUTE, 3.0)
+    assert m.idle_time(10.0) == 7.0
+    # Busy beyond wall clock clamps to zero, never negative.
+    assert m.idle_time(2.0) == 0.0
+
+
+def test_block_efficiency_equation_2():
+    """E = (B_L - B_P) / B_L, the paper's Eq. (2)."""
+    m = RankMetrics(rank=0)
+    m.blocks_loaded = 10
+    m.blocks_purged = 4
+    assert m.block_efficiency == pytest.approx(0.6)
+
+
+def test_block_efficiency_ideal_when_nothing_purged():
+    m = RankMetrics(rank=0)
+    m.blocks_loaded = 7
+    assert m.block_efficiency == 1.0
+
+
+def test_block_efficiency_vacuous_when_nothing_loaded():
+    assert RankMetrics(rank=0).block_efficiency == 1.0
+
+
+def test_as_dict_round_trips_all_fields():
+    m = RankMetrics(rank=5)
+    m.charge(TimerCategory.IO, 1.5)
+    m.blocks_loaded = 3
+    m.steps = 100
+    d = m.as_dict()
+    assert d["rank"] == 5
+    assert d["io_time"] == 1.5
+    assert d["blocks_loaded"] == 3
+    assert d["steps"] == 100
+    assert set(d) >= {"compute_time", "comm_time", "blocks_purged",
+                      "msgs_sent", "bytes_sent", "streamlines_completed"}

@@ -1,0 +1,49 @@
+"""Tests of the structured event trace."""
+
+from repro.sim.trace import Trace, TraceRecord
+
+
+def test_disabled_trace_records_nothing():
+    t = Trace(enabled=False)
+    t.emit(0, "event", x=1)
+    assert len(t) == 0
+
+
+def test_emit_and_select():
+    clock = {"now": 0.0}
+    t = Trace(enabled=True, clock=lambda: clock["now"])
+    t.emit(0, "load", block=3)
+    clock["now"] = 1.5
+    t.emit(1, "load", block=4)
+    t.emit(1, "send", dest=0)
+    assert len(t) == 3
+    assert len(t.select(event="load")) == 2
+    assert len(t.select(rank=1)) == 2
+    assert len(t.select(event="load", rank=1)) == 1
+    assert t.select(event="send")[0].time == 1.5
+
+
+def test_record_get_and_dict():
+    t = Trace(enabled=True)
+    t.emit(2, "x", a=1, b="two")
+    rec = list(t)[0]
+    assert rec.get("a") == 1
+    assert rec.get("b") == "two"
+    assert rec.get("missing", 42) == 42
+    d = rec.as_dict()
+    assert d["rank"] == 2 and d["event"] == "x" and d["a"] == 1
+
+
+def test_counts():
+    t = Trace(enabled=True)
+    for _ in range(3):
+        t.emit(0, "a")
+    t.emit(0, "b")
+    assert t.counts() == {"a": 3, "b": 1}
+
+
+def test_detail_keys_sorted_for_determinism():
+    t = Trace(enabled=True)
+    t.emit(0, "e", zebra=1, alpha=2)
+    rec = list(t)[0]
+    assert [k for k, _ in rec.detail] == ["alpha", "zebra"]

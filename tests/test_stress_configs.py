@@ -1,0 +1,124 @@
+"""Stress/edge configurations: extreme machine parameters must never
+break correctness, only change the priced metrics."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.driver import run_streamlines
+from repro.fields import SupernovaField
+from repro.integrate import IntegratorConfig
+from repro.seeding import sparse_random_seeds
+from repro.sim.machine import MachineSpec
+
+
+@pytest.fixture(scope="module")
+def problem():
+    field = SupernovaField()
+    seeds = sparse_random_seeds(
+        field.domain.subbox((0.25, 0.25, 0.25), (0.75, 0.75, 0.75)), 10,
+        seed=99)
+    return repro.ProblemSpec(
+        field=field, seeds=seeds,
+        blocks_per_axis=(4, 4, 4), cells_per_block=(5, 5, 5),
+        integ=IntegratorConfig(max_steps=60, rtol=1e-4, atol=1e-6))
+
+
+@pytest.fixture(scope="module")
+def reference(problem):
+    return run_streamlines(problem, algorithm="static",
+                           machine=MachineSpec(n_ranks=4)).streamlines
+
+
+def assert_same_geometry(result, reference):
+    assert result.ok
+    for a, b in zip(reference, result.streamlines):
+        assert a.status == b.status
+        assert np.allclose(a.vertices(), b.vertices(), atol=1e-13)
+
+
+@pytest.mark.parametrize("algorithm", ["static", "ondemand", "hybrid"])
+def test_single_block_cache(problem, reference, algorithm):
+    """cache_blocks=1: maximal thrash, still correct."""
+    result = run_streamlines(problem, algorithm=algorithm,
+                             machine=MachineSpec(n_ranks=4,
+                                                 cache_blocks=1))
+    assert_same_geometry(result, reference)
+    assert result.blocks_loaded >= result.blocks_purged
+
+
+@pytest.mark.parametrize("algorithm", ["static", "ondemand", "hybrid"])
+def test_single_io_server(problem, reference, algorithm):
+    """One filesystem server: everything queues, nothing breaks."""
+    result = run_streamlines(problem, algorithm=algorithm,
+                             machine=MachineSpec(n_ranks=4, io_servers=1))
+    assert_same_geometry(result, reference)
+
+
+def test_zero_cost_network(problem, reference):
+    """Free communication: comm time is exactly zero, schedule intact."""
+    machine = MachineSpec(n_ranks=4, comm_latency=0.0,
+                          comm_post_overhead=0.0, comm_post_per_byte=0.0)
+    result = run_streamlines(problem, algorithm="static", machine=machine)
+    assert_same_geometry(result, reference)
+    assert result.comm_time == 0.0
+    assert result.messages_sent > 0
+
+
+def test_zero_cost_compute(problem, reference):
+    machine = MachineSpec(n_ranks=4, seconds_per_step=0.0)
+    result = run_streamlines(problem, algorithm="ondemand",
+                             machine=machine)
+    assert_same_geometry(result, reference)
+    assert result.compute_time == 0.0
+    assert result.total_steps > 0
+
+
+def test_very_slow_network_still_terminates(problem, reference):
+    from repro.sim.machine import slow_network
+
+    result = run_streamlines(problem, algorithm="hybrid",
+                             machine=slow_network(n_ranks=4))
+    assert_same_geometry(result, reference)
+
+
+def test_very_slow_filesystem_still_terminates(problem, reference):
+    from repro.sim.machine import slow_filesystem
+
+    result = run_streamlines(problem, algorithm="ondemand",
+                             machine=slow_filesystem(n_ranks=4))
+    assert_same_geometry(result, reference)
+    fast = run_streamlines(problem, algorithm="ondemand",
+                           machine=MachineSpec(n_ranks=4))
+    assert result.io_time > fast.io_time
+
+
+def test_tiny_hybrid_two_ranks(problem, reference):
+    """Degenerate hybrid: one master, one slave."""
+    result = run_streamlines(problem, algorithm="hybrid",
+                             machine=MachineSpec(n_ranks=2))
+    assert_same_geometry(result, reference)
+    # The lone slave did all the advection.
+    assert result.rank_metrics[1].steps == result.total_steps
+
+
+def test_machine_spec_validation():
+    with pytest.raises(ValueError):
+        MachineSpec(n_ranks=0)
+    with pytest.raises(ValueError):
+        MachineSpec(io_servers=0)
+    with pytest.raises(ValueError):
+        MachineSpec(comm_latency=-1.0)
+    with pytest.raises(ValueError):
+        MachineSpec(memory_bytes=0)
+    with pytest.raises(ValueError):
+        MachineSpec(cache_blocks=0)
+
+
+def test_machine_presets():
+    from repro.sim.machine import jaguar_like
+
+    spec = jaguar_like(n_ranks=32, io_servers=4)
+    assert spec.n_ranks == 32
+    assert spec.io_servers == 4
+    assert spec.with_ranks(64).n_ranks == 64

@@ -1,0 +1,81 @@
+"""Tests of geometry export."""
+
+import numpy as np
+import pytest
+
+from repro.integrate.streamline import Status, Streamline
+from repro.viz.export import (
+    polyline_stats,
+    write_csv,
+    write_obj,
+    write_vtk_polydata,
+)
+
+
+def make_line(sid, pts, status=Status.MAX_STEPS):
+    line = Streamline(sid=sid, seed=np.asarray(pts[0], dtype=float))
+    line.append_segment(np.asarray(pts, dtype=float))
+    line.steps = len(pts) - 1
+    line.terminate(status)
+    return line
+
+
+@pytest.fixture
+def lines():
+    return [
+        make_line(0, [[0, 0, 0], [1, 0, 0], [2, 0, 0]]),
+        make_line(1, [[0, 1, 0], [0, 2, 0]], Status.OUT_OF_BOUNDS),
+    ]
+
+
+def test_write_obj(tmp_path, lines):
+    path = tmp_path / "out.obj"
+    n = write_obj(path, lines)
+    assert n == 5
+    text = path.read_text()
+    assert text.count("\nv ") + text.startswith("v ") == 5
+    assert "l 1 2 3" in text
+    assert "l 4 5" in text
+
+
+def test_write_obj_skips_degenerate(tmp_path):
+    degenerate = Streamline(sid=0, seed=np.zeros(3))
+    path = tmp_path / "out.obj"
+    assert write_obj(path, [degenerate]) == 0
+    assert "l " not in path.read_text()
+
+
+def test_write_csv(tmp_path, lines):
+    path = tmp_path / "out.csv"
+    rows = write_csv(path, lines)
+    assert rows == 5
+    content = path.read_text().strip().splitlines()
+    assert content[0] == "sid,index,x,y,z,status"
+    assert content[1].startswith("0,0,")
+    assert content[-1].endswith("out_of_bounds")
+
+
+def test_write_vtk(tmp_path, lines):
+    path = tmp_path / "out.vtk"
+    n = write_vtk_polydata(path, lines)
+    assert n == 2
+    text = path.read_text()
+    assert "POINTS 5 double" in text
+    assert "LINES 2 7" in text
+    assert "SCALARS sid int 1" in text
+    assert "CELL_DATA 2" in text
+
+
+def test_polyline_stats(lines):
+    stats = polyline_stats(lines)
+    assert stats.count == 2
+    assert stats.total_vertices == 5
+    assert stats.mean_vertices == pytest.approx(2.5)
+    assert stats.max_arc_length == pytest.approx(2.0)
+    assert stats.status_counts == {"max_steps": 1, "out_of_bounds": 1}
+
+
+def test_polyline_stats_empty():
+    stats = polyline_stats([])
+    assert stats.count == 0
+    assert stats.status_counts == {}
