@@ -34,7 +34,9 @@ from repro.core.problem import ProblemSpec
 from repro.core.reseed import CallbackReseed, ContinueThroughBudget, ReseedPolicy
 from repro.core.results import RunResult
 from repro.integrate.config import IntegratorConfig
+from repro.obs import Recorder
 from repro.sim.machine import MachineSpec
+from repro.sim.trace import Trace
 from repro.storage.costmodel import DataCostModel
 
 __version__ = "1.0.0"
@@ -44,12 +46,14 @@ __all__ = [
     "CallbackReseed",
     "ContinueThroughBudget",
     "DataCostModel",
+    "Recorder",
     "ReseedPolicy",
     "HybridConfig",
     "IntegratorConfig",
     "MachineSpec",
     "ProblemSpec",
     "RunResult",
+    "Trace",
     "run_streamlines",
     "__version__",
 ]

@@ -30,7 +30,7 @@ from repro.analysis.scenarios import (
 )
 
 #: Bump when a code change invalidates previously cached sweep results.
-CACHE_VERSION = 1
+CACHE_VERSION = 2  # v2: span-based timer charging (last-ulp float shifts)
 
 #: Default on-disk cache location (override with REPRO_CACHE_DIR; set the
 #: environment variable to an empty string to disable disk caching).

@@ -8,9 +8,13 @@ reports — which the benchmarks emit and EXPERIMENTS.md records.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.experiments import RunSummary
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.core.results import RunResult
+    from repro.obs import Recorder
 
 #: metric name -> (figure caption fragment, unit, format)
 METRIC_INFO = {
@@ -86,5 +90,34 @@ def figure_table(dataset: str, summaries: Sequence[RunSummary],
         row = f"{a} ({sd})".ljust(width0)
         for r in rank_counts:
             row += f"{cells.get(r, '-'):>{colw}}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def wait_state_table(result: "RunResult", obs: "Recorder") -> str:
+    """Per-rank decomposition of the wall clock into busy time, named
+    wait states, and the drain tail.
+
+    Per rank, ``busy + Σ wait:<reason> + drain == wall`` up to float
+    summation error: every simulated cost is charged inside a span, every
+    blocked interval is attributed to a reason, and *drain* is the gap
+    between the rank finishing its program and the run's last event
+    (``wall - finish_time`` — not a wait, the rank is done).
+    """
+    wall = result.wall_clock
+    reasons = obs.waits.reasons()
+    header = (f"{'rank':>5} {'busy':>10} "
+              + "".join(f"{'wait:' + r:>{max(10, len(r) + 6)}}"
+                        for r in reasons)
+              + f" {'drain':>10} {'total':>10} {'wall':>10}")
+    lines = [header, "-" * len(header)]
+    for m in sorted(result.rank_metrics, key=lambda m: m.rank):
+        waits = obs.waits.of(m.rank)
+        drain = max(0.0, wall - m.finish_time)
+        total = m.busy_time + sum(waits.values()) + drain
+        row = f"{m.rank:>5} {m.busy_time:>10.3f} "
+        row += "".join(f"{waits.get(r, 0.0):>{max(10, len(r) + 6)}.3f}"
+                       for r in reasons)
+        row += f" {drain:>10.3f} {total:>10.3f} {wall:>10.3f}"
         lines.append(row)
     return "\n".join(lines)

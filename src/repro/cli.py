@@ -5,6 +5,8 @@ Commands
 ``run``        run one evaluation scenario with one algorithm and print
                the paper's metrics for it
 ``figure``     regenerate one paper figure (table form)
+``trace``      run one scenario with full observability and export a
+               Perfetto timeline, span/sample JSONL, and idle analysis
 ``recommend``  apply the §6 decision heuristics to a described problem
 ``scenarios``  list the built-in evaluation scenarios
 """
@@ -13,17 +15,24 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.experiments import run_experiment, sweep_dataset
 from repro.analysis.heuristics import ProblemTraits, recommend_algorithm
-from repro.analysis.report import FIGURE_NUMBERS, METRIC_INFO, figure_table
+from repro.analysis.report import (
+    FIGURE_NUMBERS,
+    METRIC_INFO,
+    figure_table,
+    wait_state_table,
+)
 from repro.analysis.scenarios import (
     DATASETS,
     RANK_COUNTS,
     SEED_COUNTS,
     SEEDINGS,
     make_problem,
+    scenario_machine,
 )
 from repro.core.config import ALGORITHMS
 
@@ -63,6 +72,49 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     summaries = sweep_dataset(args.dataset, scale=args.scale,
                               rank_counts=args.ranks or RANK_COUNTS)
     print(figure_table(args.dataset, summaries, metric))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.driver import run_streamlines
+    from repro.obs import Recorder, timeline_text, write_perfetto, \
+        write_samples_jsonl, write_spans_jsonl
+    from repro.sim.trace import Trace
+
+    problem = make_problem(args.dataset, args.seeding, scale=args.scale)
+    trace = Trace(enabled=True)
+    obs = Recorder(enabled=True, sample_interval=args.sample_interval)
+    result = run_streamlines(problem, algorithm=args.algorithm,
+                             machine=scenario_machine(args.ranks),
+                             trace=trace, obs=obs)
+
+    out = Path(args.out) / (f"{args.dataset}-{args.seeding}-"
+                            f"{args.algorithm}-{args.ranks}")
+    out.mkdir(parents=True, exist_ok=True)
+    write_perfetto(out / "trace.perfetto.json", obs, trace=trace)
+    write_spans_jsonl(out / "spans.jsonl", obs)
+    write_samples_jsonl(out / "samples.jsonl", obs)
+    trace.to_jsonl(out / "events.jsonl")
+
+    print(f"{args.algorithm} on {args.dataset}/{args.seeding} "
+          f"@ {args.ranks} simulated ranks (scale {args.scale}):")
+    if not result.ok:
+        print(f"  OUT OF MEMORY at rank {result.oom_rank} "
+              f"(t={result.wall_clock:.3f} s); artifacts cover the run "
+              "up to the failure")
+    else:
+        print(f"  wall clock {result.wall_clock:.3f} s; "
+              f"{len(obs.spans)} spans, "
+              f"{len(obs.registry.samples)} samples, "
+              f"{len(trace)} trace events")
+    print(f"  artifacts in {out}/: trace.perfetto.json (open in "
+          "ui.perfetto.dev), spans.jsonl, samples.jsonl, events.jsonl")
+    print()
+    print(timeline_text(obs, result.wall_clock, args.ranks,
+                        width=args.width))
+    print()
+    print("wall-clock decomposition per rank [s]:")
+    print(wait_state_table(result, obs))
     return 0
 
 
@@ -115,6 +167,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--scale", type=float, default=0.25)
     p_fig.add_argument("--ranks", type=int, nargs="*", default=None)
     p_fig.set_defaults(func=_cmd_figure)
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="run one scenario with observability and export a timeline")
+    p_tr.add_argument("dataset", choices=DATASETS)
+    p_tr.add_argument("--seeding", choices=SEEDINGS, default="sparse")
+    p_tr.add_argument("--algorithm", choices=ALGORITHMS, default="hybrid")
+    p_tr.add_argument("--ranks", type=int, default=16)
+    p_tr.add_argument("--scale", type=float, default=0.25)
+    p_tr.add_argument("--out", default="traces",
+                      help="output directory (default: ./traces)")
+    p_tr.add_argument("--sample-interval", type=float, default=0.25,
+                      help="gauge sampling cadence in simulated seconds")
+    p_tr.add_argument("--width", type=int, default=72,
+                      help="text timeline width in columns")
+    p_tr.set_defaults(func=_cmd_trace)
 
     p_rec = sub.add_parser("recommend",
                            help="apply the §6 decision heuristics")

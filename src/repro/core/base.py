@@ -91,20 +91,28 @@ class Worker:
     # ------------------------------------------------------------------ #
     def ensure_block(self, block_id: int) -> Generator[Request, Any, Block]:
         """The block, from cache or via a (priced) filesystem read."""
+        ctx = self.ctx
+        obs = ctx.obs
         block = self.cache.get(block_id)
         if block is not None:
-            self.ctx.metrics.cache_hits += 1
+            ctx.metrics.cache_hits += 1
+            if obs.enabled:
+                obs.registry.counter("cache.hits").inc()
             return block
-        yield from self.ctx.read_block_bytes(self.cost.block_nbytes)
-        block = self.store.load(block_id)
+        if obs.enabled:
+            obs.registry.counter("cache.misses").inc()
+        with obs.span(ctx.rank, "io.load_block", block=block_id):
+            yield from ctx.read_block_bytes(self.cost.block_nbytes)
+            block = self.store.load(block_id)
         evicted = self.cache.put(block)
         for _ in evicted:
-            self.ctx.memory.free(self.cost.block_nbytes, "block")
-        self.ctx.memory.allocate(self.cost.block_nbytes, "block")
-        self.ctx.metrics.blocks_loaded += 1
-        self.ctx.metrics.blocks_purged += len(evicted)
-        self.ctx.trace.emit(self.ctx.rank, "block_load", block=block_id,
-                            purged=[b.block_id for b in evicted])
+            ctx.memory.free(self.cost.block_nbytes, "block")
+        ctx.memory.allocate(self.cost.block_nbytes, "block")
+        ctx.metrics.blocks_loaded += 1
+        ctx.metrics.blocks_purged += len(evicted)
+        if ctx.trace.enabled:
+            ctx.trace.emit(ctx.rank, "block_load", block=block_id,
+                           purged=[b.block_id for b in evicted])
         return block
 
     def has_block(self, block_id: int) -> bool:
@@ -185,12 +193,21 @@ class Worker:
         for line in result.terminated:
             self.done_lines.append(line)
             self.ctx.metrics.streamlines_completed += 1
-        self.ctx.trace.emit(
-            self.ctx.rank, "advect_pool", blocks=len(blocks),
-            lines=len(pool_lines), steps=result.attempted_steps,
-            exited=len(result.exited), terminated=len(result.terminated),
-            leftover=len(result.in_pool))
+        if self.ctx.trace.enabled:
+            self.ctx.trace.emit(
+                self.ctx.rank, "advect_pool", blocks=len(blocks),
+                lines=len(pool_lines), steps=result.attempted_steps,
+                exited=len(result.exited), terminated=len(result.terminated),
+                leftover=len(result.in_pool))
         return result, demoted
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def active_lines(self) -> int:
+        """Streamlines currently queued or advancing on this rank (a
+        sampled gauge; subclasses override with their queue shapes)."""
+        return 0
 
     # ------------------------------------------------------------------ #
     # Protocol

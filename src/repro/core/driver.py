@@ -27,6 +27,7 @@ from repro.core.problem import ProblemSpec
 from repro.core.reseed import ReseedPolicy
 from repro.core.results import STATUS_OK, STATUS_OOM, RunResult
 from repro.core.static import StaticWorker
+from repro.obs.recorder import Recorder
 from repro.sim.cluster import Cluster
 from repro.sim.engine import ProcessFailure, Request
 from repro.sim.machine import MachineSpec
@@ -82,10 +83,38 @@ def _build_hybrid(cluster: Cluster, problem: ProblemSpec,
     return slaves, masters
 
 
+def _register_gauges(obs: Recorder, cluster: Cluster,
+                     workers: List[Worker],
+                     masters: List[HybridMaster]) -> None:
+    """Register the sampled time series for one run.
+
+    Registration order is deterministic (workers by rank, then masters,
+    then machine-wide), so two identical runs produce bit-identical
+    sample streams.  The callbacks only read state; sampling cannot
+    perturb the schedule.
+    """
+    reg = obs.registry
+    for w in workers:
+        rank = w.ctx.rank
+        reg.add_series("rank.active_lines", rank, w.active_lines)
+        reg.add_series("rank.mailbox_depth", rank,
+                       lambda c=w.ctx.comm: c.pending)
+        reg.add_series("rank.cache_blocks", rank,
+                       lambda cache=w.cache: len(cache))
+    for m in masters:
+        rank = m.ctx.rank
+        reg.add_series("master.pool_seeds", rank, m.pool_size)
+        reg.add_series("rank.mailbox_depth", rank,
+                       lambda c=m.ctx.comm: c.pending)
+    reg.add_series("net.bytes_in_flight", -1,
+                   lambda net=cluster.network: net.bytes_in_flight)
+
+
 def run_streamlines(problem: ProblemSpec, algorithm: str = "hybrid",
                     machine: Optional[MachineSpec] = None,
                     hybrid: Optional[HybridConfig] = None,
                     trace: Optional[Trace] = None,
+                    obs: Optional[Recorder] = None,
                     reseed: Optional[ReseedPolicy] = None,
                     store: Optional[object] = None,
                     max_events: Optional[int] = None) -> RunResult:
@@ -112,6 +141,11 @@ def run_streamlines(problem: ProblemSpec, algorithm: str = "hybrid",
         files).  Defaults to sampling the problem's analytic field.
     trace:
         Optional enabled :class:`~repro.sim.trace.Trace` to record events.
+    obs:
+        Optional enabled :class:`~repro.obs.Recorder`: records spans,
+        samples per-rank gauges on a fixed cadence, and attributes idle
+        time to named wait states.  Enabling it does not change the
+        simulated schedule or the resulting metrics.
     max_events:
         Safety bound on simulator events (tests); raises if exceeded.
 
@@ -125,7 +159,7 @@ def run_streamlines(problem: ProblemSpec, algorithm: str = "hybrid",
                          f"expected one of {ALGORITHMS}")
     machine = machine or MachineSpec()
     hybrid = hybrid or HybridConfig()
-    cluster = Cluster(machine, trace=trace)
+    cluster = Cluster(machine, trace=trace, obs=obs)
     if store is None:
         store = BlockStore(problem.field, problem.decomposition)
 
@@ -146,10 +180,12 @@ def run_streamlines(problem: ProblemSpec, algorithm: str = "hybrid",
 
     for w in workers:
         cluster.engine.spawn(f"{algorithm}-rank{w.ctx.rank}",
-                             _finishing(w.ctx, w.run()))
+                             _finishing(w.ctx, w.run()), rank=w.ctx.rank)
     for m in masters:
         cluster.engine.spawn(f"hybrid-master{m.ctx.rank}",
-                             _finishing(m.ctx, m.run()))
+                             _finishing(m.ctx, m.run()), rank=m.ctx.rank)
+    if obs is not None and obs.enabled:
+        _register_gauges(obs, cluster, workers, masters)
 
     try:
         wall = cluster.run(max_events=max_events)

@@ -34,6 +34,7 @@ from repro.core import messages as msg
 from repro.core.config import HybridConfig
 from repro.core.problem import ProblemSpec
 from repro.integrate.streamline import Status, Streamline
+from repro.obs import NULL_SPAN
 from repro.sim.cluster import RankContext
 from repro.sim.engine import Request
 
@@ -147,16 +148,18 @@ class HybridMaster:
         yield from self._send(s.rank, msg.KIND_ASSIGN, assign)
         s.loaded.add(bid)  # Assign_unloaded makes the slave load it.
         s.advanceable += len(assign.sids)
-        self.ctx.trace.emit(self.ctx.rank, "assign", slave=s.rank,
-                            block=bid, n=len(assign.sids))
+        if self.ctx.trace.enabled:
+            self.ctx.trace.emit(self.ctx.rank, "assign", slave=s.rank,
+                                block=bid, n=len(assign.sids))
 
     def _emit_load(self, s: SlaveRecord,
                    bid: int) -> Generator[Request, Any, None]:
         yield from self._send(s.rank, msg.KIND_LOAD, msg.LoadBlock(bid))
         s.loaded.add(bid)
         s.advanceable += s.lines_by_block.pop(bid, 0)
-        self.ctx.trace.emit(self.ctx.rank, "load_rule", slave=s.rank,
-                            block=bid)
+        if self.ctx.trace.enabled:
+            self.ctx.trace.emit(self.ctx.rank, "load_rule", slave=s.rank,
+                                block=bid)
 
     def _emit_send_force(self, src: SlaveRecord, dst: SlaveRecord,
                          bid: int) -> Generator[Request, Any, None]:
@@ -164,8 +167,9 @@ class HybridMaster:
                               msg.SendForce(block_id=bid, dest=dst.rank))
         moved = src.lines_by_block.pop(bid, 0)
         dst.advanceable += moved  # dst has bid loaded, so they can run.
-        self.ctx.trace.emit(self.ctx.rank, "send_force", src=src.rank,
-                            dst=dst.rank, block=bid, moved=moved)
+        if self.ctx.trace.enabled:
+            self.ctx.trace.emit(self.ctx.rank, "send_force", src=src.rank,
+                                dst=dst.rank, block=bid, moved=moved)
         # Deliberately do NOT remove dst from needs_work here: the count
         # may be stale (src may have already advanced or shipped those
         # lines), in which case dst receives nothing and — being blocked
@@ -290,18 +294,26 @@ class HybridMaster:
                         target.rank, msg.KIND_SEND_HINT,
                         msg.SendHint(block_ids=hint_blocks, dest=s.rank))
                     self._hinted.add(s.rank)
-                    self.ctx.trace.emit(self.ctx.rank, "send_hint",
-                                        src=target.rank, dst=s.rank,
-                                        blocks=hint_blocks)
+                    if self.ctx.trace.enabled:
+                        self.ctx.trace.emit(self.ctx.rank, "send_hint",
+                                            src=target.rank, dst=s.rank,
+                                            blocks=hint_blocks)
 
         if assigned:
             self.needs_work.discard(s.rank)
             self._hinted.discard(s.rank)
 
     def _assignment_pass(self) -> Generator[Request, Any, None]:
-        for rank in sorted(self.needs_work.copy()):
-            if rank in self.needs_work:
-                yield from self._try_assign(rank)
+        starving = sorted(self.needs_work.copy())
+        if not starving:
+            return
+        obs = self.ctx.obs
+        with (obs.span(self.ctx.rank, "master.assign_pass",
+                       starving=len(starving))
+              if obs.enabled else NULL_SPAN):
+            for rank in starving:
+                if rank in self.needs_work:
+                    yield from self._try_assign(rank)
 
     # ------------------------------------------------------------------ #
     # Inter-master seed balancing
@@ -332,8 +344,9 @@ class HybridMaster:
             budget -= len(assign.sids)
         payload = msg.SeedGrant(by_block=grant)
         yield from self._send(requester, msg.KIND_SEED_GRANT, payload)
-        self.ctx.trace.emit(self.ctx.rank, "seed_grant",
-                            requester=requester, n=payload.n_seeds())
+        if self.ctx.trace.enabled:
+            self.ctx.trace.emit(self.ctx.rank, "seed_grant",
+                                requester=requester, n=payload.n_seeds())
 
     # ------------------------------------------------------------------ #
     # Termination plumbing
@@ -452,8 +465,9 @@ class HybridMaster:
         self._reseed_remaining -= take
         if admitted:
             self._target_delta += admitted
-            self.ctx.trace.emit(self.ctx.rank, "reseed_admitted",
-                                n=admitted)
+            if self.ctx.trace.enabled:
+                self.ctx.trace.emit(self.ctx.rank, "reseed_admitted",
+                                    n=admitted)
 
     def _initial_assignment(self) -> Generator[Request, Any, None]:
         """Paper: all slaves receive their initial allocation through the
@@ -474,6 +488,8 @@ class HybridMaster:
                 return
             yield from self._assignment_pass()
             yield from self._maybe_request_seeds()
-            inbox = yield from self.ctx.comm.recv_wait()
+            inbox = yield from self.ctx.comm.recv_wait(
+                reason="slave_status")
             yield from self._process(inbox)
-        self.ctx.trace.emit(self.ctx.rank, "master_done")
+        if self.ctx.trace.enabled:
+            self.ctx.trace.emit(self.ctx.rank, "master_done")

@@ -70,6 +70,9 @@ class HybridSlave(Worker):
         return (sum(len(v) for v in self.ready.values())
                 + sum(len(v) for v in self.waiting.values()))
 
+    def active_lines(self) -> int:
+        return self.total_lines()
+
     def _lines_by_block(self) -> Dict[int, int]:
         counts: Dict[int, int] = {}
         for bid, lines in self.ready.items():
@@ -111,8 +114,9 @@ class HybridSlave(Worker):
             dest, msg.KIND_STREAMLINE, packet,
             packet.wire_nbytes(self.cost,
                                self.config.compact_communication))
-        self.ctx.trace.emit(self.ctx.rank, "lines_shipped",
-                            count=len(lines), dest=dest)
+        if self.ctx.trace.enabled:
+            self.ctx.trace.emit(self.ctx.rank, "lines_shipped",
+                                count=len(lines), dest=dest)
 
     def _process(self, inbox) -> Generator[Request, Any, None]:
         for m in inbox:
@@ -175,8 +179,9 @@ class HybridSlave(Worker):
         yield from self.ctx.comm.send(self.master, msg.KIND_NEW_SEEDS,
                                       payload,
                                       payload.wire_nbytes(self.cost))
-        self.ctx.trace.emit(self.ctx.rank, "new_seeds",
-                            count=len(payload.seeds))
+        if self.ctx.trace.enabled:
+            self.ctx.trace.emit(self.ctx.rank, "new_seeds",
+                                count=len(payload.seeds))
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -217,8 +222,10 @@ class HybridSlave(Worker):
             # current state, then wait for instructions.
             if self._dirty or not self._status_in_flight:
                 yield from self._send_status()
-            inbox = yield from self.ctx.comm.recv_wait()
+            inbox = yield from self.ctx.comm.recv_wait(
+                reason="master_assignment")
             self._status_in_flight = False
             yield from self._process(inbox)
-        self.ctx.trace.emit(self.ctx.rank, "slave_done",
-                            done_lines=len(self.done_lines))
+        if self.ctx.trace.enabled:
+            self.ctx.trace.emit(self.ctx.rank, "slave_done",
+                                done_lines=len(self.done_lines))

@@ -72,6 +72,10 @@ class OnDemandWorker(Worker):
             else self.waiting
         target.setdefault(line.block_id, []).append(line)
 
+    def active_lines(self) -> int:
+        return (sum(len(lines) for lines in self.ready.values())
+                + sum(len(lines) for lines in self.waiting.values()))
+
     def _next_block_to_load(self) -> int:
         """The unloaded block with the most waiting streamlines
         (ties broken by lowest id for determinism)."""

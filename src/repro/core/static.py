@@ -121,6 +121,9 @@ class StaticWorker(Worker):
                     payload.wire_nbytes(self.cost))
         self._done = True
 
+    def active_lines(self) -> int:
+        return sum(len(lines) for lines in self.queue.values())
+
     # ------------------------------------------------------------------ #
     # Work
     # ------------------------------------------------------------------ #
@@ -140,8 +143,9 @@ class StaticWorker(Worker):
                 yield from self.ctx.comm.send(
                     owner, msg.KIND_STREAMLINE, packet,
                     packet.wire_nbytes(self.cost))
-                self.ctx.trace.emit(self.ctx.rank, "line_sent",
-                                    sid=line.sid, dest=owner, block=bid)
+                if self.ctx.trace.enabled:
+                    self.ctx.trace.emit(self.ctx.rank, "line_sent",
+                                        sid=line.sid, dest=owner, block=bid)
 
     def run(self) -> Generator[Request, Any, None]:
         self._setup_seeds()
@@ -175,7 +179,7 @@ class StaticWorker(Worker):
                 yield from self._broadcast_done()
                 return
             # Idle: block until new work, a count, or Done arrives.
-            inbox = yield from self.ctx.comm.recv_wait()
+            inbox = yield from self.ctx.comm.recv_wait(reason="message")
             self._process(inbox)
             if self.ctx.rank == 0 \
                     and self._global_count == self.problem.n_seeds \

@@ -1,0 +1,89 @@
+"""Observability layer: spans, metrics, wait-state attribution, exports.
+
+``repro.obs`` is a leaf package — it imports nothing from ``repro.sim``
+or ``repro.core`` (timer categories and metrics objects are passed in
+opaquely), so every simulator layer can depend on it without cycles.
+
+Typical wiring::
+
+    obs = Recorder(enabled=True, sample_interval=0.25)
+    cluster = Cluster(machine, trace=trace, obs=obs)   # binds the clock
+    ... run ...
+    write_perfetto("trace.json", obs, trace=trace)
+
+Inside worker coroutines, the :func:`span` helper reads the recorder and
+rank off a ``RankContext``::
+
+    with span(ctx, "io.load_block", block=block_id):
+        ...
+
+Zero-cost-when-disabled contract: recording-only instrumentation sites
+guard with ``if obs.enabled:`` (or rely on :func:`span` returning the
+shared :data:`NULL_SPAN`), the engine observer is only installed for
+enabled recorders, and a disabled registry hands out shared null
+instruments — so a production (untraced) run executes the identical
+event schedule and allocates nothing per event.
+"""
+
+from repro.obs.export import (
+    jsonable,
+    perfetto_events,
+    perfetto_json,
+    timeline_text,
+    write_perfetto,
+    write_samples_jsonl,
+    write_spans_jsonl,
+)
+from repro.obs.recorder import NULL_RECORDER, Recorder
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.span import NULL_SPAN, NullSpan, Span, SpanRecord
+from repro.obs.waitstate import (
+    WAIT_ASSIGNMENT,
+    WAIT_DEFAULT,
+    WAIT_MESSAGE,
+    WAIT_STATUS,
+    WaitStates,
+)
+
+
+def span(ctx, name: str, **attrs):
+    """Open a recording span for a ``RankContext``-like object (anything
+    with ``.obs`` and ``.rank``); returns :data:`NULL_SPAN` when the
+    context's recorder is disabled."""
+    return ctx.obs.span(ctx.rank, name, **attrs)
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NullSpan",
+    "Recorder",
+    "Span",
+    "SpanRecord",
+    "WAIT_ASSIGNMENT",
+    "WAIT_DEFAULT",
+    "WAIT_MESSAGE",
+    "WAIT_STATUS",
+    "WaitStates",
+    "jsonable",
+    "perfetto_events",
+    "perfetto_json",
+    "span",
+    "timeline_text",
+    "write_perfetto",
+    "write_samples_jsonl",
+    "write_spans_jsonl",
+]

@@ -1,0 +1,205 @@
+"""Exporters: Chrome/Perfetto ``trace_event`` JSON, JSONL streams, and a
+per-rank text timeline.
+
+Perfetto (https://ui.perfetto.dev) and ``chrome://tracing`` both read
+the legacy ``trace_event`` format: a JSON object with a ``traceEvents``
+array whose entries carry ``ph`` (phase), ``ts``/``dur`` (microseconds),
+``pid``/``tid``, ``name``, ``cat``, and ``args``.  The mapping here:
+
+* one *process* (pid 0) per run, one *thread* per simulated rank
+  (``tid = rank``; thread-name metadata events label them);
+* spans become complete events (``ph: "X"``) — including the
+  ``wait.<reason>`` idle spans, so starvation is visible as explicit
+  slices, not gaps;
+* :class:`~repro.sim.trace.Trace` records become instant events
+  (``ph: "i"``);
+* gauge samples become counter events (``ph: "C"``, one counter track
+  per series; per-rank series use ``pid = rank`` so Perfetto groups
+  them under the rank).
+
+Simulated seconds are scaled to integer-friendly microseconds.  All
+output is generated with sorted keys and a stable event order, so a
+deterministic run exports byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.obs.recorder import Recorder
+from repro.obs.span import SpanRecord
+
+#: Phases emitted by this exporter (useful for schema validation).
+PHASES = ("M", "X", "i", "C")
+
+
+def jsonable(value: Any) -> Any:
+    """Coerce a detail/attr value to something ``json.dumps`` accepts.
+
+    Numpy scalars become Python scalars, arrays become (nested) lists,
+    tuples become lists, dict keys become strings.  Unknown objects fall
+    back to ``repr`` rather than failing an export.
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def _us(seconds: float) -> float:
+    """Simulated seconds -> trace_event microseconds."""
+    return round(seconds * 1e6, 3)
+
+
+def _span_category(name: str) -> str:
+    """Perfetto ``cat`` field: the span name's first dotted component."""
+    return name.split(".", 1)[0]
+
+
+def perfetto_events(spans: Sequence[SpanRecord],
+                    samples: Sequence = (),
+                    trace_records: Iterable = ()) -> List[Dict[str, Any]]:
+    """Build the ``traceEvents`` list (metadata, slices, instants,
+    counters) from recorder spans, gauge samples, and trace records."""
+    events: List[Dict[str, Any]] = []
+    ranks = sorted({s.rank for s in spans}
+                   | {r for _, _, r, _ in samples if r >= 0})
+    for r in ranks:
+        events.append({"ph": "M", "pid": 0, "tid": r, "ts": 0,
+                       "name": "thread_name",
+                       "args": {"name": f"rank {r}"}})
+        events.append({"ph": "M", "pid": 0, "tid": r, "ts": 0,
+                       "name": "thread_sort_index",
+                       "args": {"sort_index": r}})
+    for s in spans:
+        events.append({
+            "ph": "X", "pid": 0, "tid": s.rank, "name": s.name,
+            "cat": _span_category(s.name),
+            "ts": _us(s.start), "dur": _us(s.duration),
+            "args": {k: jsonable(v) for k, v in s.attrs},
+        })
+    for rec in trace_records:
+        events.append({
+            "ph": "i", "s": "t", "pid": 0, "tid": rec.rank,
+            "name": rec.event, "cat": "trace", "ts": _us(rec.time),
+            "args": {k: jsonable(v) for k, v in rec.detail},
+        })
+    for time, name, rank, value in samples:
+        events.append({
+            "ph": "C", "pid": rank if rank >= 0 else 0,
+            "name": name if rank < 0 else f"{name}",
+            "ts": _us(time),
+            "args": {"value": jsonable(value)},
+        })
+    return events
+
+
+def perfetto_json(recorder: Recorder, trace=None) -> str:
+    """The full Perfetto document as a deterministic JSON string."""
+    doc = {
+        "displayTimeUnit": "ms",
+        "traceEvents": perfetto_events(
+            recorder.spans, recorder.registry.samples,
+            trace if trace is not None else ()),
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def write_perfetto(path, recorder: Recorder, trace=None) -> None:
+    """Write ``path`` as a Perfetto/chrome-tracing JSON file."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(perfetto_json(recorder, trace=trace))
+        f.write("\n")
+
+
+def write_spans_jsonl(path, recorder: Recorder) -> None:
+    """One JSON object per completed span, in completion order."""
+    with open(path, "w", encoding="utf-8") as f:
+        for s in recorder.spans:
+            f.write(json.dumps({
+                "rank": s.rank, "name": s.name, "start": s.start,
+                "end": s.end, "depth": s.depth,
+                "attrs": {k: jsonable(v) for k, v in s.attrs},
+            }, sort_keys=True))
+            f.write("\n")
+
+
+def write_samples_jsonl(path, recorder: Recorder) -> None:
+    """One JSON object per gauge sample, in sampling order."""
+    with open(path, "w", encoding="utf-8") as f:
+        for time, name, rank, value in recorder.registry.samples:
+            f.write(json.dumps({
+                "time": time, "name": name, "rank": rank,
+                "value": jsonable(value),
+            }, sort_keys=True))
+            f.write("\n")
+
+
+# ---------------------------------------------------------------------- #
+# Text timeline (Gantt)
+# ---------------------------------------------------------------------- #
+
+#: Timeline glyphs by span-name prefix; first match wins.  Only leaf
+#: activity spans paint the chart — container spans (``advect.pool``,
+#: ``io.load_block``, ...) would double-cover their children.
+_TIMELINE_GLYPHS = (
+    ("compute.", "C"),
+    ("io.read", "I"),
+    ("comm.", "M"),
+    ("wait.", "·"),
+)
+
+
+def _glyph_for(name: str) -> Optional[str]:
+    for prefix, glyph in _TIMELINE_GLYPHS:
+        if name.startswith(prefix):
+            return glyph
+    return None
+
+
+def timeline_text(recorder: Recorder, wall_clock: float,
+                  n_ranks: int, width: int = 72) -> str:
+    """Per-rank Gantt chart: one row per rank, one column per
+    ``wall_clock / width`` slice, glyph = dominant activity
+    (C compute, I i/o, M comm, · attributed wait, space = untracked)."""
+    if wall_clock <= 0 or width < 1:
+        return "(empty timeline)"
+    dt = wall_clock / width
+    # occupancy[rank][column][glyph] -> overlapped seconds
+    occupancy: Dict[int, List[Dict[str, float]]] = {
+        r: [dict() for _ in range(width)] for r in range(n_ranks)}
+    for s in recorder.spans:
+        glyph = _glyph_for(s.name)
+        if glyph is None or s.rank not in occupancy:
+            continue
+        first = min(width - 1, max(0, int(s.start / dt)))
+        last = min(width - 1, max(0, int(s.end / dt)))
+        for col in range(first, last + 1):
+            lo = max(s.start, col * dt)
+            hi = min(s.end, (col + 1) * dt)
+            if hi <= lo:
+                continue
+            cell = occupancy[s.rank][col]
+            cell[glyph] = cell.get(glyph, 0.0) + (hi - lo)
+    lines = [f"timeline  0.0 .. {wall_clock:.3f} s  "
+             f"(C compute, I i/o, M comm, · wait)"]
+    for r in range(n_ranks):
+        row = []
+        for cell in occupancy[r]:
+            if not cell:
+                row.append(" ")
+            else:
+                # Dominant activity; ties broken by glyph for determinism.
+                row.append(max(cell.items(), key=lambda kv: (kv[1], kv[0]))[0])
+        lines.append(f"rank {r:>4} |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""The per-run observability hub.
+
+One :class:`Recorder` per simulated run bundles the three stores the
+exporters consume — completed spans, the metrics registry (with its
+sampled time series), and per-rank wait-state totals — and implements
+the engine observer protocol that feeds two of them:
+
+``on_wait_end(process, reason, start, end)``
+    Called when a process resumes from a ``Wait``; attributes the
+    blocked interval to a named wait state and records it as a
+    ``wait.<reason>`` span (so idle shows up on the Perfetto timeline).
+
+``on_time_advance(now)``
+    Called by the engine loop whenever the simulated clock advances to a
+    new event; samples every registered gauge series each time the clock
+    crosses a ``sample_interval`` boundary.  Sampling piggybacks on the
+    event loop instead of scheduling its own timer events so that
+    enabling observability cannot extend the run (a trailing timer event
+    would advance the final clock) or reorder it (extra events would
+    shift tie-breaking sequence numbers): a traced run and an untraced
+    run execute the identical schedule.
+
+A disabled ``Recorder`` is still functional as a *clock + timer*
+carrier: charging spans created through it read the simulated clock and
+feed ``RankMetrics``, they just leave no record.  The engine observer is
+only installed when the recorder is enabled, so the disabled per-event
+overhead is zero.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.span import NULL_SPAN, Span, SpanRecord
+from repro.obs.waitstate import WAIT_DEFAULT, WaitStates
+
+
+class Recorder:
+    """Collects spans, samples, and wait states for one simulated run.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  Disabled recorders charge timers but record
+        nothing and install no engine hooks.
+    sample_interval:
+        Simulated seconds between gauge samples (``None`` or ``<= 0``
+        disables sampling).
+    clock:
+        Simulated-clock callable; normally bound to ``engine.now`` by
+        :meth:`bind` (which ``Cluster`` calls).
+    """
+
+    def __init__(self, enabled: bool = False,
+                 sample_interval: Optional[float] = 0.25,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.enabled = enabled
+        self.sample_interval = sample_interval
+        self._clock = clock or (lambda: 0.0)
+        self._spans: List[SpanRecord] = []
+        self._depth: Dict[int, int] = {}
+        self.registry = MetricsRegistry(enabled=enabled)
+        self.waits = WaitStates()
+        self._next_sample = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Spans
+    # ------------------------------------------------------------------ #
+    def span(self, rank: int, name: str, category=None, metrics=None,
+             **attrs: Any):
+        """Open a span for ``rank`` (use as a context manager).
+
+        With ``category`` and ``metrics``, the span charges its duration
+        to that timer on exit (it must run even when disabled).  A
+        recording-only span (no category) on a disabled recorder returns
+        the shared :data:`~repro.obs.span.NULL_SPAN`.
+        """
+        if not self.enabled and category is None:
+            return NULL_SPAN
+        return Span(self, rank, name, category=category, metrics=metrics,
+                    attrs=attrs or None)
+
+    @property
+    def spans(self) -> Tuple[SpanRecord, ...]:
+        return tuple(self._spans)
+
+    @property
+    def open_span_count(self) -> int:
+        """Spans entered but not yet exited (0 after a clean run)."""
+        return sum(self._depth.values())
+
+    # ------------------------------------------------------------------ #
+    # Engine wiring
+    # ------------------------------------------------------------------ #
+    def bind(self, engine) -> None:
+        """Attach to an engine: read its clock; hook it when enabled."""
+        self._clock = lambda: engine.now
+        if self.enabled:
+            engine.observer = self
+
+    # ------------------------------------------------------------------ #
+    # Engine observer protocol
+    # ------------------------------------------------------------------ #
+    def on_wait_end(self, process, reason: Optional[str],
+                    start: float, end: float) -> None:
+        """A process resumed after blocking in ``Wait``."""
+        if not self.enabled or end <= start:
+            return
+        rank = getattr(process, "rank", None)
+        if rank is None:
+            return
+        reason = reason or WAIT_DEFAULT
+        self.waits.add(rank, reason, end - start)
+        self._spans.append(SpanRecord(
+            rank=rank, name=f"wait.{reason}", start=start, end=end,
+            depth=self._depth.get(rank, 0)))
+
+    def on_time_advance(self, now: float) -> None:
+        """The engine clock reached ``now``; sample gauges if due."""
+        interval = self.sample_interval
+        if not self.enabled or not interval or interval <= 0:
+            return
+        if now < self._next_sample:
+            return
+        self.registry.sample(now)
+        self._next_sample = (math.floor(now / interval) + 1) * interval
+
+
+#: Shared disabled recorder for code paths with no cluster (exists only
+#: for default arguments; anything that charges timers must use a
+#: clock-bound recorder, which ``Cluster``/``FileSystem``/``Network``
+#: create for themselves when none is supplied).
+NULL_RECORDER = Recorder(enabled=False)

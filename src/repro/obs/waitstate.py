@@ -1,0 +1,64 @@
+"""Idle-time attribution: named wait states per rank.
+
+``RankMetrics.idle_time`` says *how much* of a rank's wall clock was not
+charged to a timer; it cannot say *why*.  The engine reports every
+``Wait`` block to the active recorder together with the reason the
+yielding code declared (``Comm.recv_wait(reason=...)`` tags its mailbox
+waits; untagged waits fall back to :data:`WAIT_DEFAULT`), and
+:class:`WaitStates` accumulates the durations, so per-rank idle time
+decomposes into named states: a Static rank blocked on cross-rank
+streamline traffic, a Hybrid slave starved for a master assignment, a
+master parked between slave statuses.
+
+The remaining slice of idle — the gap between a rank finishing its
+program and the run's last event — is not a ``Wait`` at all; reports
+account for it separately as the *drain* tail (``wall - finish_time``).
+Per rank, ``busy + attributed waits + drain == wall`` up to float
+summation error (the reconciliation tests assert 1e-9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: A rank blocked on its mailbox for protocol traffic (streamlines,
+#: counts, Done) — the Static Allocation idle mode.
+WAIT_MESSAGE = "message"
+#: A Hybrid slave that sent its status and is starving for work.
+WAIT_ASSIGNMENT = "master_assignment"
+#: A Hybrid master parked until some slave reports.
+WAIT_STATUS = "slave_status"
+#: An untagged ``Wait`` (custom rank programs, tests).
+WAIT_DEFAULT = "wait"
+
+
+class WaitStates:
+    """Per-rank accumulated blocked time, keyed by wait reason."""
+
+    def __init__(self) -> None:
+        #: rank -> reason -> accumulated simulated seconds.
+        self.totals: Dict[int, Dict[str, float]] = {}
+        #: rank -> number of completed wait episodes.
+        self.counts: Dict[int, int] = {}
+
+    def add(self, rank: int, reason: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative wait duration: {seconds}")
+        per_rank = self.totals.setdefault(rank, {})
+        per_rank[reason] = per_rank.get(reason, 0.0) + seconds
+        self.counts[rank] = self.counts.get(rank, 0) + 1
+
+    def reasons(self) -> List[str]:
+        """All reasons seen, sorted (stable table columns)."""
+        seen = set()
+        for per_rank in self.totals.values():
+            seen.update(per_rank)
+        return sorted(seen)
+
+    def total(self, rank: int) -> float:
+        """All attributed wait time of one rank."""
+        return sum(self.totals.get(rank, {}).values())
+
+    def of(self, rank: int) -> Dict[str, float]:
+        """reason -> seconds for one rank (empty dict if never blocked)."""
+        return dict(self.totals.get(rank, {}))

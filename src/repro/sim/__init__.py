@@ -39,10 +39,11 @@ from repro.sim.machine import MachineSpec, jaguar_like, slow_filesystem, slow_ne
 from repro.sim.memory import MemoryAccount, SimOutOfMemory
 from repro.sim.metrics import RankMetrics, TimerCategory
 from repro.sim.network import Comm, Message, Network
-from repro.sim.trace import Trace, TraceRecord
+from repro.sim.trace import NULL_TRACE, Trace, TraceRecord
 
 __all__ = [
     "Cluster",
+    "NULL_TRACE",
     "Comm",
     "DeadlockError",
     "Engine",

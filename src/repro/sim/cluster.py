@@ -13,32 +13,41 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, Optional
 
+from repro.obs.recorder import Recorder
 from repro.sim.engine import Engine, Request, Sleep
 from repro.sim.filesystem import FileSystem
 from repro.sim.machine import MachineSpec
 from repro.sim.memory import MemoryAccount
 from repro.sim.metrics import RankMetrics, TimerCategory
 from repro.sim.network import Comm, Network
-from repro.sim.trace import Trace
+from repro.sim.trace import NULL_TRACE, Trace
 
 
 class Cluster:
     """One simulated machine instance for one run."""
 
-    def __init__(self, spec: MachineSpec, trace: Optional[Trace] = None) -> None:
+    def __init__(self, spec: MachineSpec, trace: Optional[Trace] = None,
+                 obs: Optional[Recorder] = None) -> None:
         self.spec = spec
         self.engine = Engine()
+        if obs is None:
+            obs = Recorder(enabled=False)
+        self.obs = obs
+        obs.bind(self.engine)
         self.metrics: Dict[int, RankMetrics] = {
             r: RankMetrics(rank=r) for r in range(spec.n_ranks)}
-        self.network = Network(self.engine, spec, self.metrics)
-        self.filesystem = FileSystem(self.engine, spec, self.metrics)
+        self.network = Network(self.engine, spec, self.metrics, obs=obs)
+        self.filesystem = FileSystem(self.engine, spec, self.metrics, obs=obs)
         self.memory: Dict[int, MemoryAccount] = {
             r: MemoryAccount(rank=r, capacity=spec.memory_bytes)
             for r in range(spec.n_ranks)}
         # Note: an empty Trace is falsy (len 0), so test against None.
+        # Only caller-supplied traces get the clock bound — the shared
+        # NULL_TRACE singleton must never be rebound to one cluster.
         if trace is None:
-            trace = Trace(enabled=False)
-        trace._clock = lambda: self.engine.now
+            trace = NULL_TRACE
+        else:
+            trace._clock = lambda: self.engine.now
         self.trace = trace
 
     def context(self, rank: int) -> "RankContext":
@@ -55,6 +64,7 @@ class Cluster:
             metrics=self.metrics[rank],
             trace=self.trace,
             engine=self.engine,
+            obs=self.obs,
         )
 
     def run(self, max_events: Optional[int] = None) -> float:
@@ -78,6 +88,12 @@ class RankContext:
     metrics: RankMetrics
     trace: Trace
     engine: Engine
+    obs: Recorder = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.obs is None:
+            self.obs = Recorder(enabled=False,
+                                clock=lambda: self.engine.now)
 
     @property
     def now(self) -> float:
@@ -92,9 +108,14 @@ class RankContext:
         if steps < 0:
             raise ValueError(f"negative step count: {steps}")
         seconds = steps * self.spec.seconds_per_step
-        if seconds > 0:
-            yield Sleep(seconds)
-        self.metrics.charge(TimerCategory.COMPUTE, seconds)
+        obs = self.obs
+        with obs.span(self.rank, "compute.advect",
+                      category=TimerCategory.COMPUTE,
+                      metrics=self.metrics) as sp:
+            if obs.enabled:
+                sp.set(steps=steps)
+            if seconds > 0:
+                yield Sleep(seconds)
         self.metrics.steps += steps
         return seconds
 

@@ -100,9 +100,16 @@ class Signal(Request):
 
 @dataclass(frozen=True)
 class Wait(Request):
-    """Suspend the yielding process until ``signal`` fires."""
+    """Suspend the yielding process until ``signal`` fires.
+
+    ``reason`` names the wait state for idle-time attribution: when an
+    observer is installed on the engine, the blocked interval is
+    reported to it as this reason on resume (see
+    :class:`repro.obs.WaitStates`).  It does not affect scheduling.
+    """
 
     signal: Signal
+    reason: str = "wait"
 
 
 @dataclass(order=True)
@@ -123,16 +130,22 @@ class Process:
         Stable human-readable identifier (appears in traces and errors).
     program:
         A generator that yields :class:`Request` objects.
+    rank:
+        Optional simulated-rank number for observability (wait-state
+        attribution keys on it); ``None`` for anonymous processes.
     """
 
     def __init__(self, engine: "Engine", name: str,
-                 program: Generator[Request, Any, Any]) -> None:
+                 program: Generator[Request, Any, Any],
+                 rank: Optional[int] = None) -> None:
         self._engine = engine
         self.name = name
         self._gen = program
+        self.rank = rank
         self.alive = True
         self.result: Any = None
         self.blocked_since: float = 0.0
+        self._wait_reason: Optional[str] = None
         self.finished = Signal(f"{name}.finished")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -141,6 +154,11 @@ class Process:
 
     def _step(self, send_value: Any) -> None:
         engine = self._engine
+        if self._wait_reason is not None:
+            if engine.observer is not None:
+                engine.observer.on_wait_end(
+                    self, self._wait_reason, self.blocked_since, engine.now)
+            self._wait_reason = None
         try:
             request = self._gen.send(send_value)
         except StopIteration as stop:
@@ -161,9 +179,11 @@ class Process:
             engine._schedule(engine.now + request.duration,
                              lambda: self._step(None))
         elif isinstance(request, Wait):
+            self._wait_reason = request.reason
             request.signal._waiters.append(self)
         elif isinstance(request, Signal):
             # Allow ``yield signal`` as shorthand for ``yield Wait(signal)``.
+            self._wait_reason = "wait"
             request._waiters.append(self)
         else:
             self.alive = False
@@ -192,6 +212,15 @@ class Engine:
         self._processes: list[Process] = []
         self._failure: Optional[ProcessFailure] = None
         self._running = False
+        #: Cumulative number of events executed across all ``run`` calls.
+        self.event_count = 0
+        #: Observability hook (``repro.obs.Recorder`` or anything with
+        #: ``on_time_advance(now)`` / ``on_wait_end(proc, reason, t0, t1)``).
+        #: ``None`` in production runs, so the disabled cost is one
+        #: ``is not None`` check per event.  Observers must only *read*
+        #: simulation state — they may not schedule events or fire
+        #: signals, which would perturb the deterministic schedule.
+        self.observer: Optional[Any] = None
 
     # ------------------------------------------------------------------ #
     # Scheduling primitives
@@ -224,9 +253,10 @@ class Engine:
     # Process management
     # ------------------------------------------------------------------ #
     def spawn(self, name: str,
-              program: Generator[Request, Any, Any]) -> Process:
+              program: Generator[Request, Any, Any],
+              rank: Optional[int] = None) -> Process:
         """Register a new process and schedule its first step at ``now``."""
-        proc = Process(self, name, program)
+        proc = Process(self, name, program, rank=rank)
         self._processes.append(proc)
         self._live_processes += 1
         self._schedule(self.now, lambda: proc._step(None))
@@ -239,6 +269,11 @@ class Engine:
     @property
     def live_process_count(self) -> int:
         return self._live_processes
+
+    @property
+    def pending_events(self) -> int:
+        """Events currently queued (not yet executed)."""
+        return len(self._queue)
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -278,8 +313,11 @@ class Engine:
                 if event.time < self.now:
                     raise AssertionError("event queue time went backwards")
                 self.now = event.time
+                if self.observer is not None:
+                    self.observer.on_time_advance(self.now)
                 event.fn()
                 processed += 1
+                self.event_count += 1
                 if max_events is not None and processed > max_events:
                     raise RuntimeError(
                         f"exceeded max_events={max_events}; "

@@ -19,8 +19,9 @@ slows down, reproducing the order-of-magnitude I/O-time gap in Figure 6.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, List
+from typing import Any, Dict, Generator, List, Optional
 
+from repro.obs.recorder import Recorder
 from repro.sim.engine import Engine, Request, Sleep
 from repro.sim.machine import MachineSpec
 from repro.sim.metrics import RankMetrics, TimerCategory
@@ -30,10 +31,14 @@ class FileSystem:
     """The simulated shared filesystem; one instance per simulation."""
 
     def __init__(self, engine: Engine, spec: MachineSpec,
-                 metrics: Dict[int, RankMetrics]) -> None:
+                 metrics: Dict[int, RankMetrics],
+                 obs: Optional[Recorder] = None) -> None:
         self.engine = engine
         self.spec = spec
         self.metrics = metrics
+        if obs is None:
+            obs = Recorder(enabled=False, clock=lambda: engine.now)
+        self.obs = obs
         self._server_busy_until: List[float] = [0.0] * spec.io_servers
         self.total_reads = 0
         self.total_bytes = 0
@@ -64,10 +69,17 @@ class FileSystem:
         self.total_bytes += nbytes
         self.total_wait += queued
 
-        if elapsed > 0:
-            yield Sleep(elapsed)
-        m = self.metrics[rank]
-        m.charge(TimerCategory.IO, elapsed)
+        obs = self.obs
+        with obs.span(rank, "io.read", category=TimerCategory.IO,
+                      metrics=self.metrics[rank]) as sp:
+            if obs.enabled:
+                sp.set(nbytes=nbytes, queued=queued, server=server)
+                reg = obs.registry
+                reg.counter("io.reads").inc()
+                reg.histogram("io.read_seconds").observe(elapsed)
+                reg.histogram("io.queue_delay").observe(queued)
+            if elapsed > 0:
+                yield Sleep(elapsed)
         return elapsed
 
     @property

@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Generator, List, Optional
 
+from repro.obs.recorder import Recorder
 from repro.sim.engine import Engine, Request, Signal, Sleep, Wait
 from repro.sim.machine import MachineSpec
 from repro.sim.metrics import RankMetrics, TimerCategory
@@ -60,15 +61,22 @@ class Network:
     """
 
     def __init__(self, engine: Engine, spec: MachineSpec,
-                 metrics: Dict[int, RankMetrics]) -> None:
+                 metrics: Dict[int, RankMetrics],
+                 obs: Optional[Recorder] = None) -> None:
         self.engine = engine
         self.spec = spec
         self.metrics = metrics
+        if obs is None:
+            obs = Recorder(enabled=False, clock=lambda: engine.now)
+        self.obs = obs
         self._endpoints: Dict[int, "Comm"] = {}
         self._nic_busy_until: Dict[int, float] = {}
         self._msg_ids = itertools.count()
         self.total_messages = 0
         self.total_bytes = 0
+        #: Payload bytes handed to the network but not yet delivered
+        #: (a sampled gauge; see ``repro.core.driver``).
+        self.bytes_in_flight = 0
 
     def endpoint(self, rank: int) -> "Comm":
         """The (unique) communication endpoint for ``rank``."""
@@ -87,6 +95,7 @@ class Network:
         arrive = depart + self.spec.comm_latency
         self.total_messages += 1
         self.total_bytes += msg.nbytes
+        self.bytes_in_flight += msg.nbytes
         self.engine.call_at(arrive, lambda: self._deliver(msg))
 
     def _deliver(self, msg: Message) -> None:
@@ -94,6 +103,7 @@ class Network:
         if dst is None:
             raise RuntimeError(
                 f"message {msg.kind!r} to rank {msg.dst} has no endpoint")
+        self.bytes_in_flight -= msg.nbytes
         dst._mailbox.append(msg)
         dst._arrival.fire()
 
@@ -124,18 +134,28 @@ class Comm:
         """
         if dst == self.rank:
             raise ValueError(f"rank {self.rank} sending to itself")
-        spec = self.network.spec
+        net = self.network
+        spec = net.spec
         post = spec.post_time(nbytes)
-        if post > 0:
-            yield Sleep(post)
-        m = self.network.metrics[self.rank]
-        m.charge(TimerCategory.COMM, post)
+        m = net.metrics[self.rank]
+        obs = net.obs
+        with obs.span(self.rank, "comm.send", category=TimerCategory.COMM,
+                      metrics=m) as sp:
+            if obs.enabled:
+                sp.set(dst=dst, kind=kind, nbytes=nbytes)
+                reg = obs.registry
+                reg.counter("comm.msgs_sent").inc()
+                reg.histogram("comm.msg_bytes",
+                              buckets=(64, 1024, 16384, 262144, 4194304)
+                              ).observe(nbytes)
+            if post > 0:
+                yield Sleep(post)
         m.msgs_sent += 1
         m.bytes_sent += nbytes
         msg = Message(src=self.rank, dst=dst, kind=kind, payload=payload,
-                      nbytes=nbytes, send_time=self.network.engine.now,
-                      msg_id=next(self.network._msg_ids))
-        self.network._transport(msg)
+                      nbytes=nbytes, send_time=net.engine.now,
+                      msg_id=next(net._msg_ids))
+        net._transport(msg)
         return msg
 
     # ------------------------------------------------------------------ #
@@ -152,28 +172,40 @@ class Comm:
             msgs.append(self._mailbox.popleft())
         return msgs
 
-    def _charge_recv(self, msgs: List[Message]) -> float:
-        spec = self.network.spec
+    def _charged_drain(self) -> Generator[Request, Any, List[Message]]:
+        """Drain the mailbox and charge the per-message receive posts.
+
+        Shared tail of :meth:`try_recv` / :meth:`recv_wait`; the
+        ``comm.recv`` span charges the elapsed post time to the rank's
+        ``comm`` timer on exit.
+        """
+        msgs = self._drain_now()
+        net = self.network
+        spec = net.spec
         cost = sum(spec.comm_post_overhead for _ in msgs)
-        m = self.network.metrics[self.rank]
-        m.charge(TimerCategory.COMM, cost)
+        m = net.metrics[self.rank]
+        obs = net.obs
+        with obs.span(self.rank, "comm.recv", category=TimerCategory.COMM,
+                      metrics=m) as sp:
+            if obs.enabled:
+                sp.set(count=len(msgs))
+            if cost > 0:
+                yield Sleep(cost)
         m.msgs_received += len(msgs)
-        return cost
+        return msgs
 
     def try_recv(self) -> Generator[Request, Any, List[Message]]:
         """Drain the mailbox without blocking (may return an empty list)."""
-        msgs = self._drain_now()
-        cost = self._charge_recv(msgs)
-        if cost > 0:
-            yield Sleep(cost)
-        return msgs
+        return (yield from self._charged_drain())
 
-    def recv_wait(self) -> Generator[Request, Any, List[Message]]:
-        """Block until at least one message is available, then drain all."""
+    def recv_wait(self, reason: str = "message",
+                  ) -> Generator[Request, Any, List[Message]]:
+        """Block until at least one message is available, then drain all.
+
+        ``reason`` names the wait state this block is attributed to when
+        observability is on (e.g. a Hybrid slave passes
+        ``"master_assignment"`` while starving for work).
+        """
         while not self._mailbox:
-            yield Wait(self._arrival)
-        msgs = self._drain_now()
-        cost = self._charge_recv(msgs)
-        if cost > 0:
-            yield Sleep(cost)
-        return msgs
+            yield Wait(self._arrival, reason=reason)
+        return (yield from self._charged_drain())

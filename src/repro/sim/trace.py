@@ -1,17 +1,24 @@
 """Lightweight structured event trace.
 
 Algorithms emit trace records ("rank 3 loaded block 17 at t=0.42") through a
-:class:`Trace`.  Tracing is off by default — the hot paths call
-:meth:`Trace.emit` unconditionally, so the disabled path must be a cheap
-no-op.  Tests use traces to assert protocol properties (e.g. a Static
-Allocation rank never loads a block it does not own); the experiment harness
-can dump traces for debugging.
+:class:`Trace`.  Tracing is off by default — and hot emit sites guard with
+``if trace.enabled:`` so the disabled path costs one attribute read and
+builds no kwargs.  Code paths that run without a caller-supplied trace
+share the module-level :data:`NULL_TRACE` singleton instead of allocating
+a disabled ``Trace`` each time.  Tests use traces to assert protocol
+properties (e.g. a Static Allocation rank never loads a block it does not
+own); the experiment harness and the ``repro trace`` CLI can dump traces
+as JSONL (:meth:`Trace.to_jsonl` / :meth:`Trace.from_jsonl`) or feed them
+to the Perfetto exporter as instant events.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.export import jsonable
 
 
 @dataclass(frozen=True)
@@ -30,9 +37,12 @@ class TraceRecord:
         return default
 
     def as_dict(self) -> Dict[str, Any]:
-        d: Dict[str, Any] = {"time": self.time, "rank": self.rank,
+        """JSON-safe dict view; numpy scalars/arrays in the detail are
+        coerced to plain Python values."""
+        d: Dict[str, Any] = {"time": jsonable(self.time), "rank": self.rank,
                              "event": self.event}
-        d.update(self.detail)
+        for k, v in self.detail:
+            d[k] = jsonable(v)
         return d
 
 
@@ -77,3 +87,41 @@ class Trace:
         for r in self._records:
             c[r.event] = c.get(r.event, 0) + 1
         return c
+
+    # ------------------------------------------------------------------ #
+    # JSONL round-trip
+    # ------------------------------------------------------------------ #
+    def to_jsonl(self, path) -> None:
+        """Write one sorted-key JSON object per record, in emit order."""
+        with open(path, "w", encoding="utf-8") as f:
+            for r in self._records:
+                f.write(json.dumps(r.as_dict(), sort_keys=True))
+                f.write("\n")
+
+    @classmethod
+    def from_jsonl(cls, path) -> "Trace":
+        """Load a trace dumped by :meth:`to_jsonl`.
+
+        The result is disabled (it is a historical record, not a live
+        sink); ``select``/``counts``/iteration work as usual.
+        """
+        trace = cls(enabled=False)
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                d = json.loads(line)
+                detail = tuple(sorted(
+                    (k, v) for k, v in d.items()
+                    if k not in ("time", "rank", "event")))
+                trace._records.append(TraceRecord(
+                    time=d["time"], rank=d["rank"], event=d["event"],
+                    detail=detail))
+        return trace
+
+
+#: Shared disabled trace for code paths with no caller-supplied trace.
+#: Its clock is never rebound (``Cluster`` only binds clocks on traces
+#: the caller passed in), so sharing it globally is safe.
+NULL_TRACE = Trace(enabled=False)

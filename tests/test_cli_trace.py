@@ -1,0 +1,47 @@
+"""CLI smoke tests for ``python -m repro trace``."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+ARGS = ["trace", "astro", "--seeding", "sparse", "--algorithm", "hybrid",
+        "--ranks", "8", "--scale", "0.1"]
+
+ARTIFACTS = ("trace.perfetto.json", "spans.jsonl", "samples.jsonl",
+             "events.jsonl")
+
+
+def test_trace_help_smoke():
+    with pytest.raises(SystemExit) as exc:
+        build_parser().parse_args(["trace", "--help"])
+    assert exc.value.code == 0
+
+
+def test_trace_writes_artifacts_and_reports(tmp_path, capsys):
+    assert main(ARGS + ["--out", str(tmp_path)]) == 0
+    out_dir = tmp_path / "astro-sparse-hybrid-8"
+    for name in ARTIFACTS:
+        assert (out_dir / name).is_file(), name
+
+    doc = json.loads((out_dir / "trace.perfetto.json").read_text())
+    assert doc["traceEvents"], "empty Perfetto trace"
+    for line in (out_dir / "samples.jsonl").read_text().splitlines():
+        json.loads(line)
+
+    printed = capsys.readouterr().out
+    assert "wall clock" in printed
+    assert "timeline" in printed
+    assert "wall-clock decomposition per rank" in printed
+    assert "wait:" in printed
+
+
+def test_trace_artifacts_byte_identical_across_runs(tmp_path, capsys):
+    assert main(ARGS + ["--out", str(tmp_path / "a")]) == 0
+    assert main(ARGS + ["--out", str(tmp_path / "b")]) == 0
+    capsys.readouterr()
+    for name in ARTIFACTS:
+        a = (tmp_path / "a" / "astro-sparse-hybrid-8" / name).read_bytes()
+        b = (tmp_path / "b" / "astro-sparse-hybrid-8" / name).read_bytes()
+        assert a == b, f"{name} differs between identical runs"

@@ -7,6 +7,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.analysis.experiments import CACHE_VERSION
+
 REPO = Path(__file__).resolve().parents[1]
 
 
@@ -17,7 +19,7 @@ def test_cache_export_renders_partial_tables(tmp_path, monkeypatch):
     cache_dir.mkdir()
     # Minimal synthetic cache: one astro run.
     cache = {
-        "version": 1,
+        "version": CACHE_VERSION,
         "runs": [{
             "key": {"dataset": "astro", "seeding": "sparse",
                     "algorithm": "static", "n_ranks": 16, "scale": 1.0},

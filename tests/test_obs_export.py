@@ -1,0 +1,127 @@
+"""Exporters: Perfetto trace_event schema, JSONL streams, text timeline."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    Recorder,
+    jsonable,
+    perfetto_json,
+    timeline_text,
+    write_perfetto,
+    write_samples_jsonl,
+    write_spans_jsonl,
+)
+from repro.obs.export import PHASES
+from repro.sim.trace import Trace
+
+
+def make_recorder():
+    clock = {"now": 0.0}
+    rec = Recorder(enabled=True, clock=lambda: clock["now"])
+    with rec.span(0, "io.read", nbytes=np.int64(4096)):
+        clock["now"] = 1.0
+    with rec.span(1, "compute.advect"):
+        clock["now"] = 3.0
+    rec.registry.add_series("rank.depth", 0, lambda: 2)
+    rec.registry.add_series("net.bytes_in_flight", -1, lambda: 100)
+    rec.registry.sample(1.5)
+    return rec
+
+
+def test_jsonable_coerces_numpy_and_containers():
+    assert jsonable(np.int64(7)) == 7
+    assert type(jsonable(np.int64(7))) is int
+    assert jsonable(np.float32(0.5)) == 0.5
+    assert jsonable(np.array([1, 2])) == [1, 2]
+    assert jsonable((1, np.int32(2))) == [1, 2]
+    assert jsonable({1: np.float64(2.0)}) == {"1": 2.0}
+    assert jsonable(None) is None
+    assert isinstance(jsonable(object()), str)  # repr fallback
+    json.dumps(jsonable({"a": (np.int64(1), np.arange(2))}))  # round-trips
+
+
+def test_perfetto_schema():
+    rec = make_recorder()
+    trace = Trace(enabled=True, clock=lambda: 2.0)
+    trace.emit(0, "block_load", block=np.int64(17))
+    doc = json.loads(perfetto_json(rec, trace=trace))
+    assert set(doc) == {"displayTimeUnit", "traceEvents"}
+    events = doc["traceEvents"]
+    assert all(ev["ph"] in PHASES for ev in events)
+
+    slices = [ev for ev in events if ev["ph"] == "X"]
+    assert {ev["name"] for ev in slices} == {"io.read", "compute.advect"}
+    io = next(ev for ev in slices if ev["name"] == "io.read")
+    assert io["tid"] == 0 and io["pid"] == 0 and io["cat"] == "io"
+    assert io["ts"] == 0 and io["dur"] == 1_000_000  # microseconds
+    assert io["args"]["nbytes"] == 4096
+
+    metas = [ev for ev in events if ev["ph"] == "M"]
+    assert {ev["args"]["name"] for ev in metas
+            if ev["name"] == "thread_name"} == {"rank 0", "rank 1"}
+
+    instants = [ev for ev in events if ev["ph"] == "i"]
+    assert instants[0]["name"] == "block_load"
+    assert instants[0]["ts"] == 2_000_000
+    assert instants[0]["args"]["block"] == 17
+
+    counters = [ev for ev in events if ev["ph"] == "C"]
+    assert {ev["name"] for ev in counters} \
+        == {"rank.depth", "net.bytes_in_flight"}
+    assert all(ev["ts"] == 1_500_000 for ev in counters)
+
+
+def test_perfetto_json_is_deterministic():
+    assert perfetto_json(make_recorder()) == perfetto_json(make_recorder())
+
+
+def test_jsonl_writers(tmp_path):
+    rec = make_recorder()
+    spans_path = tmp_path / "spans.jsonl"
+    samples_path = tmp_path / "samples.jsonl"
+    write_spans_jsonl(spans_path, rec)
+    write_samples_jsonl(samples_path, rec)
+
+    spans = [json.loads(l) for l in spans_path.read_text().splitlines()]
+    assert [s["name"] for s in spans] == ["io.read", "compute.advect"]
+    assert spans[0]["attrs"] == {"nbytes": 4096}
+    assert spans[0]["start"] == 0.0 and spans[0]["end"] == 1.0
+
+    samples = [json.loads(l) for l in samples_path.read_text().splitlines()]
+    assert samples == [
+        {"time": 1.5, "name": "rank.depth", "rank": 0, "value": 2},
+        {"time": 1.5, "name": "net.bytes_in_flight", "rank": -1,
+         "value": 100},
+    ]
+
+
+def test_write_perfetto_round_trips(tmp_path):
+    rec = make_recorder()
+    path = tmp_path / "trace.json"
+    write_perfetto(path, rec)
+    doc = json.loads(path.read_text())
+    assert len(doc["traceEvents"]) > 0
+
+
+def test_timeline_text_buckets_dominant_activity():
+    clock = {"now": 0.0}
+    rec = Recorder(enabled=True, clock=lambda: clock["now"])
+    with rec.span(0, "compute.advect"):
+        clock["now"] = 5.0
+    with rec.span(0, "wait.message"):
+        clock["now"] = 10.0
+    with rec.span(1, "io.read"):
+        clock["now"] = 10.0  # zero-length: must not paint
+    text = timeline_text(rec, wall_clock=10.0, n_ranks=2, width=10)
+    lines = text.splitlines()
+    assert len(lines) == 3  # header + 2 ranks
+    assert "|CCCCC·····|" in lines[1]
+    assert "rank    1" in lines[2]
+
+
+def test_timeline_text_empty_run():
+    rec = Recorder(enabled=True)
+    assert timeline_text(rec, 0.0, 4) == "(empty timeline)"

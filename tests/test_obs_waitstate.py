@@ -1,0 +1,119 @@
+"""Idle-time attribution: wait reasons, blocked_since wiring, and the
+per-rank reconciliation busy + waits + drain == wall."""
+
+import pytest
+
+from repro.core.driver import run_streamlines
+from repro.obs import Recorder, WaitStates
+from repro.sim.engine import Engine, Signal, Sleep, Wait
+
+
+def test_waitstates_accumulate_and_report():
+    w = WaitStates()
+    w.add(0, "message", 1.0)
+    w.add(0, "message", 0.5)
+    w.add(1, "slave_status", 2.0)
+    assert w.of(0) == {"message": 1.5}
+    assert w.total(0) == pytest.approx(1.5)
+    assert w.total(2) == 0.0
+    assert w.reasons() == ["message", "slave_status"]
+    assert w.counts == {0: 2, 1: 1}
+    with pytest.raises(ValueError):
+        w.add(0, "message", -0.1)
+
+
+def test_engine_attributes_wait_to_reason_and_blocked_since():
+    engine = Engine()
+    rec = Recorder(enabled=True)
+    rec.bind(engine)
+    sig = Signal("work")
+
+    def waiter():
+        yield Sleep(0.5)  # blocked_since must be the Wait time, not 0
+        yield Wait(sig, reason="custom")
+
+    def firer():
+        yield Sleep(2.0)
+        sig.fire()
+
+    engine.spawn("w", waiter(), rank=0)
+    engine.spawn("f", firer(), rank=1)
+    engine.run()
+    assert rec.waits.of(0) == {"custom": pytest.approx(1.5)}
+    (span,) = [s for s in rec.spans if s.name == "wait.custom"]
+    assert span.rank == 0
+    assert span.start == pytest.approx(0.5)  # Process.blocked_since
+    assert span.end == pytest.approx(2.0)
+
+
+def test_untagged_wait_and_rankless_process():
+    engine = Engine()
+    rec = Recorder(enabled=True)
+    rec.bind(engine)
+    sig = Signal("s")
+
+    def waiter():
+        yield sig  # bare-signal shorthand -> default reason
+
+    def anon():
+        yield Wait(sig, reason="ignored")  # rank=None: not attributed
+
+    def firer():
+        yield Sleep(1.0)
+        sig.fire()
+
+    engine.spawn("w", waiter(), rank=3)
+    engine.spawn("a", anon())
+    engine.spawn("f", firer(), rank=1)
+    engine.run()
+    assert rec.waits.of(3) == {"wait": pytest.approx(1.0)}
+    assert rec.waits.totals.keys() == {3}
+
+
+def test_disabled_recorder_installs_no_observer():
+    engine = Engine()
+    rec = Recorder(enabled=False)
+    rec.bind(engine)
+    assert engine.observer is None
+
+
+def test_engine_event_count_and_pending_events():
+    engine = Engine()
+    assert engine.pending_events == 0
+
+    def prog():
+        yield Sleep(1.0)
+
+    engine.spawn("p", prog())
+    assert engine.pending_events == 1
+    engine.run()
+    assert engine.pending_events == 0
+    assert engine.event_count == 2  # initial step + sleep resume
+
+
+@pytest.mark.parametrize("algorithm", ["static", "ondemand", "hybrid"])
+def test_wait_states_reconcile_with_idle_time(small_problem, small_machine,
+                                              algorithm):
+    """Per rank: busy + attributed waits + drain tail == wall (1e-9)."""
+    obs = Recorder(enabled=True)
+    result = run_streamlines(small_problem, algorithm=algorithm,
+                             machine=small_machine, obs=obs)
+    assert result.ok
+    wall = result.wall_clock
+    for m in result.rank_metrics:
+        drain = max(0.0, wall - m.finish_time)
+        attributed = obs.waits.total(m.rank) + drain
+        assert attributed == pytest.approx(m.idle_time(wall), abs=1e-9), \
+            f"rank {m.rank} ({algorithm})"
+        assert m.busy_time + attributed == pytest.approx(wall, abs=1e-9)
+
+
+def test_hybrid_wait_reasons_match_roles(small_problem, small_machine):
+    obs = Recorder(enabled=True)
+    result = run_streamlines(small_problem, algorithm="hybrid",
+                             machine=small_machine, obs=obs)
+    assert result.ok
+    reasons = set(obs.waits.reasons())
+    assert "master_assignment" in reasons  # starving slaves
+    assert "slave_status" in reasons       # parked master (rank 0)
+    assert "slave_status" in obs.waits.of(0)

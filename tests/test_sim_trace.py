@@ -1,6 +1,12 @@
 """Tests of the structured event trace."""
 
-from repro.sim.trace import Trace, TraceRecord
+import json
+
+import numpy as np
+
+from repro.sim.cluster import Cluster
+from repro.sim.machine import MachineSpec
+from repro.sim.trace import NULL_TRACE, Trace, TraceRecord
 
 
 def test_disabled_trace_records_nothing():
@@ -47,3 +53,42 @@ def test_detail_keys_sorted_for_determinism():
     t.emit(0, "e", zebra=1, alpha=2)
     rec = list(t)[0]
     assert [k for k, _ in rec.detail] == ["alpha", "zebra"]
+
+
+def test_as_dict_coerces_numpy_scalars():
+    t = Trace(enabled=True)
+    t.emit(0, "load", block=np.int64(17), cost=np.float32(0.5),
+           ids=np.array([1, 2]))
+    d = list(t)[0].as_dict()
+    assert d["block"] == 17 and type(d["block"]) is int
+    assert d["cost"] == 0.5 and type(d["cost"]) is float
+    assert d["ids"] == [1, 2]
+    json.dumps(d)  # must be JSON-serializable as-is
+
+
+def test_jsonl_round_trip(tmp_path):
+    clock = {"now": 0.0}
+    t = Trace(enabled=True, clock=lambda: clock["now"])
+    t.emit(0, "load", block=np.int64(3))
+    clock["now"] = 1.5
+    t.emit(2, "send", dest=1, nbytes=128)
+    path = tmp_path / "events.jsonl"
+    t.to_jsonl(path)
+
+    back = Trace.from_jsonl(path)
+    assert not back.enabled
+    assert len(back) == 2
+    assert [r.as_dict() for r in back] == [r.as_dict() for r in t]
+    assert back.select(event="send")[0].time == 1.5
+    assert back.counts() == t.counts()
+
+
+def test_clusters_share_null_trace_singleton():
+    spec = MachineSpec(n_ranks=2)
+    a, b = Cluster(spec), Cluster(spec)
+    assert a.trace is NULL_TRACE and b.trace is NULL_TRACE
+    assert not NULL_TRACE.enabled
+    # The singleton's clock is never rebound to any cluster's engine.
+    a.trace.emit(0, "ignored")
+    assert len(NULL_TRACE) == 0
+    assert NULL_TRACE._clock() == 0.0
