@@ -1,0 +1,128 @@
+"""Benchmark-trajectory harness: canonical scenarios -> BENCH_<date>.json.
+
+The figure benchmarks answer "does the reproduction match the paper?";
+this harness answers "did *this commit* change performance?".  It runs
+one canonical sparse and one canonical dense scenario per algorithm with
+full observability, analyzes each run (critical-path breakdown,
+imbalance, handoff diagnostics), and writes a schema-versioned snapshot
+that ``repro diff`` can gate against:
+
+    PYTHONPATH=src python benchmarks/bench_trajectory.py \
+        --scale 0.1 --ranks 8 --date 20260806 --out benchmarks
+    PYTHONPATH=src python -m repro diff benchmarks/BENCH_20260806.json \
+        BENCH_new.json
+
+The simulation is deterministic and the JSON is emitted with sorted keys
+and no wall-time stamps (the ``generated`` field comes from ``--date``),
+so identical runs produce byte-identical files — the committed baseline
+is diffable, reviewable, and regenerable.
+
+Schema (``BENCH_SCHEMA`` = 1)::
+
+    {"schema": 1,
+     "generated": "<--date>",
+     "config": {"dataset": ..., "seedings": [...], "algorithms": [...],
+                "ranks": N, "scale": S, "sample_interval": dt},
+     "runs": {"<dataset>-<seeding>-<algorithm>-<ranks>": {
+         "wall_clock": ..., "io_time": ..., "comm_time": ...,
+         "block_efficiency": ..., "parallel_efficiency": ...,
+         "critical_path": {"compute": ..., "io": ..., "comm": ...,
+                           "idle": ...},
+         "participation_ratio": ..., "pingpong_count": ..., ...}}}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # running as a script
+    _src = Path(__file__).resolve().parent.parent / "src"
+    if str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro.analysis.scenarios import make_problem, scenario_machine
+from repro.core.config import ALGORITHMS
+from repro.core.driver import run_streamlines
+from repro.obs import Recorder, analyze_run, jsonable
+from repro.obs.diff import BENCH_SCHEMA
+
+#: The canonical trajectory scenarios: one sparse (the regime every
+#: algorithm handles) and one dense (the contention regime that
+#: separates them) on the astro dataset.
+SEEDINGS = ("sparse", "dense")
+
+
+def bench_one(dataset: str, seeding: str, algorithm: str, ranks: int,
+              scale: float, sample_interval: float) -> dict:
+    """Run one scenario with observability and return its bench entry."""
+    problem = make_problem(dataset, seeding, scale=scale)
+    obs = Recorder(enabled=True, sample_interval=sample_interval)
+    result = run_streamlines(problem, algorithm=algorithm,
+                             machine=scenario_machine(ranks), obs=obs)
+    analysis = analyze_run(result, obs)
+    entry = analysis.to_dict()
+    # The analyzer reports trajectory-level metrics; the scalar summary
+    # adds the aggregate the scaling figures use.
+    entry["parallel_efficiency"] = result.parallel_efficiency
+    return entry
+
+
+def build_doc(args: argparse.Namespace) -> dict:
+    runs = {}
+    for seeding in SEEDINGS:
+        for algorithm in ALGORITHMS:
+            name = f"{args.dataset}-{seeding}-{algorithm}-{args.ranks}"
+            print(f"  running {name} ...", flush=True)
+            runs[name] = bench_one(args.dataset, seeding, algorithm,
+                                   args.ranks, args.scale,
+                                   args.sample_interval)
+            print(f"    wall={runs[name]['wall_clock']:.3f}s "
+                  f"E={runs[name]['block_efficiency']:.3f} "
+                  f"status={runs[name]['status']}")
+    return {
+        "schema": BENCH_SCHEMA,
+        "generated": args.date,
+        "config": {
+            "dataset": args.dataset,
+            "seedings": list(SEEDINGS),
+            "algorithms": list(ALGORITHMS),
+            "ranks": args.ranks,
+            "scale": args.scale,
+            "sample_interval": args.sample_interval,
+        },
+        "runs": runs,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="canonical-scenario benchmark snapshot for repro diff")
+    parser.add_argument("--dataset", default="astro")
+    parser.add_argument("--ranks", type=int, default=8)
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--sample-interval", type=float, default=1.0)
+    parser.add_argument("--date", default="unversioned",
+                        help="YYYYMMDD stamp for the filename and the "
+                             "'generated' field (explicit, so reruns are "
+                             "byte-reproducible)")
+    parser.add_argument("--out", default="benchmarks",
+                        help="output directory (default: benchmarks/)")
+    args = parser.parse_args(argv)
+
+    doc = build_doc(args)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{args.date}.json"
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(json.dumps(jsonable(doc), sort_keys=True,
+                           separators=(",", ":")))
+        f.write("\n")
+    print(f"wrote {path} ({len(doc['runs'])} runs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,14 @@
-"""Paper-style figure tables.
+"""Paper-style figure tables and trace-analysis reports.
 
 The paper's Figures 5-16 are log-scale line plots of one metric vs.
 processor count, one series per (algorithm, seeding).  ``figure_table``
 prints the same data as an aligned text table — the rows/series the paper
 reports — which the benchmarks emit and EXPERIMENTS.md records.
+
+``analysis_report`` renders a :class:`~repro.obs.analyze.RunAnalysis`
+(the ``repro analyze`` output): the critical-path breakdown, imbalance
+and participation diagnostics, the block-efficiency trajectory, and the
+leaf-span duration summaries.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from repro.analysis.experiments import RunSummary
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
     from repro.core.results import RunResult
-    from repro.obs import Recorder
+    from repro.obs import Recorder, RunAnalysis
 
 #: metric name -> (figure caption fragment, unit, format)
 METRIC_INFO = {
@@ -103,21 +108,124 @@ def wait_state_table(result: "RunResult", obs: "Recorder") -> str:
     blocked interval is attributed to a reason, and *drain* is the gap
     between the rank finishing its program and the run's last event
     (``wall - finish_time`` — not a wait, the rank is done).
+
+    Hybrid master ranks are listed like every other rank but labelled
+    with a ``role`` column (their idle is coordination parking, not
+    starvation — the distinction the §5 discussion rests on).  For the
+    single-role algorithms the column is omitted.
     """
     wall = result.wall_clock
     reasons = obs.waits.reasons()
-    header = (f"{'rank':>5} {'busy':>10} "
-              + "".join(f"{'wait:' + r:>{max(10, len(r) + 6)}}"
-                        for r in reasons)
-              + f" {'drain':>10} {'total':>10} {'wall':>10}")
+    masters = set(getattr(result, "master_ranks", ()))
+    role_w = 8 if masters else 0
+    header = f"{'rank':>5} "
+    if masters:
+        header += f"{'role':>{role_w}} "
+    header += (f"{'busy':>10} "
+               + "".join(f"{'wait:' + r:>{max(10, len(r) + 6)}}"
+                         for r in reasons)
+               + f" {'drain':>10} {'total':>10} {'wall':>10}")
     lines = [header, "-" * len(header)]
     for m in sorted(result.rank_metrics, key=lambda m: m.rank):
         waits = obs.waits.of(m.rank)
         drain = max(0.0, wall - m.finish_time)
         total = m.busy_time + sum(waits.values()) + drain
-        row = f"{m.rank:>5} {m.busy_time:>10.3f} "
+        row = f"{m.rank:>5} "
+        if masters:
+            role = "master" if m.rank in masters else "slave"
+            row += f"{role:>{role_w}} "
+        row += f"{m.busy_time:>10.3f} "
         row += "".join(f"{waits.get(r, 0.0):>{max(10, len(r) + 6)}.3f}"
                        for r in reasons)
         row += f" {drain:>10.3f} {total:>10.3f} {wall:>10.3f}"
         lines.append(row)
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Trace analysis report (``repro analyze``)
+# ---------------------------------------------------------------------- #
+
+def _breakdown_table(analysis: "RunAnalysis") -> List[str]:
+    from repro.obs.analyze import SEGMENT_KINDS
+
+    wall = analysis.wall_clock
+    lines = [f"{'segment':<10} {'seconds':>12} {'% of wall':>10} "
+             f"{'hops':>6}"]
+    lines.append("-" * len(lines[0]))
+    hop_counts = {k: 0 for k in SEGMENT_KINDS}
+    for seg in analysis.segments:
+        hop_counts[seg.kind] = hop_counts.get(seg.kind, 0) + 1
+    for kind in SEGMENT_KINDS:
+        seconds = analysis.critical_path.get(kind, 0.0)
+        pct = 100.0 * seconds / wall if wall > 0 else 0.0
+        lines.append(f"{kind:<10} {seconds:>12.3f} {pct:>9.1f}% "
+                     f"{hop_counts.get(kind, 0):>6d}")
+    total = analysis.path_total
+    lines.append(f"{'total':<10} {total:>12.3f} "
+                 f"{100.0 * total / wall if wall > 0 else 0.0:>9.1f}% "
+                 f"{len(analysis.segments):>6d}")
+    return lines
+
+
+def _efficiency_trajectory(analysis: "RunAnalysis",
+                           max_rows: int = 8) -> List[str]:
+    series = analysis.block_efficiency
+    if not series:
+        return ["(no run.blocks_loaded/purged samples — trace was "
+                "recorded before the analytics layer, or sampling was "
+                "disabled)"]
+    if len(series) > max_rows:
+        stride = (len(series) - 1) / (max_rows - 1)
+        picks = sorted({round(i * stride) for i in range(max_rows)})
+        series = [series[i] for i in picks]
+    lines = [f"{'t [s]':>10} {'E':>7}"]
+    for t, e in series:
+        lines.append(f"{t:>10.2f} {e:>7.3f}")
+    return lines
+
+
+def _span_summary_table(analysis: "RunAnalysis") -> List[str]:
+    if not analysis.span_summaries:
+        return ["(no leaf spans recorded)"]
+    header = (f"{'spans':<10} {'count':>8} {'mean':>10} {'p50':>10} "
+              f"{'p95':>10} {'max':>10}")
+    lines = [header, "-" * len(header)]
+    for kind, s in sorted(analysis.span_summaries.items()):
+        lines.append(f"{kind:<10} {int(s['count']):>8d} {s['mean']:>10.4f} "
+                     f"{s['p50']:>10.4f} {s['p95']:>10.4f} "
+                     f"{s['max']:>10.4f}")
+    return lines
+
+
+def analysis_report(analysis: "RunAnalysis") -> str:
+    """Full ``repro analyze`` text report for one run."""
+    imb = analysis.imbalance
+    out: List[str] = []
+    out.append(f"{analysis.algorithm} @ {analysis.n_ranks} ranks — "
+               f"wall clock {analysis.wall_clock:.3f} s "
+               f"(status: {analysis.status})")
+    out.append("")
+    out.append("critical path (end-to-end wall-clock attribution):")
+    out.extend(_breakdown_table(analysis))
+    out.append("")
+    out.append("imbalance:")
+    out.append(f"  busy max/mean      {imb['busy_max']:10.3f} / "
+               f"{imb['busy_mean']:.3f} s "
+               f"(factor {imb['imbalance_factor']:.2f})")
+    out.append(f"  Gini(steps/rank)   {imb['gini_steps']:10.3f}")
+    out.append(f"  idle fraction      {imb['idle_fraction']:10.3f}")
+    out.append("")
+    out.append("parallel-over-data diagnostics:")
+    out.append(f"  participation ratio {analysis.participation_ratio:9.3f}"
+               f"  (ranks that advected)")
+    out.append(f"  handoffs received   {analysis.lines_received:9d}")
+    out.append(f"  ping-pong arrivals  {analysis.pingpong_count:9d}"
+               f"  (re-entered a visited rank)")
+    out.append("")
+    out.append("block efficiency over time (cumulative E):")
+    out.extend(_efficiency_trajectory(analysis))
+    out.append("")
+    out.append("leaf span durations [s]:")
+    out.extend(_span_summary_table(analysis))
+    return "\n".join(out)

@@ -7,6 +7,10 @@ Commands
 ``figure``     regenerate one paper figure (table form)
 ``trace``      run one scenario with full observability and export a
                Perfetto timeline, span/sample JSONL, and idle analysis
+``analyze``    post-run analytics on a ``trace`` output directory:
+               critical-path breakdown, imbalance, ping-pong diagnostics
+``diff``       compare two runs (trace dirs or BENCH_*.json files) with
+               regression thresholds; non-zero exit on regression
 ``recommend``  apply the §6 decision heuristics to a described problem
 ``scenarios``  list the built-in evaluation scenarios
 """
@@ -23,6 +27,7 @@ from repro.analysis.heuristics import ProblemTraits, recommend_algorithm
 from repro.analysis.report import (
     FIGURE_NUMBERS,
     METRIC_INFO,
+    analysis_report,
     figure_table,
     wait_state_table,
 )
@@ -78,10 +83,15 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.core.driver import run_streamlines
     from repro.obs import Recorder, timeline_text, write_perfetto, \
-        write_samples_jsonl, write_spans_jsonl
+        write_run_json, write_samples_jsonl, write_spans_jsonl
     from repro.sim.trace import Trace
 
-    problem = make_problem(args.dataset, args.seeding, scale=args.scale)
+    try:
+        problem = make_problem(args.dataset, args.seeding,
+                               scale=args.scale)
+    except ValueError as exc:
+        print(f"repro trace: invalid scenario: {exc}", file=sys.stderr)
+        return 2
     trace = Trace(enabled=True)
     obs = Recorder(enabled=True, sample_interval=args.sample_interval)
     result = run_streamlines(problem, algorithm=args.algorithm,
@@ -90,10 +100,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     out = Path(args.out) / (f"{args.dataset}-{args.seeding}-"
                             f"{args.algorithm}-{args.ranks}")
-    out.mkdir(parents=True, exist_ok=True)
+    try:
+        out.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        print(f"repro trace: cannot create output directory {out}: "
+              f"{exc}", file=sys.stderr)
+        return 2
     write_perfetto(out / "trace.perfetto.json", obs, trace=trace)
     write_spans_jsonl(out / "spans.jsonl", obs)
     write_samples_jsonl(out / "samples.jsonl", obs)
+    write_run_json(out / "run.json", result, obs)
     trace.to_jsonl(out / "events.jsonl")
 
     print(f"{args.algorithm} on {args.dataset}/{args.seeding} "
@@ -108,7 +124,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
               f"{len(obs.registry.samples)} samples, "
               f"{len(trace)} trace events")
     print(f"  artifacts in {out}/: trace.perfetto.json (open in "
-          "ui.perfetto.dev), spans.jsonl, samples.jsonl, events.jsonl")
+          "ui.perfetto.dev), spans.jsonl, samples.jsonl, events.jsonl, "
+          "run.json (feed the directory to `repro analyze`)")
     print()
     print(timeline_text(obs, result.wall_clock, args.ranks,
                         width=args.width))
@@ -116,6 +133,35 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print("wall-clock decomposition per rank [s]:")
     print(wait_state_table(result, obs))
     return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.obs import analyze_dir
+
+    try:
+        analysis = analyze_dir(args.trace_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro analyze: {exc}", file=sys.stderr)
+        return 2
+    print(analysis_report(analysis))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs import diff_runs, diff_table, load_comparable, \
+        regressions
+    from repro.obs.diff import parse_threshold_args
+
+    try:
+        thresholds = parse_threshold_args(args.threshold)
+        base = load_comparable(args.base)
+        new = load_comparable(args.new)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro diff: {exc}", file=sys.stderr)
+        return 2
+    rows = diff_runs(base, new, thresholds=thresholds)
+    print(diff_table(rows, all_rows=args.all))
+    return 1 if regressions(rows) else 0
 
 
 def _cmd_recommend(args: argparse.Namespace) -> int:
@@ -183,6 +229,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--width", type=int, default=72,
                       help="text timeline width in columns")
     p_tr.set_defaults(func=_cmd_trace)
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="critical-path & imbalance analytics for a trace directory")
+    p_an.add_argument("trace_dir",
+                      help="a `repro trace` output directory "
+                           "(contains run.json/spans.jsonl/samples.jsonl)")
+    p_an.set_defaults(func=_cmd_analyze)
+
+    p_df = sub.add_parser(
+        "diff",
+        help="compare two runs with regression thresholds")
+    p_df.add_argument("base", help="baseline: BENCH_*.json or trace dir")
+    p_df.add_argument("new", help="candidate: BENCH_*.json or trace dir")
+    p_df.add_argument("--threshold", action="append", metavar="NAME=PCT",
+                      help="override a gating threshold "
+                           "(e.g. --threshold wall_clock=5); repeatable")
+    p_df.add_argument("--all", action="store_true",
+                      help="show every compared metric, not just gated "
+                           "ones and regressions")
+    p_df.set_defaults(func=_cmd_diff)
 
     p_rec = sub.add_parser("recommend",
                            help="apply the §6 decision heuristics")

@@ -122,10 +122,24 @@ class Worker:
     # Streamline memory bookkeeping
     # ------------------------------------------------------------------ #
     def own_line(self, line: Streamline) -> None:
-        """Start buffering a curve on this rank (allocates its memory)."""
+        """Start buffering a curve on this rank (allocates its memory).
+
+        Also the rank-handoff accounting point: every ownership after the
+        first is a handoff arrival, and a handoff to a rank the curve has
+        already visited is a *ping-pong* arrival (paid-for geometry
+        bouncing back — the parallelize-over-data pathology the analyzer
+        reports).  Pure counters: the schedule is untouched.
+        """
         if line.sid in self._line_mem:
             raise RuntimeError(f"rank {self.ctx.rank} already owns "
                                f"streamline {line.sid}")
+        rank = self.ctx.rank
+        if line.visited_ranks:
+            self.ctx.metrics.lines_received += 1
+            if rank in line.visited_ranks:
+                self.ctx.metrics.pingpong_arrivals += 1
+        if rank not in line.visited_ranks:
+            line.visited_ranks.append(rank)
         nbytes = self.cost.streamline_memory_nbytes(line.n_vertices)
         self.ctx.memory.allocate(nbytes, "streamline")
         self._line_mem[line.sid] = nbytes

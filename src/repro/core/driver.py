@@ -108,6 +108,16 @@ def _register_gauges(obs: Recorder, cluster: Cluster,
                        lambda c=m.ctx.comm: c.pending)
     reg.add_series("net.bytes_in_flight", -1,
                    lambda net=cluster.network: net.bytes_in_flight)
+    # Machine-wide cumulative block traffic: the analyzer derives block
+    # efficiency over time, E(t) = (loaded - purged) / loaded, from these
+    # two series (paper Eq. 2, but as a trajectory instead of a total).
+    metrics = cluster.metrics
+    reg.add_series("run.blocks_loaded", -1,
+                   lambda ms=metrics: float(sum(m.blocks_loaded
+                                                for m in ms.values())))
+    reg.add_series("run.blocks_purged", -1,
+                   lambda ms=metrics: float(sum(m.blocks_purged
+                                                for m in ms.values())))
 
 
 def run_streamlines(problem: ProblemSpec, algorithm: str = "hybrid",
@@ -196,7 +206,8 @@ def run_streamlines(problem: ProblemSpec, algorithm: str = "hybrid",
                 algorithm=algorithm, status=STATUS_OOM,
                 n_ranks=machine.n_ranks, wall_clock=cluster.engine.now,
                 rank_metrics=list(cluster.metrics.values()),
-                streamlines=[], oom_rank=oom.rank, oom_reason=str(oom))
+                streamlines=[], oom_rank=oom.rank, oom_reason=str(oom),
+                master_ranks=[m.ctx.rank for m in masters])
         raise
 
     lines = []
@@ -225,4 +236,4 @@ def run_streamlines(problem: ProblemSpec, algorithm: str = "hybrid",
     return RunResult(
         algorithm=algorithm, status=STATUS_OK, n_ranks=machine.n_ranks,
         wall_clock=wall, rank_metrics=list(cluster.metrics.values()),
-        streamlines=lines)
+        streamlines=lines, master_ranks=[m.ctx.rank for m in masters])

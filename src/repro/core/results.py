@@ -40,6 +40,8 @@ class RunResult:
     streamlines: List[Streamline] = field(default_factory=list)
     oom_rank: Optional[int] = None
     oom_reason: str = ""
+    #: Coordinator ranks (hybrid masters); empty for the other algorithms.
+    master_ranks: List[int] = field(default_factory=list)
 
     # ------------------------------------------------------------------ #
     # Aggregates
@@ -87,6 +89,29 @@ class RunResult:
     @property
     def total_steps(self) -> int:
         return sum(m.steps for m in self.rank_metrics)
+
+    @property
+    def lines_received(self) -> int:
+        """Total cross-rank streamline handoffs (arrival side)."""
+        return sum(m.lines_received for m in self.rank_metrics)
+
+    @property
+    def pingpong_count(self) -> int:
+        """Handoffs that re-entered a previously-visited rank."""
+        return sum(m.pingpong_arrivals for m in self.rank_metrics)
+
+    @property
+    def participation_ratio(self) -> float:
+        """Fraction of ranks that performed advection work (steps > 0).
+
+        Wang et al.'s parallelize-over-data diagnostic: a low ratio means
+        most ranks never advected anything — ownership, not work,
+        determined the decomposition.
+        """
+        if not self.rank_metrics:
+            return 0.0
+        return (sum(1 for m in self.rank_metrics if m.steps > 0)
+                / len(self.rank_metrics))
 
     @property
     def idle_time(self) -> float:
@@ -138,6 +163,9 @@ class RunResult:
             "bytes_sent": self.bytes_sent,
             "steps": self.total_steps,
             "parallel_efficiency": self.parallel_efficiency,
+            "participation_ratio": self.participation_ratio,
+            "lines_received": self.lines_received,
+            "pingpong_count": self.pingpong_count,
             "streamlines": len(self.streamlines),
         }
 

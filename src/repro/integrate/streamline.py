@@ -73,6 +73,12 @@ class Streamline:
     segments:
         Geometry: list of ``(m_i, 3)`` vertex arrays, one per advance call,
         in order.  The seed is the first vertex of the first segment.
+    visited_ranks:
+        Ranks that have owned this curve, in first-visit order.  Fed by
+        ``Worker.own_line`` on every handoff; a curve arriving at a rank
+        already in this list is a *ping-pong* arrival (the
+        parallel-over-data pathology diagnostic: geometry bounced back
+        to a rank that already paid for it).
     """
 
     sid: int
@@ -84,6 +90,7 @@ class Streamline:
     status: Status = Status.ACTIVE
     block_id: int = -1
     segments: List[np.ndarray] = field(default_factory=list)
+    visited_ranks: List[int] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.seed = np.asarray(self.seed, dtype=np.float64).reshape(3)

@@ -25,12 +25,30 @@ instruments — so a production (untraced) run executes the identical
 event schedule and allocates nothing per event.
 """
 
+from repro.obs.analyze import (
+    RunAnalysis,
+    Segment,
+    analyze,
+    analyze_dir,
+    analyze_run,
+    critical_path,
+    gini,
+)
+from repro.obs.diff import (
+    DEFAULT_THRESHOLDS,
+    DiffRow,
+    diff_runs,
+    diff_table,
+    load_comparable,
+    regressions,
+)
 from repro.obs.export import (
     jsonable,
     perfetto_events,
     perfetto_json,
     timeline_text,
     write_perfetto,
+    write_run_json,
     write_samples_jsonl,
     write_spans_jsonl,
 )
@@ -63,6 +81,8 @@ def span(ctx, name: str, **attrs):
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_THRESHOLDS",
+    "DiffRow",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -71,6 +91,8 @@ __all__ = [
     "NULL_SPAN",
     "NullSpan",
     "Recorder",
+    "RunAnalysis",
+    "Segment",
     "Span",
     "SpanRecord",
     "WAIT_ASSIGNMENT",
@@ -78,12 +100,22 @@ __all__ = [
     "WAIT_MESSAGE",
     "WAIT_STATUS",
     "WaitStates",
+    "analyze",
+    "analyze_dir",
+    "analyze_run",
+    "critical_path",
+    "diff_runs",
+    "diff_table",
+    "gini",
     "jsonable",
+    "load_comparable",
     "perfetto_events",
     "perfetto_json",
+    "regressions",
     "span",
     "timeline_text",
     "write_perfetto",
+    "write_run_json",
     "write_samples_jsonl",
     "write_spans_jsonl",
 ]

@@ -1,0 +1,227 @@
+"""Run-vs-run diffing with regression thresholds.
+
+The bench-trajectory harness (``benchmarks/bench_trajectory.py``) writes
+schema-versioned ``BENCH_<date>.json`` snapshots; ``repro diff A B``
+compares two of them (or two ``repro trace`` output directories, which
+are analyzed on the fly) metric by metric, prints percentage deltas, and
+exits non-zero when a gated metric regressed past its threshold.  That
+makes every future perf PR's claim checkable: run the harness, diff
+against the committed baseline, and the gate either holds or it does not.
+
+Regression direction is per metric: for times and ping-pong counts an
+*increase* is a regression; for efficiencies and participation a
+*decrease* is.  Thresholds are percentages of the baseline value and can
+be overridden per metric (``--threshold wall_clock=5``); metrics without
+a threshold are reported but never gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+#: ``BENCH_*.json`` schema version (bump on breaking layout changes).
+BENCH_SCHEMA = 1
+
+#: metric -> direction: +1 = higher is worse, -1 = lower is worse.
+METRIC_DIRECTIONS: Dict[str, int] = {
+    "wall_clock": +1,
+    "io_time": +1,
+    "comm_time": +1,
+    "compute_time": +1,
+    "critical_path.compute": +1,
+    "critical_path.io": +1,
+    "critical_path.comm": +1,
+    "critical_path.idle": +1,
+    "pingpong_count": +1,
+    "lines_received": +1,
+    "block_efficiency": -1,
+    "parallel_efficiency": -1,
+    "participation_ratio": -1,
+}
+
+#: Default gating thresholds (pct of baseline); only these metrics fail
+#: a diff unless the caller overrides.  Times get 10%, the unit-scale
+#: efficiency ratios 5 points of relative change.
+DEFAULT_THRESHOLDS: Dict[str, float] = {
+    "wall_clock": 10.0,
+    "io_time": 25.0,
+    "comm_time": 25.0,
+    "block_efficiency": 5.0,
+    "parallel_efficiency": 10.0,
+}
+
+
+@dataclass(frozen=True)
+class DiffRow:
+    """One (run, metric) comparison."""
+
+    run: str
+    metric: str
+    base: Optional[float]
+    new: Optional[float]
+    delta_pct: Optional[float]
+    threshold: Optional[float]
+    regressed: bool
+
+    @property
+    def gated(self) -> bool:
+        return self.threshold is not None
+
+
+def flatten_metrics(entry: Mapping[str, Any]) -> Dict[str, float]:
+    """Numeric metrics of one run entry, with nested dicts dotted
+    (``critical_path.compute``)."""
+    out: Dict[str, float] = {}
+    for key, value in entry.items():
+        if isinstance(value, Mapping):
+            for sub, v in value.items():
+                if isinstance(v, (int, float)) and not isinstance(v, bool):
+                    out[f"{key}.{sub}"] = float(v)
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[key] = float(value)
+    return out
+
+
+def diff_runs(base: Mapping[str, Mapping[str, Any]],
+              new: Mapping[str, Mapping[str, Any]],
+              thresholds: Optional[Mapping[str, float]] = None
+              ) -> List[DiffRow]:
+    """Compare two ``run-name -> metrics`` tables.
+
+    Runs present on only one side produce a ``status`` row flagged as a
+    regression (a scenario that stopped completing is the worst kind of
+    perf delta).  A status change (ok -> oom) likewise regresses.
+    """
+    if thresholds is None:
+        thresholds = DEFAULT_THRESHOLDS
+    rows: List[DiffRow] = []
+    for name in sorted(set(base) | set(new)):
+        a, b = base.get(name), new.get(name)
+        if a is None or b is None:
+            rows.append(DiffRow(run=name, metric="status",
+                                base=None, new=None, delta_pct=None,
+                                threshold=None, regressed=True))
+            continue
+        status_a = a.get("status", "ok")
+        status_b = b.get("status", "ok")
+        if status_a != status_b:
+            rows.append(DiffRow(run=name, metric="status",
+                                base=None, new=None, delta_pct=None,
+                                threshold=None,
+                                regressed=status_b != "ok"))
+            continue
+        fa, fb = flatten_metrics(a), flatten_metrics(b)
+        for metric in sorted(set(fa) & set(fb)):
+            if metric in ("schema", "n_ranks"):
+                continue
+            va, vb = fa[metric], fb[metric]
+            if va == 0.0:
+                pct = 0.0 if vb == 0.0 else None
+            else:
+                pct = (vb - va) / abs(va) * 100.0
+            threshold = thresholds.get(metric)
+            direction = METRIC_DIRECTIONS.get(metric, +1)
+            regressed = False
+            if threshold is not None:
+                if pct is None:
+                    regressed = direction > 0 and vb > 0
+                else:
+                    regressed = direction * pct > threshold
+            rows.append(DiffRow(run=name, metric=metric, base=va, new=vb,
+                                delta_pct=pct, threshold=threshold,
+                                regressed=regressed))
+    return rows
+
+
+def regressions(rows: List[DiffRow]) -> List[DiffRow]:
+    return [r for r in rows if r.regressed]
+
+
+# ---------------------------------------------------------------------- #
+# Input loading
+# ---------------------------------------------------------------------- #
+
+def load_comparable(path) -> Dict[str, Dict[str, Any]]:
+    """A ``run-name -> metrics`` table from either a ``BENCH_*.json``
+    file or a ``repro trace`` output directory (analyzed on the fly)."""
+    path = Path(path)
+    if path.is_dir():
+        from repro.obs.analyze import analyze_dir
+
+        analysis = analyze_dir(path)
+        return {path.name: analysis.to_dict()}
+    blob = json.loads(path.read_text())
+    schema = blob.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(f"{path}: unsupported bench schema {schema!r} "
+                         f"(expected {BENCH_SCHEMA})")
+    runs = blob.get("runs")
+    if not isinstance(runs, dict):
+        raise ValueError(f"{path}: malformed bench file (no 'runs' table)")
+    return runs
+
+
+def parse_threshold_args(pairs) -> Dict[str, float]:
+    """``["wall_clock=5", "io_time=30"]`` -> overrides merged over the
+    defaults."""
+    out = dict(DEFAULT_THRESHOLDS)
+    for pair in pairs or ():
+        name, sep, value = pair.partition("=")
+        if not sep:
+            raise ValueError(f"threshold {pair!r} is not NAME=PCT")
+        try:
+            out[name] = float(value)
+        except ValueError:
+            raise ValueError(f"threshold {pair!r}: {value!r} is not a "
+                             "number") from None
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Rendering
+# ---------------------------------------------------------------------- #
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if abs(value) >= 1000 or value == int(value):
+        return f"{value:.0f}"
+    return f"{value:.4f}"
+
+
+def diff_table(rows: List[DiffRow], all_rows: bool = False) -> str:
+    """Aligned text table of a diff.
+
+    By default only gated metrics and regressions are listed (the full
+    metric cross-product is noisy); ``all_rows=True`` shows everything.
+    """
+    shown = [r for r in rows if all_rows or r.gated or r.regressed]
+    if not shown:
+        return "(no comparable metrics)"
+    w_run = max(len("run"), max(len(r.run) for r in shown))
+    w_met = max(len("metric"), max(len(r.metric) for r in shown))
+    header = (f"{'run':<{w_run}}  {'metric':<{w_met}}  {'base':>12}  "
+              f"{'new':>12}  {'delta':>9}  {'gate':>7}  verdict")
+    lines = [header, "-" * len(header)]
+    for r in shown:
+        delta = "-" if r.delta_pct is None else f"{r.delta_pct:+.1f}%"
+        gate = "-" if r.threshold is None else f"{r.threshold:.0f}%"
+        if r.metric == "status":
+            verdict = "REGRESSED" if r.regressed else "changed"
+        elif r.regressed:
+            verdict = "REGRESSED"
+        elif r.gated:
+            verdict = "ok"
+        else:
+            verdict = ""
+        lines.append(f"{r.run:<{w_run}}  {r.metric:<{w_met}}  "
+                     f"{_fmt(r.base):>12}  {_fmt(r.new):>12}  "
+                     f"{delta:>9}  {gate:>7}  {verdict}")
+    n_reg = sum(1 for r in rows if r.regressed)
+    lines.append("")
+    lines.append(f"{n_reg} regression(s) past threshold"
+                 if n_reg else "no regressions past thresholds")
+    return "\n".join(lines)

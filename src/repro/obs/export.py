@@ -145,6 +145,38 @@ def write_samples_jsonl(path, recorder: Recorder) -> None:
             f.write("\n")
 
 
+def run_json_doc(result, recorder: Recorder) -> Dict[str, Any]:
+    """The ``run.json`` document: run outcome + per-rank metrics + wait
+    totals — everything ``repro analyze`` needs that spans/samples do
+    not carry.  ``result`` is duck-typed (a ``RunResult``)."""
+    from repro.obs.analyze import RUN_SCHEMA
+
+    return {
+        "schema": RUN_SCHEMA,
+        "algorithm": result.algorithm,
+        "status": result.status,
+        "n_ranks": result.n_ranks,
+        "wall_clock": result.wall_clock,
+        "master_ranks": list(getattr(result, "master_ranks", [])),
+        "ranks": [jsonable(m.as_dict())
+                  for m in sorted(result.rank_metrics,
+                                  key=lambda m: m.rank)],
+        "waits": {str(m.rank): recorder.waits.of(m.rank)
+                  for m in sorted(result.rank_metrics,
+                                  key=lambda m: m.rank)},
+        "histograms": recorder.registry.histograms(),
+        "counters": recorder.registry.counters(),
+    }
+
+
+def write_run_json(path, result, recorder: Recorder) -> None:
+    """Write ``run.json`` (deterministic: sorted keys, stable order)."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(json.dumps(jsonable(run_json_doc(result, recorder)),
+                           sort_keys=True, separators=(",", ":")))
+        f.write("\n")
+
+
 # ---------------------------------------------------------------------- #
 # Text timeline (Gantt)
 # ---------------------------------------------------------------------- #

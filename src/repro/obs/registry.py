@@ -73,7 +73,8 @@ class Histogram:
     first bucket whose bound is >= the value, or in the overflow slot.
     """
 
-    __slots__ = ("name", "buckets", "counts", "total", "sum")
+    __slots__ = ("name", "buckets", "counts", "total", "sum",
+                 "min", "max")
 
     def __init__(self, name: str,
                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
@@ -86,15 +87,60 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)  # +1 overflow
         self.total = 0
         self.sum = 0.0
+        self.min = 0.0
+        self.max = 0.0
 
     def observe(self, value: float) -> None:
         self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        if self.total == 0:
+            self.min = self.max = value
+        else:
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
         self.total += 1
         self.sum += value
 
     @property
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (``q`` in [0, 100]).
+
+        Bucket-resolution estimate: linear interpolation inside the
+        bucket where the cumulative count crosses ``q``, clamped to the
+        observed [min, max] (so the overflow bucket and the coarse first
+        bucket cannot report a value no observation reached).
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile q must be in [0, 100], got {q}")
+        if self.total == 0:
+            return 0.0
+        target = q / 100.0 * self.total
+        cumulative = 0
+        for i, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if cumulative + count >= target:
+                lo = self.buckets[i - 1] if i > 0 else self.min
+                hi = self.buckets[i] if i < len(self.buckets) else self.max
+                frac = (target - cumulative) / count
+                value = lo + frac * (hi - lo)
+                return min(max(value, self.min), self.max)
+            cumulative += count
+        return self.max
+
+    def summary(self) -> Dict[str, float]:
+        """count / mean / p50 / p95 / max (the analyzer's table row)."""
+        return {
+            "count": self.total,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": self.max,
+        }
 
     def snapshot(self) -> Dict[str, Any]:
         """Stable-keyed dict view (used by the JSONL exporter)."""
@@ -104,6 +150,8 @@ class Histogram:
             "counts": list(self.counts),
             "total": self.total,
             "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
         }
 
 

@@ -42,6 +42,12 @@ class RankMetrics:
     msgs_received:                  messages drained from the mailbox
     steps:                          integration steps executed
     streamlines_completed:          curves that terminated on this rank
+    lines_received:                 curves handed off to this rank from
+                                    another rank (excludes initial seeds)
+    pingpong_arrivals:              handoffs where the curve had already
+                                    visited this rank before (the
+                                    parallelize-over-data ping-pong
+                                    pathology diagnostic)
     """
 
     rank: int
@@ -57,6 +63,8 @@ class RankMetrics:
     msgs_received: int = 0
     steps: int = 0
     streamlines_completed: int = 0
+    lines_received: int = 0
+    pingpong_arrivals: int = 0
     peak_memory_bytes: int = 0
     finish_time: float = 0.0
 
@@ -109,6 +117,8 @@ class RankMetrics:
             "msgs_received": self.msgs_received,
             "steps": self.steps,
             "streamlines_completed": self.streamlines_completed,
+            "lines_received": self.lines_received,
+            "pingpong_arrivals": self.pingpong_arrivals,
             "peak_memory_bytes": self.peak_memory_bytes,
             "finish_time": self.finish_time,
         }

@@ -1,0 +1,63 @@
+"""Benchmark-trajectory harness: schema and byte-reproducibility."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+ARGS = ["--scale", "0.05", "--ranks", "4", "--sample-interval", "2.0",
+        "--date", "19700101"]
+
+
+@pytest.fixture(scope="module")
+def bench_mod():
+    spec = importlib.util.spec_from_file_location(
+        "bench_trajectory", REPO / "benchmarks" / "bench_trajectory.py")
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_trajectory", mod)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="module")
+def snapshots(bench_mod, tmp_path_factory):
+    """Two tiny harness runs with identical arguments."""
+    root = tmp_path_factory.mktemp("bench")
+    a_dir, b_dir = root / "a", root / "b"
+    assert bench_mod.main(ARGS + ["--out", str(a_dir)]) == 0
+    assert bench_mod.main(ARGS + ["--out", str(b_dir)]) == 0
+    return (a_dir / "BENCH_19700101.json", b_dir / "BENCH_19700101.json")
+
+
+def test_bench_snapshot_is_byte_reproducible(snapshots):
+    a, b = snapshots
+    assert a.read_bytes() == b.read_bytes(), \
+        "identical harness runs must be byte-identical"
+
+
+def test_bench_snapshot_schema(snapshots):
+    doc = json.loads(snapshots[0].read_text())
+    assert doc["schema"] == 1
+    assert doc["generated"] == "19700101"
+    assert doc["config"]["ranks"] == 4
+    assert len(doc["runs"]) == 6  # 2 seedings x 3 algorithms
+    for name, entry in doc["runs"].items():
+        assert name.startswith("astro-"), name
+        for key in ("wall_clock", "io_time", "comm_time",
+                    "block_efficiency", "parallel_efficiency",
+                    "critical_path", "participation_ratio",
+                    "pingpong_count"):
+            assert key in entry, (name, key)
+        path = sum(entry["critical_path"].values())
+        assert abs(path - entry["wall_clock"]) < 1e-6
+
+
+def test_bench_snapshot_diffs_cleanly_against_itself(snapshots):
+    from repro.cli import main as cli_main
+
+    snap = str(snapshots[0])
+    assert cli_main(["diff", snap, snap]) == 0

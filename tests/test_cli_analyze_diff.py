@@ -1,0 +1,92 @@
+"""CLI tests for ``repro analyze`` and ``repro diff``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.diff import BENCH_SCHEMA
+
+TRACE_ARGS = ["trace", "astro", "--seeding", "sparse", "--algorithm",
+              "hybrid", "--ranks", "8", "--scale", "0.1"]
+
+
+@pytest.fixture(scope="module")
+def trace_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("traces")
+    assert main(TRACE_ARGS + ["--out", str(out)]) == 0
+    return out / "astro-sparse-hybrid-8"
+
+
+def test_analyze_reports_all_sections(trace_dir, capsys):
+    assert main(["analyze", str(trace_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "critical path" in out
+    for kind in ("compute", "io", "comm", "idle"):
+        assert kind in out
+    assert "imbalance" in out
+    assert "participation ratio" in out
+    assert "ping-pong" in out
+    assert "block efficiency over time" in out
+    assert "leaf span durations" in out
+
+
+def test_analyze_missing_dir_exits_2(tmp_path, capsys):
+    assert main(["analyze", str(tmp_path / "nope")]) == 2
+    assert "run.json" in capsys.readouterr().err
+
+
+def test_diff_identical_trace_dirs_pass(trace_dir, capsys):
+    assert main(["diff", str(trace_dir), str(trace_dir)]) == 0
+    assert "no regressions" in capsys.readouterr().out
+
+
+def _bench(tmp_path, name, runs):
+    path = tmp_path / name
+    path.write_text(json.dumps({"schema": BENCH_SCHEMA,
+                                "generated": "x", "config": {},
+                                "runs": runs}))
+    return str(path)
+
+
+def test_diff_flags_injected_regression(tmp_path, trace_dir, capsys):
+    base_run = {"status": "ok", "wall_clock": 100.0}
+    worse_run = {"status": "ok", "wall_clock": 112.0}  # +12% > 10% gate
+    base = _bench(tmp_path, "base.json", {"r": base_run})
+    worse = _bench(tmp_path, "new.json", {"r": worse_run})
+    assert main(["diff", base, worse]) == 1
+    assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_diff_threshold_override(tmp_path, capsys):
+    base = _bench(tmp_path, "a.json", {"r": {"wall_clock": 100.0}})
+    new = _bench(tmp_path, "b.json", {"r": {"wall_clock": 105.0}})
+    assert main(["diff", base, new]) == 0  # +5% under the default 10%
+    assert main(["diff", base, new, "--threshold", "wall_clock=2"]) == 1
+    capsys.readouterr()
+    assert main(["diff", base, new, "--threshold", "junk"]) == 2
+    assert "NAME=PCT" in capsys.readouterr().err
+
+
+def test_diff_bad_schema_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": 99, "runs": {}}))
+    ok = _bench(tmp_path, "ok.json", {"r": {"wall_clock": 1.0}})
+    assert main(["diff", str(bad), ok]) == 2
+    assert "schema" in capsys.readouterr().err
+
+
+def test_diff_against_committed_baseline_schema():
+    """The committed baseline must stay loadable by the current code."""
+    from pathlib import Path
+
+    from repro.obs import load_comparable
+
+    bench_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+    baselines = sorted(bench_dir.glob("BENCH_*.json"))
+    assert baselines, "no committed BENCH_*.json baseline"
+    runs = load_comparable(baselines[-1])
+    assert runs
+    for entry in runs.values():
+        assert "wall_clock" in entry
+        assert "critical_path" in entry

@@ -10,7 +10,7 @@ ARGS = ["trace", "astro", "--seeding", "sparse", "--algorithm", "hybrid",
         "--ranks", "8", "--scale", "0.1"]
 
 ARTIFACTS = ("trace.perfetto.json", "spans.jsonl", "samples.jsonl",
-             "events.jsonl")
+             "events.jsonl", "run.json")
 
 
 def test_trace_help_smoke():
@@ -45,3 +45,27 @@ def test_trace_artifacts_byte_identical_across_runs(tmp_path, capsys):
         a = (tmp_path / "a" / "astro-sparse-hybrid-8" / name).read_bytes()
         b = (tmp_path / "b" / "astro-sparse-hybrid-8" / name).read_bytes()
         assert a == b, f"{name} differs between identical runs"
+
+
+def test_trace_masters_labelled_in_wait_table(tmp_path, capsys):
+    assert main(ARGS + ["--out", str(tmp_path)]) == 0
+    printed = capsys.readouterr().out
+    # Satellite: hybrid master ranks appear in the wall-clock
+    # decomposition with an explicit role, not silently mixed in.
+    assert "role" in printed
+    assert "master" in printed
+    assert "slave" in printed
+
+
+def test_trace_invalid_scenario_exits_cleanly(tmp_path, capsys):
+    # argparse rejects unknown dataset names outright ...
+    with pytest.raises(SystemExit) as exc:
+        main(["trace", "nonsense", "--out", str(tmp_path)])
+    assert exc.value.code == 2
+    # ... and scenario-construction errors (bad scale) exit 2 with a
+    # message instead of a traceback.
+    code = main(ARGS + ["--out", str(tmp_path), "--scale", "0"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "invalid scenario" in err
+    assert "scale" in err

@@ -1,0 +1,217 @@
+"""Trace analytics: critical path, imbalance, handoff diagnostics."""
+
+import json
+
+import pytest
+
+from repro.core.driver import run_streamlines
+from repro.obs import Recorder, analyze_dir, analyze_run, critical_path, gini
+from repro.obs.analyze import (
+    RUN_SCHEMA,
+    block_efficiency_series,
+    imbalance_stats,
+    leaf_kind,
+    path_breakdown,
+)
+from repro.obs.export import (
+    write_run_json,
+    write_samples_jsonl,
+    write_spans_jsonl,
+)
+from repro.obs.span import SpanRecord
+
+
+def rec(rank, name, start, end):
+    return SpanRecord(rank=rank, name=name, start=start, end=end,
+                      depth=0, attrs=())
+
+
+# ---------------------------------------------------------------------- #
+# Critical path on synthetic span sets
+# ---------------------------------------------------------------------- #
+
+def test_leaf_kind_classification():
+    assert leaf_kind("compute.advect") == "compute"
+    assert leaf_kind("io.read") == "io"
+    assert leaf_kind("comm.send") == "comm"
+    assert leaf_kind("io.load_block") is None  # container
+    assert leaf_kind("wait.message") is None   # derived, not consumed
+    assert leaf_kind("master.assign_pass") is None
+
+
+def test_critical_path_empty_run_is_all_idle():
+    segs = critical_path([], wall_clock=3.0)
+    assert len(segs) == 1
+    assert segs[0].kind == "idle"
+    assert segs[0].duration == pytest.approx(3.0)
+
+
+def test_critical_path_single_span_tiles_wall():
+    segs = critical_path([rec(0, "compute.advect", 0.0, 5.0)], 5.0)
+    assert [s.kind for s in segs] == ["compute"]
+    assert segs[0].start == 0.0 and segs[0].end == 5.0
+
+
+def test_critical_path_gap_becomes_idle():
+    spans = [rec(0, "compute.advect", 0.0, 2.0),
+             rec(1, "io.read", 3.0, 5.0)]
+    segs = critical_path(spans, 5.0)
+    assert [(s.kind, s.start, s.end) for s in segs] == [
+        ("compute", 0.0, 2.0), ("idle", 2.0, 3.0), ("io", 3.0, 5.0)]
+    assert sum(s.duration for s in segs) == pytest.approx(5.0)
+
+
+def test_critical_path_hops_to_latest_starting_dependency():
+    # Rank 1's io gated the tail; the walk must hop onto it at t=6, then
+    # back to rank 0's long compute span underneath.
+    spans = [rec(0, "compute.advect", 0.0, 4.0),
+             rec(1, "io.read", 4.0, 6.0),
+             rec(0, "compute.advect", 6.0, 7.0)]
+    segs = critical_path(spans, 7.0)
+    assert [(s.kind, s.rank) for s in segs] == [
+        ("compute", 0), ("io", 1), ("compute", 0)]
+    assert sum(s.duration for s in segs) == pytest.approx(7.0)
+
+
+def test_critical_path_segments_are_contiguous_and_ordered():
+    spans = [rec(r, "compute.step", r * 1.0, r * 1.0 + 1.5)
+             for r in range(4)]
+    segs = critical_path(spans, 5.0)
+    assert segs[0].start == 0.0
+    assert segs[-1].end == pytest.approx(5.0)
+    for a, b in zip(segs, segs[1:]):
+        assert a.end == pytest.approx(b.start)
+
+
+def test_path_breakdown_has_all_kinds():
+    segs = critical_path([rec(0, "compute.advect", 0.0, 1.0)], 2.0)
+    bd = path_breakdown(segs)
+    assert set(bd) == {"compute", "io", "comm", "idle"}
+    assert sum(bd.values()) == pytest.approx(2.0)
+
+
+# ---------------------------------------------------------------------- #
+# Imbalance statistics
+# ---------------------------------------------------------------------- #
+
+def test_gini_extremes():
+    assert gini([]) == 0.0
+    assert gini([5.0, 5.0, 5.0, 5.0]) == pytest.approx(0.0)
+    assert gini([0.0, 0.0, 0.0, 10.0]) == pytest.approx(0.75)  # (n-1)/n
+    assert gini([0.0, 0.0]) == 0.0  # zero total: equal by convention
+
+
+def test_imbalance_stats_empty_rows():
+    stats = imbalance_stats([], 1.0)
+    assert stats["imbalance_factor"] == 1.0
+    assert stats["gini_steps"] == 0.0
+
+
+def test_imbalance_stats_factor_and_idle():
+    rows = [
+        {"compute_time": 4.0, "io_time": 0.0, "comm_time": 0.0,
+         "other_time": 0.0, "steps": 100},
+        {"compute_time": 2.0, "io_time": 0.0, "comm_time": 0.0,
+         "other_time": 0.0, "steps": 50},
+    ]
+    stats = imbalance_stats(rows, wall_clock=4.0)
+    assert stats["busy_max"] == pytest.approx(4.0)
+    assert stats["busy_mean"] == pytest.approx(3.0)
+    assert stats["imbalance_factor"] == pytest.approx(4.0 / 3.0)
+    assert stats["idle_fraction"] == pytest.approx(0.25)
+
+
+def test_block_efficiency_series_from_machine_gauges():
+    samples = [
+        (0.0, "run.blocks_loaded", -1, 0.0),
+        (0.0, "run.blocks_purged", -1, 0.0),
+        (1.0, "run.blocks_loaded", -1, 10.0),
+        (1.0, "run.blocks_purged", -1, 2.0),
+        (1.0, "rank.cache_blocks", 3, 7.0),  # per-rank rows are ignored
+    ]
+    series = block_efficiency_series(samples)
+    assert series == [(0.0, 1.0), (1.0, pytest.approx(0.8))]
+
+
+# ---------------------------------------------------------------------- #
+# Live runs: the headline invariant and the handoff diagnostics
+# ---------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("algorithm", ["static", "ondemand", "hybrid"])
+def test_critical_path_sums_to_wall_clock(small_problem, small_machine,
+                                          algorithm):
+    obs = Recorder(enabled=True, sample_interval=0.5)
+    result = run_streamlines(small_problem, algorithm=algorithm,
+                             machine=small_machine, obs=obs)
+    analysis = analyze_run(result, obs)
+    assert abs(analysis.path_total - result.wall_clock) < 1e-6
+    assert analysis.segments[0].start == 0.0
+    assert analysis.segments[-1].end == pytest.approx(result.wall_clock)
+
+
+def test_ondemand_never_ping_pongs(small_problem, small_machine):
+    obs = Recorder(enabled=True)
+    result = run_streamlines(small_problem, algorithm="ondemand",
+                             machine=small_machine, obs=obs)
+    analysis = analyze_run(result, obs)
+    # Load-on-demand moves blocks, never streamlines.
+    assert analysis.lines_received == 0
+    assert analysis.pingpong_count == 0
+    assert analysis.participation_ratio == pytest.approx(1.0)
+
+
+def test_static_counts_handoffs(small_problem, small_machine):
+    obs = Recorder(enabled=True)
+    result = run_streamlines(small_problem, algorithm="static",
+                             machine=small_machine, obs=obs)
+    analysis = analyze_run(result, obs)
+    # Parallelize-over-data must ship lines across ownership boundaries.
+    assert analysis.lines_received > 0
+    assert analysis.pingpong_count <= analysis.lines_received
+    assert result.lines_received == analysis.lines_received
+    assert result.pingpong_count == analysis.pingpong_count
+
+
+def test_analysis_to_dict_has_diffable_scalars(small_problem,
+                                               small_machine):
+    obs = Recorder(enabled=True, sample_interval=0.5)
+    result = run_streamlines(small_problem, algorithm="hybrid",
+                             machine=small_machine, obs=obs)
+    d = analyze_run(result, obs).to_dict()
+    assert d["schema"] == RUN_SCHEMA
+    for key in ("wall_clock", "io_time", "comm_time", "compute_time",
+                "block_efficiency", "participation_ratio",
+                "pingpong_count", "critical_path"):
+        assert key in d, key
+    assert set(d["critical_path"]) == {"compute", "io", "comm", "idle"}
+    json.dumps(d)  # must be JSON-ready as-is
+
+
+# ---------------------------------------------------------------------- #
+# Artifact-directory analysis (the `repro analyze <dir>` path)
+# ---------------------------------------------------------------------- #
+
+def test_analyze_dir_round_trips_live_analysis(tmp_path, small_problem,
+                                               small_machine):
+    obs = Recorder(enabled=True, sample_interval=0.5)
+    result = run_streamlines(small_problem, algorithm="hybrid",
+                             machine=small_machine, obs=obs)
+    write_run_json(tmp_path / "run.json", result, obs)
+    write_spans_jsonl(tmp_path / "spans.jsonl", obs)
+    write_samples_jsonl(tmp_path / "samples.jsonl", obs)
+
+    live = analyze_run(result, obs)
+    loaded = analyze_dir(tmp_path)
+    assert loaded.to_dict() == live.to_dict()
+    assert loaded.waits == live.waits
+
+
+def test_analyze_dir_requires_run_json(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        analyze_dir(tmp_path)
+
+
+def test_analyze_dir_rejects_unknown_schema(tmp_path):
+    (tmp_path / "run.json").write_text(json.dumps({"schema": 999}))
+    with pytest.raises(ValueError):
+        analyze_dir(tmp_path)

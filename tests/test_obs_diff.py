@@ -1,0 +1,144 @@
+"""Run diffing and regression gating."""
+
+import json
+
+import pytest
+
+from repro.obs import DEFAULT_THRESHOLDS, diff_runs, diff_table, regressions
+from repro.obs.diff import (
+    BENCH_SCHEMA,
+    flatten_metrics,
+    load_comparable,
+    parse_threshold_args,
+)
+
+
+def entry(**over):
+    base = {
+        "status": "ok",
+        "wall_clock": 100.0,
+        "io_time": 40.0,
+        "comm_time": 10.0,
+        "block_efficiency": 0.8,
+        "parallel_efficiency": 0.6,
+        "critical_path": {"compute": 70.0, "io": 20.0, "comm": 5.0,
+                          "idle": 5.0},
+    }
+    base.update(over)
+    return base
+
+
+def test_flatten_metrics_dots_nested_dicts_and_skips_bools():
+    flat = flatten_metrics({"a": 1, "b": {"x": 2.0, "y": "s"},
+                            "ok": True, "c": [1, 2]})
+    assert flat == {"a": 1.0, "b.x": 2.0}
+
+
+def test_identical_runs_have_no_regressions():
+    rows = diff_runs({"r": entry()}, {"r": entry()})
+    assert rows
+    assert regressions(rows) == []
+
+
+def test_wall_clock_regression_past_threshold_is_flagged():
+    rows = diff_runs({"r": entry()}, {"r": entry(wall_clock=115.0)})
+    reg = regressions(rows)
+    assert [r.metric for r in reg] == ["wall_clock"]
+    assert reg[0].delta_pct == pytest.approx(15.0)
+
+
+def test_improvement_is_not_a_regression():
+    rows = diff_runs({"r": entry()}, {"r": entry(wall_clock=80.0)})
+    assert regressions(rows) == []
+
+
+def test_efficiency_direction_is_lower_is_worse():
+    worse = diff_runs({"r": entry()},
+                      {"r": entry(block_efficiency=0.7)})  # -12.5%
+    assert [r.metric for r in regressions(worse)] == ["block_efficiency"]
+    better = diff_runs({"r": entry()},
+                       {"r": entry(block_efficiency=0.9)})
+    assert regressions(better) == []
+
+
+def test_within_threshold_delta_passes():
+    rows = diff_runs({"r": entry()}, {"r": entry(wall_clock=105.0)})
+    assert regressions(rows) == []  # +5% < the 10% gate
+
+
+def test_missing_run_regresses():
+    rows = diff_runs({"a": entry(), "b": entry()}, {"a": entry()})
+    reg = regressions(rows)
+    assert [(r.run, r.metric) for r in reg] == [("b", "status")]
+
+
+def test_status_change_to_oom_regresses():
+    rows = diff_runs({"r": entry()}, {"r": entry(status="oom")})
+    reg = regressions(rows)
+    assert [r.metric for r in reg] == ["status"]
+    # The reverse (oom fixed -> ok) is a change, not a regression.
+    rows = diff_runs({"r": entry(status="oom")}, {"r": entry()})
+    assert regressions(rows) == []
+
+
+def test_ungated_metrics_are_compared_but_never_gate():
+    rows = diff_runs({"r": entry(pingpong_count=10)},
+                     {"r": entry(pingpong_count=1000)})
+    pp = [r for r in rows if r.metric == "pingpong_count"]
+    assert pp and not pp[0].gated and not pp[0].regressed
+
+
+def test_threshold_overrides():
+    rows = diff_runs({"r": entry()}, {"r": entry(wall_clock=105.0)},
+                     thresholds=parse_threshold_args(["wall_clock=2"]))
+    assert [r.metric for r in regressions(rows)] == ["wall_clock"]
+
+
+def test_parse_threshold_args_validation():
+    assert parse_threshold_args(None) == DEFAULT_THRESHOLDS
+    assert parse_threshold_args(["io_time=50"])["io_time"] == 50.0
+    with pytest.raises(ValueError):
+        parse_threshold_args(["no-equals"])
+    with pytest.raises(ValueError):
+        parse_threshold_args(["wall_clock=fast"])
+
+
+def test_diff_table_marks_regressions():
+    rows = diff_runs({"r": entry()}, {"r": entry(wall_clock=150.0)})
+    table = diff_table(rows)
+    assert "REGRESSED" in table
+    assert "1 regression(s) past threshold" in table
+    clean = diff_table(diff_runs({"r": entry()}, {"r": entry()}))
+    assert "no regressions past thresholds" in clean
+
+
+def test_diff_table_all_rows_shows_ungated():
+    rows = diff_runs({"r": entry(pingpong_count=3)},
+                     {"r": entry(pingpong_count=3)})
+    assert "pingpong_count" not in diff_table(rows)
+    assert "pingpong_count" in diff_table(rows, all_rows=True)
+
+
+# ---------------------------------------------------------------------- #
+# Bench-file loading
+# ---------------------------------------------------------------------- #
+
+def bench_doc(runs):
+    return {"schema": BENCH_SCHEMA, "generated": "20260806",
+            "config": {}, "runs": runs}
+
+
+def test_load_comparable_bench_file(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text(json.dumps(bench_doc({"r": entry()})))
+    assert load_comparable(path) == {"r": entry()}
+
+
+def test_load_comparable_rejects_bad_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": 42, "runs": {}}))
+    with pytest.raises(ValueError):
+        load_comparable(path)
+    path.write_text(json.dumps({"schema": BENCH_SCHEMA}))
+    with pytest.raises(ValueError):
+        load_comparable(path)

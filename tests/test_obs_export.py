@@ -6,14 +6,18 @@ import numpy as np
 import pytest
 
 from repro.obs import (
+    NULL_RECORDER,
+    NULL_SPAN,
     Recorder,
     jsonable,
     perfetto_json,
     timeline_text,
     write_perfetto,
+    write_run_json,
     write_samples_jsonl,
     write_spans_jsonl,
 )
+from repro.obs.analyze import load_samples_jsonl, load_spans_jsonl
 from repro.obs.export import PHASES
 from repro.sim.trace import Trace
 
@@ -125,3 +129,90 @@ def test_timeline_text_buckets_dominant_activity():
 def test_timeline_text_empty_run():
     rec = Recorder(enabled=True)
     assert timeline_text(rec, 0.0, 4) == "(empty timeline)"
+
+
+# ---------------------------------------------------------------------- #
+# Edge cases: empty recorder, disabled recorder, numpy round-trips
+# ---------------------------------------------------------------------- #
+
+def test_exporters_handle_empty_recorder(tmp_path):
+    rec = Recorder(enabled=True)  # enabled, but nothing ever recorded
+    doc = json.loads(perfetto_json(rec))
+    assert doc["traceEvents"] == []
+    write_spans_jsonl(tmp_path / "spans.jsonl", rec)
+    write_samples_jsonl(tmp_path / "samples.jsonl", rec)
+    assert (tmp_path / "spans.jsonl").read_text() == ""
+    assert (tmp_path / "samples.jsonl").read_text() == ""
+
+
+def test_exporters_handle_disabled_recorder(tmp_path):
+    rec = Recorder(enabled=False)
+    # The null paths: spans are the shared NULL_SPAN, nothing accumulates.
+    assert rec.span(0, "io.read") is NULL_SPAN
+    rec.registry.add_series("x", 0, lambda: 1.0)
+    rec.registry.sample(0.0)
+    assert rec.spans == ()
+    assert rec.registry.samples == []
+    assert json.loads(perfetto_json(rec))["traceEvents"] == []
+    write_spans_jsonl(tmp_path / "spans.jsonl", rec)
+    assert (tmp_path / "spans.jsonl").read_text() == ""
+
+
+def test_null_recorder_exports_empty(tmp_path):
+    assert json.loads(perfetto_json(NULL_RECORDER))["traceEvents"] == []
+    write_samples_jsonl(tmp_path / "samples.jsonl", NULL_RECORDER)
+    assert (tmp_path / "samples.jsonl").read_text() == ""
+
+
+def test_jsonl_round_trip_with_numpy_scalars(tmp_path):
+    clock = {"now": 0.0}
+    rec = Recorder(enabled=True, clock=lambda: clock["now"])
+    with rec.span(0, "io.read", nbytes=np.int64(4096),
+                  ratio=np.float32(0.5)):
+        clock["now"] = 1.0
+    rec.registry.add_series("depth", 0, lambda: np.int64(3))
+    rec.registry.add_series("load", -1, lambda: np.float64(0.25))
+    rec.registry.sample(0.5)
+
+    write_spans_jsonl(tmp_path / "spans.jsonl", rec)
+    write_samples_jsonl(tmp_path / "samples.jsonl", rec)
+
+    spans = load_spans_jsonl(tmp_path / "spans.jsonl")
+    assert len(spans) == 1
+    assert spans[0].name == "io.read"
+    attrs = dict(spans[0].attrs)
+    assert attrs["nbytes"] == 4096 and type(attrs["nbytes"]) is int
+    assert attrs["ratio"] == 0.5 and type(attrs["ratio"]) is float
+
+    samples = load_samples_jsonl(tmp_path / "samples.jsonl")
+    assert samples == [(0.5, "depth", 0, 3), (0.5, "load", -1, 0.25)]
+    assert all(type(v) in (int, float) for _, _, _, v in samples)
+
+
+def test_write_run_json_is_deterministic_and_loadable(tmp_path):
+    class FakeMetrics:
+        def __init__(self, rank):
+            self.rank = rank
+
+        def as_dict(self):
+            return {"rank": self.rank, "steps": np.int64(10),
+                    "io_time": np.float64(1.5)}
+
+    class FakeResult:
+        algorithm = "hybrid"
+        status = "ok"
+        n_ranks = 2
+        wall_clock = 2.0
+        master_ranks = [0]
+        rank_metrics = [FakeMetrics(1), FakeMetrics(0)]
+
+    rec = Recorder(enabled=True)
+    write_run_json(tmp_path / "a.json", FakeResult(), rec)
+    write_run_json(tmp_path / "b.json", FakeResult(), rec)
+    a = (tmp_path / "a.json").read_bytes()
+    assert a == (tmp_path / "b.json").read_bytes()
+    doc = json.loads(a)
+    assert doc["schema"] == 1
+    assert doc["master_ranks"] == [0]
+    assert [r["rank"] for r in doc["ranks"]] == [0, 1]  # sorted by rank
+    assert doc["ranks"][1]["steps"] == 10  # numpy coerced

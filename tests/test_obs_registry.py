@@ -37,6 +37,44 @@ def test_histogram_buckets_and_overflow():
     assert snap["counts"] == [1, 1, 1, 1]
 
 
+def test_histogram_percentile_interpolates_and_clamps():
+    reg = MetricsRegistry()
+    h = reg.histogram("t", buckets=(1.0, 2.0, 4.0))
+    assert h.percentile(50) == 0.0  # empty
+    for v in (0.5, 1.5, 2.5, 3.5):
+        h.observe(v)
+    # Estimates live inside the observed range and are monotone in q.
+    assert 0.5 <= h.percentile(1) <= h.percentile(50) \
+        <= h.percentile(95) <= h.percentile(100) <= 3.5
+    assert h.percentile(100) == pytest.approx(3.5)  # clamped to max
+    with pytest.raises(ValueError):
+        h.percentile(-1)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_histogram_percentile_single_value_is_exact():
+    h = MetricsRegistry().histogram("t", buckets=(1.0, 10.0))
+    h.observe(5.0)
+    for q in (0, 50, 100):
+        assert h.percentile(q) == pytest.approx(5.0)
+
+
+def test_histogram_summary_and_min_max_snapshot():
+    reg = MetricsRegistry()
+    h = reg.histogram("t", buckets=(1.0, 2.0))
+    for v in (0.5, 1.5, 3.0):
+        h.observe(v)
+    s = h.summary()
+    assert set(s) == {"count", "mean", "p50", "p95", "max"}
+    assert s["count"] == 3
+    assert s["mean"] == pytest.approx(5.0 / 3.0)
+    assert s["max"] == pytest.approx(3.0)
+    snap = h.snapshot()
+    assert snap["min"] == pytest.approx(0.5)
+    assert snap["max"] == pytest.approx(3.0)
+
+
 def test_histogram_rejects_unsorted_buckets():
     with pytest.raises(ValueError):
         MetricsRegistry().histogram("bad", buckets=(1.0, 0.5))
