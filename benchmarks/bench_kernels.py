@@ -1,85 +1,189 @@
-"""Real-time microbenchmarks of the compute kernels.
+"""Real-time microbenchmarks of the hot-path compute kernels.
 
-Unlike the figure benchmarks (which measure *simulated* time), these
-measure actual Python/NumPy throughput of the hot paths: trilinear
-interpolation, Dormand-Prince batch stepping, and the pooled advection
-kernel, across batch sizes.  They are the regression guard for the
-vectorization work described in DESIGN.md.
+Unlike the figure benchmarks and the trajectory harness (which measure
+*simulated* time and are byte-reproducible), this script measures actual
+Python/NumPy wall-clock throughput of the kernels the advection hot path
+is made of:
+
+* ``sampler`` — one fused trilinear velocity evaluation through a bound
+  :class:`~repro.integrate.pooled.PoolSampler`;
+* ``step`` — one DOPRI5 trial step (7 fused sampler stages + error
+  estimate) through :meth:`Dopri5.attempt_steps_prepared`;
+* ``pool_build`` — constructing a :class:`BlockPool` from loaded blocks
+  (the cost the worker-side pool cache avoids);
+* ``advance`` — the full :func:`advance_pool` round loop, including the
+  small-batch scalar fast path.
+
+Each kernel runs at batch sizes k in {1, 4, 32, 256} (``pool_build``
+scales over block counts instead).  Wall-clock numbers are deliberately
+kept *out* of the BENCH snapshot documents — they vary by machine — and
+written to their own JSON artifact for CI to upload::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick \
+        --out bench-out/kernels.json
+
+``--quick`` shrinks repetitions for CI smoke runs (well under 30 s);
+the default profile takes longer and gives stabler numbers.  Timings are
+best-of-``repeats`` of the mean over an inner loop, the standard
+approach when per-call cost is near the timer resolution.
 """
 
-import numpy as np
-import pytest
+from __future__ import annotations
 
-from repro.fields import SupernovaField, sample_field
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # running as a script
+    _src = Path(__file__).resolve().parent.parent / "src"
+    if str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+import numpy as np
+
+from repro.fields import sample_field
 from repro.fields.library import RigidRotationField
 from repro.integrate.config import IntegratorConfig
 from repro.integrate.dopri5 import Dopri5
-from repro.integrate.fixed import RK4, Euler
 from repro.integrate.pooled import BlockPool, advance_pool
 from repro.integrate.streamline import make_streamlines
 from repro.mesh.bounds import Bounds
 from repro.mesh.decomposition import Decomposition
 
+#: Batch sizes every per-particle kernel is measured at.  k=1 and k=4
+#: exercise the scalar small-batch regime; 32 and 256 the vectorized one.
+BATCH_SIZES = (1, 4, 32, 256)
 
-@pytest.fixture(scope="module")
-def rotation_pool():
+#: Pool sizes (block counts) for the pool-build benchmark.
+POOL_SIZES = (1, 8, 27)
+
+
+def _bench(fn, inner: int, repeats: int) -> dict:
+    """Best-of-``repeats`` mean wall time of ``fn`` over ``inner`` calls."""
+    fn()  # warm up caches/workspaces outside the timed region
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        dt = (time.perf_counter() - t0) / inner
+        if dt < best:
+            best = dt
+    return {"ns_per_call": best * 1e9, "inner": inner, "repeats": repeats}
+
+
+def _fixture():
+    """A deterministic multi-block pool with in-pool sample points."""
     field = RigidRotationField(domain=Bounds.cube(-1.0, 1.0))
     dec = Decomposition(field.domain, (4, 4, 4), (8, 8, 8))
     blocks = sample_field(field, dec)
-    return field, dec, BlockPool(list(blocks.values()))
+    pool = BlockPool(list(blocks.values()))
+    return field, dec, pool
 
 
-@pytest.mark.parametrize("k", [1, 16, 256])
-def test_bench_trilinear_sampler(benchmark, rotation_pool, k):
-    """Velocity sampling through the pooled flat-gather kernel."""
-    field, dec, pool = rotation_pool
-    rng = np.random.default_rng(0)
-    pts = rng.uniform(-0.9, 0.9, size=(k, 3))
-    slots = dec.locate(pts)
-    slot_arr = np.array([pool.slot_of[int(b)] for b in slots])
-    f = pool.sampler_for(slot_arr)
-    out = benchmark(f, pts)
-    assert out.shape == (k, 3)
+def bench_sampler(pool, dec, rng, inner, repeats) -> dict:
+    out = {}
+    for k in BATCH_SIZES:
+        pts = rng.uniform(-0.9, 0.9, size=(k, 3))
+        slots = np.array([pool.slot_of[int(b)]
+                          for b in dec.locate_many(pts)], dtype=np.int64)
+        f = pool.sampler().bind(slots)
+        buf = np.empty((k, 3), dtype=np.float64)
+        out[f"k{k}"] = _bench(lambda: f(pts, out=buf), inner, repeats)
+    return out
 
 
-@pytest.mark.parametrize("integrator", [Dopri5(), RK4(), Euler()],
-                         ids=["dopri5", "rk4", "euler"])
-@pytest.mark.parametrize("k", [4, 128])
-def test_bench_integrator_step(benchmark, integrator, k):
-    """One batched trial step per integrator."""
-    field = RigidRotationField()
-    rng = np.random.default_rng(1)
-    pos = rng.uniform(-0.5, 0.5, size=(k, 3))
-    h = np.full(k, 0.01)
-    new_pos, err = benchmark(integrator.attempt_steps,
-                             field.evaluate, pos, h)
-    assert new_pos.shape == (k, 3)
+def bench_step(pool, dec, rng, inner, repeats) -> dict:
+    out = {}
+    integ = Dopri5(1e-5, 1e-7)
+    for k in BATCH_SIZES:
+        pts = rng.uniform(-0.9, 0.9, size=(k, 3))
+        slots = np.array([pool.slot_of[int(b)]
+                          for b in dec.locate_many(pts)], dtype=np.int64)
+        f = pool.sampler().bind(slots)
+        h = np.full(k, 0.01)
+        out[f"k{k}"] = _bench(
+            lambda: integ.attempt_steps_prepared(f, pts, h),
+            inner, repeats)
+    return out
 
 
-@pytest.mark.parametrize("k", [8, 64, 512])
-def test_bench_advance_pool(benchmark, rotation_pool, k):
-    """Full pooled advection of k particles for up to 32 rounds."""
-    field, dec, pool = rotation_pool
-    rng = np.random.default_rng(2)
-    seeds = rng.uniform(-0.6, 0.6, size=(k, 3))
+def bench_pool_build(dec, inner, repeats) -> dict:
+    field = RigidRotationField(domain=Bounds.cube(-1.0, 1.0))
+    blocks = list(sample_field(field, dec).values())
+    out = {}
+    for n in POOL_SIZES:
+        subset = blocks[:n]
+        out[f"blocks{n}"] = _bench(lambda: BlockPool(subset),
+                                   inner, repeats)
+    return out
+
+
+def bench_advance(field, dec, pool, rng, inner, repeats) -> dict:
+    out = {}
     cfg = IntegratorConfig(max_steps=64, h_max=0.02)
-    integrator = Dopri5(cfg.rtol, cfg.atol)
+    integ = Dopri5(cfg.rtol, cfg.atol)
+    for k in BATCH_SIZES:
+        seeds = rng.uniform(-0.6, 0.6, size=(k, 3))
+        bids = dec.locate_many(seeds)
 
-    def run():
-        lines = make_streamlines(seeds)
-        for line in lines:
-            line.block_id = int(dec.locate(line.position))
-        return advance_pool(lines, pool, field.domain, dec, integrator,
-                            cfg, round_limit=32)
+        def run():
+            lines = make_streamlines(seeds)
+            for line, bid in zip(lines, bids):
+                line.block_id = int(bid)
+            return advance_pool(lines, pool, field.domain, dec, integ,
+                                cfg, round_limit=32)
 
-    result = benchmark(run)
-    assert result.attempted_steps > 0
+        out[f"k{k}"] = _bench(run, max(1, inner // 8), repeats)
+    return out
 
 
-def test_bench_field_evaluation(benchmark):
-    """Analytic supernova field evaluation (block sampling cost)."""
-    field = SupernovaField()
-    rng = np.random.default_rng(3)
-    pts = rng.uniform(-1, 1, size=(729, 3))  # one 8^3-cell block's nodes
-    out = benchmark(field.evaluate, pts)
-    assert out.shape == (729, 3)
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="wall-clock microbenchmarks of the advection kernels")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke profile: fewer repetitions, "
+                             "finishes in seconds")
+    parser.add_argument("--out", default=None,
+                        help="write a JSON artifact with the timings")
+    args = parser.parse_args(argv)
+
+    inner = 50 if args.quick else 400
+    repeats = 3 if args.quick else 7
+    rng = np.random.default_rng(0)
+    field, dec, pool = _fixture()
+
+    t0 = time.perf_counter()
+    doc = {
+        "profile": "quick" if args.quick else "full",
+        "batch_sizes": list(BATCH_SIZES),
+        "kernels": {
+            "sampler": bench_sampler(pool, dec, rng, inner, repeats),
+            "step": bench_step(pool, dec, rng, inner, repeats),
+            "pool_build": bench_pool_build(dec, inner, repeats),
+            "advance": bench_advance(field, dec, pool, rng, inner,
+                                     repeats),
+        },
+    }
+    doc["total_seconds"] = round(time.perf_counter() - t0, 3)
+
+    for kernel, entries in doc["kernels"].items():
+        for label, rec in entries.items():
+            print(f"{kernel:>10s} {label:>8s} "
+                  f"{rec['ns_per_call'] / 1e3:10.2f} us/call")
+    print(f"total: {doc['total_seconds']:.1f}s ({doc['profile']})")
+
+    if args.out:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,9 +49,10 @@ from repro.core.driver import run_streamlines
 from repro.obs import Recorder, analyze_run, jsonable
 from repro.obs.diff import BENCH_SCHEMA
 
-#: The canonical trajectory scenarios: one sparse (the regime every
+#: The canonical trajectory seedings: one sparse (the regime every
 #: algorithm handles) and one dense (the contention regime that
-#: separates them) on the astro dataset.
+#: separates them), run per requested dataset (``--dataset`` accepts a
+#: comma-separated list; the committed astro baseline uses the default).
 SEEDINGS = ("sparse", "dense")
 
 
@@ -71,18 +72,20 @@ def bench_one(dataset: str, seeding: str, algorithm: str, ranks: int,
 
 
 def build_doc(args: argparse.Namespace) -> dict:
+    datasets = [d for d in args.dataset.split(",") if d]
     runs = {}
-    for seeding in SEEDINGS:
-        for algorithm in ALGORITHMS:
-            name = f"{args.dataset}-{seeding}-{algorithm}-{args.ranks}"
-            print(f"  running {name} ...", flush=True)
-            runs[name] = bench_one(args.dataset, seeding, algorithm,
-                                   args.ranks, args.scale,
-                                   args.sample_interval)
-            print(f"    wall={runs[name]['wall_clock']:.3f}s "
-                  f"E={runs[name]['block_efficiency']:.3f} "
-                  f"status={runs[name]['status']}")
-    return {
+    for dataset in datasets:
+        for seeding in SEEDINGS:
+            for algorithm in ALGORITHMS:
+                name = f"{dataset}-{seeding}-{algorithm}-{args.ranks}"
+                print(f"  running {name} ...", flush=True)
+                runs[name] = bench_one(dataset, seeding, algorithm,
+                                       args.ranks, args.scale,
+                                       args.sample_interval)
+                print(f"    wall={runs[name]['wall_clock']:.3f}s "
+                      f"E={runs[name]['block_efficiency']:.3f} "
+                      f"status={runs[name]['status']}")
+    doc = {
         "schema": BENCH_SCHEMA,
         "generated": args.date,
         "config": {
@@ -95,12 +98,36 @@ def build_doc(args: argparse.Namespace) -> dict:
         },
         "runs": runs,
     }
+    # The thermal/dense/static working set exceeds one rank's memory at
+    # larger scales — the paper's parallelize-over-data pathology.  When
+    # the thermal scenarios are benchmarked, probe it and commit the
+    # expected "oom" status so `repro diff` gates on it staying that way
+    # (an ok->oom flip on any other run is a regression; oom->ok here
+    # would mean the memory model went soft).
+    if "thermal" in datasets and args.oom_probe:
+        name = f"thermal-dense-static-{args.ranks}-oomprobe"
+        print(f"  running {name} (scale {args.oom_scale}) ...", flush=True)
+        entry = bench_one("thermal", "dense", "static", args.ranks,
+                          args.oom_scale, args.sample_interval)
+        print(f"    status={entry['status']}")
+        doc["runs"][name] = entry
+        doc["config"]["oom_probe_scale"] = args.oom_scale
+    return doc
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="canonical-scenario benchmark snapshot for repro diff")
-    parser.add_argument("--dataset", default="astro")
+    parser.add_argument("--dataset", default="astro",
+                        help="dataset, or comma-separated list "
+                             "(astro,fusion,thermal)")
+    parser.add_argument("--oom-probe", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="when thermal is benchmarked, also run the "
+                             "thermal/dense/static scenario at "
+                             "--oom-scale, whose expected status is 'oom'")
+    parser.add_argument("--oom-scale", type=float, default=0.5,
+                        help="scale for the OOM probe run")
     parser.add_argument("--ranks", type=int, default=8)
     parser.add_argument("--scale", type=float, default=0.1)
     parser.add_argument("--sample-interval", type=float, default=1.0)

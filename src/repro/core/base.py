@@ -10,7 +10,9 @@ subclass it with their protocols.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Sequence
+from collections import OrderedDict
+from typing import (Any, Dict, FrozenSet, Generator, List, Optional,
+                    Sequence)
 
 import numpy as np
 
@@ -29,6 +31,11 @@ from repro.storage.store import BlockStore
 #: mailbox.  Bounds how long (in simulated *and* real time) a rank computes
 #: without reacting to messages.
 POOL_ROUND_LIMIT = 96
+
+#: Cached BlockPools kept per rank (LRU).  A pool concatenates its blocks'
+#: arrays, so this bounds the real (not simulated) memory duplicated by
+#: pool caching to a handful of working sets.
+POOL_CACHE_ENTRIES = 8
 
 
 def partition_contiguous(n_items: int, n_parts: int, part: int) -> range:
@@ -80,6 +87,13 @@ class Worker:
             cap = max(1, int(0.25 * ctx.spec.memory_bytes
                              / self.cost.block_nbytes))
         self.cache = LRUBlockCache(capacity=cap)
+        #: Cached stacked pools keyed by the loaded-block-id set.  Valid
+        #: while every member block is still the resident object in
+        #: ``self.cache``; invalidated on eviction (see ``ensure_block``)
+        #: and double-checked by identity at lookup, so any other eviction
+        #: path degrades to a rebuild rather than stale data.
+        self._pool_cache: "OrderedDict[FrozenSet[int], BlockPool]" = \
+            OrderedDict()
         #: Modelled bytes currently allocated per buffered streamline.
         self._line_mem: Dict[int, int] = {}
         #: Curves that finished on this rank (kept resident, as real
@@ -105,6 +119,8 @@ class Worker:
             yield from ctx.read_block_bytes(self.cost.block_nbytes)
             block = self.store.load(block_id)
         evicted = self.cache.put(block)
+        if evicted:
+            self._invalidate_pools({b.block_id for b in evicted})
         for _ in evicted:
             ctx.memory.free(self.cost.block_nbytes, "block")
         ctx.memory.allocate(self.cost.block_nbytes, "block")
@@ -117,6 +133,33 @@ class Worker:
 
     def has_block(self, block_id: int) -> bool:
         return block_id in self.cache
+
+    def _invalidate_pools(self, gone: "set[int]") -> None:
+        """Drop cached pools referencing any of the evicted block ids."""
+        stale = [key for key in self._pool_cache if key & gone]
+        for key in stale:
+            del self._pool_cache[key]
+
+    def _pool_for(self, blocks: List[Block]) -> BlockPool:
+        """Cached stacked pool for this exact (bid-sorted) block list.
+
+        The cache key is the loaded-block-id set; a hit additionally
+        verifies that each member is still the identical resident object
+        (a reloaded block is a different object, so eviction paths that
+        bypass ``ensure_block`` can never serve stale pool data).
+        """
+        key = frozenset(b.block_id for b in blocks)
+        pool = self._pool_cache.get(key)
+        if pool is not None and all(
+                self.cache.peek(b.block_id) is b for b in pool.blocks):
+            self._pool_cache.move_to_end(key)
+            return pool
+        pool = BlockPool(blocks)
+        self._pool_cache[key] = pool
+        self._pool_cache.move_to_end(key)
+        while len(self._pool_cache) > POOL_CACHE_ENTRIES:
+            self._pool_cache.popitem(last=False)
+        return pool
 
     # ------------------------------------------------------------------ #
     # Streamline memory bookkeeping
@@ -197,7 +240,7 @@ class Worker:
             pool_lines.extend(by_bid[bid])
         if not blocks:
             return PoolResult(), demoted
-        pool = BlockPool(blocks)
+        pool = self._pool_for(blocks)
         result = advance_pool(pool_lines, pool, self.problem.field.domain,
                               self.problem.decomposition, self.integrator,
                               self.problem.integ, round_limit=round_limit)

@@ -8,18 +8,52 @@ The velocity function ``f`` maps positions ``(k, 3)`` to velocities
 candidate new positions and a normalized error estimate per particle.  The
 caller (the advection kernel) decides acceptance and step-size adaptation,
 so fixed-step and adaptive integrators share one code path.
+
+Hot-path protocol
+-----------------
+``attempt_steps`` sits inside the advection round loop where batches are
+often tiny, so per-call overhead matters more than per-element work.  Two
+mechanisms keep it low, shared by every integrator through this base class:
+
+* **hoisted validation** — :meth:`validate_batch` normalizes and checks the
+  batch once; the advection kernels call it before their round loop and
+  then use :meth:`attempt_steps_prepared`, which skips re-validation.
+  ``attempt_steps`` remains the safe public entry point (validate + run).
+* **stage workspaces** — :meth:`stage_workspace` hands out preallocated
+  ``(k, 3)`` / ``(k,)`` scratch arrays that subclasses reuse across calls
+  (grown geometrically, sliced per batch), so the unrolled stage arithmetic
+  can run entirely with ``out=`` ufuncs.  Only the returned
+  ``(new_pos, err)`` arrays are freshly allocated — they are part of the
+  public contract and must not alias internal scratch.
+
+Velocity functions may advertise ``writes_out = True`` to accept an
+``out=`` array (see :class:`~repro.integrate.pooled.PoolSampler`);
+integrators then gather stage velocities without allocating.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Callable, Tuple
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
 from repro.integrate.config import IntegratorConfig
 
 VelocityFn = Callable[[np.ndarray], np.ndarray]
+
+# The C kernel behind np.einsum.  For the fixed small contractions on the
+# hot path the Python wrapper (subscript parsing/dispatch in einsumfunc)
+# costs about as much as the contraction itself; calling the kernel
+# directly is bit-for-bit the same computation.  Falls back to np.einsum
+# if the private symbol ever moves.
+try:  # pragma: no cover - numpy >= 1.25 layout
+    from numpy._core._multiarray_umath import c_einsum as fast_einsum
+except ImportError:  # pragma: no cover - older layouts
+    try:
+        from numpy.core._multiarray_umath import c_einsum as fast_einsum
+    except ImportError:
+        fast_einsum = np.einsum
 
 
 class Integrator(abc.ABC):
@@ -32,10 +66,34 @@ class Integrator(abc.ABC):
     #: Whether the error estimate is meaningful (adaptive control).
     adaptive: bool = False
 
-    @abc.abstractmethod
+    #: Workspace state (lazily grown; see :meth:`stage_workspace`).
+    _ws_cap: int = 0
+    _ws_vec: List[np.ndarray] = []
+    _ws_scal: List[np.ndarray] = []
+    #: Cached per-batch-size view bundles into the workspace buffers.
+    _ws_views: Dict[Tuple[int, int, int],
+                    Tuple[List[np.ndarray], List[np.ndarray]]] = {}
+
+    @staticmethod
+    def validate_batch(pos: np.ndarray,
+                       h: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Normalize and check one batch; raises on malformed input.
+
+        Returns float64 ``(k, 3)`` positions and ``(k,)`` step sizes.
+        Advection kernels call this once per advance call and then use
+        :meth:`attempt_steps_prepared` inside their round loop.
+        """
+        pos = np.asarray(pos, dtype=np.float64)
+        h = np.asarray(h, dtype=np.float64)
+        if pos.ndim != 2 or pos.shape[1] != 3:
+            raise ValueError(f"pos must be (k, 3), got {pos.shape}")
+        if h.shape != (len(pos),):
+            raise ValueError(f"h must be ({len(pos)},), got {h.shape}")
+        return pos, h
+
     def attempt_steps(self, f: VelocityFn, pos: np.ndarray,
                       h: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Trial-step every particle.
+        """Trial-step every particle (validating entry point).
 
         Parameters
         ----------
@@ -51,8 +109,61 @@ class Integrator(abc.ABC):
         (new_pos, err):
             Candidate positions ``(k, 3)`` and normalized error ``(k,)``
             (``err <= 1`` means acceptable; fixed-step integrators return
-            zeros).
+            zeros).  Both are freshly allocated.
         """
+        pos, h = self.validate_batch(pos, h)
+        return self.attempt_steps_prepared(f, pos, h)
+
+    @abc.abstractmethod
+    def attempt_steps_prepared(self, f: VelocityFn, pos: np.ndarray,
+                               h: np.ndarray
+                               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`attempt_steps` but assumes ``pos``/``h`` are already
+        validated float64 arrays of matching shape (the advection round
+        loop guarantees this; see :meth:`validate_batch`)."""
+
+    def stage_workspace(self, k: int, n_vec: int, n_scal: int = 0
+                        ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        """Per-integrator scratch: ``n_vec`` ``(k, 3)`` and ``n_scal``
+        ``(k,)`` float64 arrays, reused across calls.
+
+        Buffers grow geometrically and are sliced to the requested batch
+        size, so a shrinking compaction loop allocates at most once.
+        Contents are undefined between calls.
+        """
+        if self._ws_cap < k or len(self._ws_vec) < n_vec \
+                or len(self._ws_scal) < n_scal:
+            cap = max(k, 2 * self._ws_cap)
+            self._ws_cap = cap
+            self._ws_vec = [np.empty((cap, 3), dtype=np.float64)
+                            for _ in range(n_vec)]
+            self._ws_scal = [np.empty(cap, dtype=np.float64)
+                             for _ in range(n_scal)]
+            self._ws_views = {}
+        # Slicing a dozen buffers per round-loop call is measurable at
+        # small k; compaction revisits the same batch sizes constantly, so
+        # the sliced views are memoized.
+        key = (k, n_vec, n_scal)
+        views = self._ws_views.get(key)
+        if views is None:
+            views = ([a[:k] for a in self._ws_vec[:n_vec]],
+                     [a[:k] for a in self._ws_scal[:n_scal]])
+            self._ws_views[key] = views
+        return views
+
+    @staticmethod
+    def eval_velocity(f: VelocityFn, pos: np.ndarray,
+                      out: np.ndarray) -> np.ndarray:
+        """Evaluate ``f`` at ``pos``, into ``out`` when supported.
+
+        Samplers that advertise ``writes_out = True`` fill the caller's
+        buffer; other velocity functions return a fresh array, which is
+        used directly (no copy — the extra allocation only happens on the
+        generic path).
+        """
+        if getattr(f, "writes_out", False):
+            return f(pos, out=out)
+        return f(pos)
 
     @staticmethod
     def adapt_h(h: np.ndarray, err: np.ndarray, order: int,
@@ -63,10 +174,13 @@ class Integrator(abc.ABC):
         saturating at ``h_max``.
         """
         # err is clamped away from 0 so the negative power stays finite
-        # (the huge result is immediately clipped to grow_limit).
-        factor = cfg.safety * np.power(
-            np.maximum(err, 1e-100), -1.0 / order)
+        # (the huge result is immediately clipped to grow_limit); the
+        # chain below reuses one buffer but computes the exact same
+        # expression tree as safety * err**(-1/order).
+        factor = np.maximum(err, 1e-100)
+        np.power(factor, -1.0 / order, out=factor)
+        factor *= cfg.safety
         np.clip(factor, cfg.shrink_limit, cfg.grow_limit, out=factor)
-        out = h * factor
-        np.clip(out, cfg.h_min, cfg.h_max, out=out)
-        return out
+        factor *= h
+        np.clip(factor, cfg.h_min, cfg.h_max, out=factor)
+        return factor

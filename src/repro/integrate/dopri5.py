@@ -9,6 +9,10 @@ The implementation is fully batched and the stage combinations are unrolled
 by hand: ``attempt_steps`` sits inside the advection round loop where batch
 sizes are often tiny (sparse seed sets leave one or two particles per
 block), so the per-call overhead of generic tableau loops would dominate.
+The unrolled arithmetic runs entirely in preallocated stage workspaces with
+``out=`` ufuncs (see :meth:`Integrator.stage_workspace`); every chain below
+evaluates the exact same left-associated expression tree as the plain
+NumPy expressions it replaced, so results are bit-for-bit unchanged.
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.integrate.base import Integrator, VelocityFn
+from repro.integrate.base import Integrator, VelocityFn, fast_einsum
 
 # DOPRI5 Butcher coefficients (Prince & Dormand 1981).
 A21 = 1.0 / 5.0
@@ -60,32 +64,98 @@ class Dopri5(Integrator):
         self.rtol = float(rtol)
         self.atol = float(atol)
 
-    def attempt_steps(self, f: VelocityFn, pos: np.ndarray,
-                      h: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def attempt_steps_prepared(self, f: VelocityFn, pos: np.ndarray,
+                               h: np.ndarray
+                               ) -> Tuple[np.ndarray, np.ndarray]:
         """Trial-step the batch; see :meth:`Integrator.attempt_steps`."""
-        pos = np.asarray(pos, dtype=np.float64)
-        h = np.asarray(h, dtype=np.float64)
-        if pos.ndim != 2 or pos.shape[1] != 3:
-            raise ValueError(f"pos must be (k, 3), got {pos.shape}")
-        if h.shape != (len(pos),):
-            raise ValueError(f"h must be ({len(pos)},), got {h.shape}")
         hc = h[:, None]
+        # eval_velocity's dispatch, inlined: one writes_out check for the
+        # whole step instead of one wrapper call per stage.
+        writes = getattr(f, "writes_out", False)
+        # 7 stage buffers + accumulator t + term scratch u + abs scratch v.
+        (b1, b2, b3, b4, b5, b6, b7, t, u, v), _ = \
+            self.stage_workspace(len(pos), 10)
 
-        k1 = f(pos)
-        k2 = f(pos + hc * (A21 * k1))
-        k3 = f(pos + hc * (A31 * k1 + A32 * k2))
-        k4 = f(pos + hc * (A41 * k1 + A42 * k2 + A43 * k3))
-        k5 = f(pos + hc * (A51 * k1 + A52 * k2 + A53 * k3 + A54 * k4))
-        k6 = f(pos + hc * (A61 * k1 + A62 * k2 + A63 * k3 + A64 * k4
-                           + A65 * k5))
-        incr5 = B1 * k1 + B3 * k3 + B4 * k4 + B5 * k5 + B6 * k6
-        new_pos = pos + hc * incr5
-        k7 = f(new_pos)
+        k1 = f(pos, out=b1) if writes else f(pos)
+        # pos + hc * (A21 * k1)
+        np.multiply(k1, A21, out=t)
+        t *= hc
+        t += pos
+        k2 = f(t, out=b2) if writes else f(t)
+        # pos + hc * (A31*k1 + A32*k2)
+        np.multiply(k1, A31, out=t)
+        np.multiply(k2, A32, out=u)
+        t += u
+        t *= hc
+        t += pos
+        k3 = f(t, out=b3) if writes else f(t)
+        np.multiply(k1, A41, out=t)
+        np.multiply(k2, A42, out=u)
+        t += u
+        np.multiply(k3, A43, out=u)
+        t += u
+        t *= hc
+        t += pos
+        k4 = f(t, out=b4) if writes else f(t)
+        np.multiply(k1, A51, out=t)
+        np.multiply(k2, A52, out=u)
+        t += u
+        np.multiply(k3, A53, out=u)
+        t += u
+        np.multiply(k4, A54, out=u)
+        t += u
+        t *= hc
+        t += pos
+        k5 = f(t, out=b5) if writes else f(t)
+        np.multiply(k1, A61, out=t)
+        np.multiply(k2, A62, out=u)
+        t += u
+        np.multiply(k3, A63, out=u)
+        t += u
+        np.multiply(k4, A64, out=u)
+        t += u
+        np.multiply(k5, A65, out=u)
+        t += u
+        t *= hc
+        t += pos
+        k6 = f(t, out=b6) if writes else f(t)
 
-        err_vec = hc * (E1 * k1 + E3 * k3 + E4 * k4 + E5 * k5 + E6 * k6
-                        + E7 * k7)
-        scale = self.atol + self.rtol * np.maximum(np.abs(pos),
-                                                   np.abs(new_pos))
-        ratio = err_vec / scale
-        err = np.sqrt(np.einsum("kc,kc->k", ratio, ratio) / 3.0)
+        # incr5 = B1*k1 + B3*k3 + B4*k4 + B5*k5 + B6*k6
+        np.multiply(k1, B1, out=t)
+        np.multiply(k3, B3, out=u)
+        t += u
+        np.multiply(k4, B4, out=u)
+        t += u
+        np.multiply(k5, B5, out=u)
+        t += u
+        np.multiply(k6, B6, out=u)
+        t += u
+        t *= hc
+        new_pos = pos + t  # fresh: part of the return contract
+        k7 = f(new_pos, out=b7) if writes else f(new_pos)
+
+        # err_vec = hc * (E1*k1 + E3*k3 + E4*k4 + E5*k5 + E6*k6 + E7*k7)
+        np.multiply(k1, E1, out=t)
+        np.multiply(k3, E3, out=u)
+        t += u
+        np.multiply(k4, E4, out=u)
+        t += u
+        np.multiply(k5, E5, out=u)
+        t += u
+        np.multiply(k6, E6, out=u)
+        t += u
+        np.multiply(k7, E7, out=u)
+        t += u
+        t *= hc
+
+        # scale = atol + rtol * maximum(|pos|, |new_pos|)
+        np.abs(pos, out=u)
+        np.abs(new_pos, out=v)
+        np.maximum(u, v, out=u)
+        u *= self.rtol
+        u += self.atol
+        np.divide(t, u, out=t)  # ratio
+        err = fast_einsum("kc,kc->k", t, t)
+        err /= 3.0
+        np.sqrt(err, out=err)
         return new_pos, err

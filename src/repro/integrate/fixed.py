@@ -6,6 +6,10 @@ shared step controller grows their step to ``h_max`` and every step is
 accepted — i.e. they behave as fixed-step schemes at ``h = min(h_init
 grown to h_max)``.  Used by the integrator-choice ablation benchmark and as
 cross-checks in the accuracy tests.
+
+Like DOPRI5, the stage arithmetic runs in the shared preallocated
+workspaces (:meth:`Integrator.stage_workspace`) with ``out=`` ufuncs,
+preserving the exact expression trees of the plain NumPy forms.
 """
 
 from __future__ import annotations
@@ -25,17 +29,38 @@ class RK4(Integrator):
     adaptive = False
     order = 4
 
-    def attempt_steps(self, f: VelocityFn, pos: np.ndarray,
-                      h: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def attempt_steps_prepared(self, f: VelocityFn, pos: np.ndarray,
+                               h: np.ndarray
+                               ) -> Tuple[np.ndarray, np.ndarray]:
         """Trial-step the batch; see :meth:`Integrator.attempt_steps`."""
-        pos = np.asarray(pos, dtype=np.float64)
-        h = np.asarray(h, dtype=np.float64)
-        hcol = h[:, None]
-        k1 = f(pos)
-        k2 = f(pos + 0.5 * hcol * k1)
-        k3 = f(pos + 0.5 * hcol * k2)
-        k4 = f(pos + hcol * k3)
-        new_pos = pos + (hcol / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        hc = h[:, None]
+        evalf = self.eval_velocity
+        (b1, b2, b3, b4, t, u), (s1,) = \
+            self.stage_workspace(len(pos), 6, 1)
+
+        k1 = evalf(f, pos, b1)
+        # pos + (0.5 * hcol) * k_i
+        np.multiply(h, 0.5, out=s1)
+        half = s1[:, None]
+        np.multiply(k1, half, out=t)
+        t += pos
+        k2 = evalf(f, t, b2)
+        np.multiply(k2, half, out=t)
+        t += pos
+        k3 = evalf(f, t, b3)
+        np.multiply(k3, hc, out=t)
+        t += pos
+        k4 = evalf(f, t, b4)
+
+        # pos + (hcol / 6) * (k1 + 2*k2 + 2*k3 + k4)
+        np.multiply(k2, 2.0, out=t)
+        t += k1
+        np.multiply(k3, 2.0, out=u)
+        t += u
+        t += k4
+        np.divide(h, 6.0, out=s1)
+        t *= s1[:, None]
+        new_pos = pos + t
         return new_pos, np.zeros(len(pos), dtype=np.float64)
 
 
@@ -47,12 +72,14 @@ class Euler(Integrator):
     adaptive = False
     order = 1
 
-    def attempt_steps(self, f: VelocityFn, pos: np.ndarray,
-                      h: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def attempt_steps_prepared(self, f: VelocityFn, pos: np.ndarray,
+                               h: np.ndarray
+                               ) -> Tuple[np.ndarray, np.ndarray]:
         """Trial-step the batch; see :meth:`Integrator.attempt_steps`."""
-        pos = np.asarray(pos, dtype=np.float64)
-        h = np.asarray(h, dtype=np.float64)
-        new_pos = pos + h[:, None] * f(pos)
+        (b1, t), _ = self.stage_workspace(len(pos), 2)
+        k1 = self.eval_velocity(f, pos, b1)
+        np.multiply(k1, h[:, None], out=t)
+        new_pos = pos + t
         return new_pos, np.zeros(len(pos), dtype=np.float64)
 
 

@@ -16,16 +16,40 @@ Trajectories are bit-identical to repeated single-block
 :func:`~repro.integrate.advect.advance_batch` calls: the same block data,
 clamping, and per-particle step controller state are used; only the batching
 of Python-level work differs.
+
+Hot-path structure
+------------------
+The dominant cost of advection at reproduction scale is per-*call* NumPy
+overhead, not per-element arithmetic (batches are tiny — the regime
+"A Guide to Particle Advection Performance" identifies as the advection
+bottleneck).  Three mechanisms keep it down:
+
+* :class:`BlockPool` instances are immutable once built and are cached by
+  the per-rank worker keyed on the loaded-block set, so the stacked flat
+  buffer is built once per working set instead of once per advect call;
+* :class:`PoolSampler` is a fused trilinear kernel: one index gather, one
+  ``einsum`` weight reduction, and every intermediate written into
+  preallocated workspaces (reused across the 7 DOPRI5 stages of a step
+  and across compaction rounds).  ``bind(slots)`` re-points the
+  per-particle block assignment without rebuilding closures or copying
+  pool geometry;
+* the round loop calls :meth:`Integrator.attempt_steps_prepared` —
+  validation runs once per advance call, not once per round.
+
+All fused chains evaluate the exact expression trees of the original
+straight-line NumPy code, so trajectories are bit-for-bit unchanged.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.integrate.base import Integrator
+from repro.integrate import dopri5 as _d5
+from repro.integrate.base import Integrator, fast_einsum
 from repro.integrate.config import IntegratorConfig
 from repro.integrate.streamline import Status, Streamline
 from repro.mesh.block import Block
@@ -42,10 +66,183 @@ _CODE_TO_STATUS = {
     5: Status.STEP_UNDERFLOW,
 }
 
+#: Largest batch the pure-Python scalar round loop handles.  Below this
+#: size, per-call NumPy dispatch costs more than doing the arithmetic in
+#: Python floats (every op on a k<=4 batch is dominated by fixed call
+#: overhead); above it, the vectorized path wins.
+_SCALAR_MAX_K = 4
+
+#: Pools larger than this (stacked node count) never build the Python
+#: float list the scalar path gathers from (bounds its real memory cost).
+_SCALAR_CTX_MAX_NODES = 1 << 20
+
+# DOPRI5 tableau rows as (stage index, coefficient) pairs, for the scalar
+# path's accumulation loops.  Zero coefficients are omitted, exactly like
+# the unrolled array chains in dopri5.py.
+_D5_POS_ROWS = (
+    ((0, _d5.A21),),
+    ((0, _d5.A31), (1, _d5.A32)),
+    ((0, _d5.A41), (1, _d5.A42), (2, _d5.A43)),
+    ((0, _d5.A51), (1, _d5.A52), (2, _d5.A53), (3, _d5.A54)),
+    ((0, _d5.A61), (1, _d5.A62), (2, _d5.A63), (3, _d5.A64), (4, _d5.A65)),
+    ((0, _d5.B1), (2, _d5.B3), (3, _d5.B4), (4, _d5.B5), (5, _d5.B6)),
+)
+_D5_ERR_ROW = ((0, _d5.E1), (2, _d5.E3), (3, _d5.E4), (4, _d5.E5),
+               (5, _d5.E6), (6, _d5.E7))
+
+
+class PoolSampler:
+    """Fused trilinear velocity sampler over a :class:`BlockPool`.
+
+    One sampler serves any batch size: :meth:`bind` fixes the per-particle
+    slot assignment (gathering each particle's block origin/scale/base
+    offset into reused buffers), after which the instance is a
+    ``VelocityFn`` whose every evaluation runs a minimal-op kernel —
+    a single corner gather plus one ``einsum`` weight reduction, with all
+    intermediates written into preallocated workspaces.
+
+    Every array view the kernel touches (workspace slices, the broadcast
+    shapes feeding the weight products, the reshaped weight tensor) is
+    built once per batch size and memoized: an integrator calls the bound
+    sampler 7 times per round with the same ``k``, and compaction revisits
+    the same sizes across rounds, so ``__call__`` itself performs only
+    ufunc/gather calls — no view construction, no allocation.
+
+    The computation is bit-for-bit identical to the straightforward
+    per-call NumPy implementation (same clipping, truncation, and
+    multiply/accumulate orders); only allocation and call count differ.
+
+    Integrators detect :attr:`writes_out` and pass ``out=`` stage buffers,
+    making a full Runge-Kutta step allocation-free.
+    """
+
+    #: Protocol flag for :meth:`Integrator.eval_velocity`.
+    writes_out = True
+
+    def __init__(self, pool: "BlockPool") -> None:
+        self.pool = pool
+        nx, ny, nz = pool.dims
+        self._cell_max = np.array([nx - 2, ny - 2, nz - 2], dtype=np.int64)
+        self._axis_strides = np.array([ny * nz, nz, 1], dtype=np.int64)
+        self._flat = pool.flat
+        self._node_max = pool.node_max
+        self._offsets_row = pool.offsets[None, :]
+        self._cap = 0
+        self._k = 0
+        self._views: Dict[int, tuple] = {}
+        self._b: Optional[tuple] = None
+
+    def _reserve(self, k: int) -> None:
+        """Grow workspaces to hold batches of up to ``k`` particles."""
+        if k <= self._cap:
+            return
+        cap = max(k, 2 * self._cap)
+        self._cap = cap
+        self._lo = np.empty((cap, 3), dtype=np.float64)
+        self._scale = np.empty((cap, 3), dtype=np.float64)
+        self._base0 = np.empty(cap, dtype=np.int64)
+        self._g = np.empty((cap, 3), dtype=np.float64)
+        self._icell = np.empty((cap, 3), dtype=np.int64)
+        # st[:, 0, :] holds (sx, sy, sz), st[:, 1, :] holds (tx, ty, tz).
+        self._st = np.empty((cap, 2, 3), dtype=np.float64)
+        self._m1 = np.empty((cap, 2, 2), dtype=np.float64)
+        self._w = np.empty((cap, 8), dtype=np.float64)
+        self._base = np.empty(cap, dtype=np.int64)
+        self._idx = np.empty((cap, 8), dtype=np.int64)
+        self._corners = np.empty((cap, 8, 3), dtype=np.float64)
+        self._views = {}  # old views point into the replaced buffers
+
+    def _bundle(self, k: int) -> tuple:
+        """The memoized view bundle for batch size ``k``."""
+        st = self._st[:k]
+        m1 = self._m1[:k]
+        w = self._w[:k]
+        base = self._base[:k]
+        return (
+            self._lo[:k], self._scale[:k], self._base0[:k],
+            self._g[:k], self._icell[:k],
+            st[:, 1, :], st[:, 0, :],                 # t, s
+            st[:, :, 0, None], st[:, None, :, 1],     # weight factors x, y
+            m1, m1[:, :, :, None], st[:, None, None, :, 2],  # xy, z
+            w.reshape(k, 2, 2, 2), w,
+            base, base[:, None],
+            self._idx[:k], self._corners[:k],
+        )
+
+    def bind(self, slots: np.ndarray) -> "PoolSampler":
+        """Fix the per-particle slot assignment for subsequent calls.
+
+        Gathers each particle's block parameters into reused buffers;
+        returns ``self`` so ``sampler.bind(slots)`` can be passed straight
+        to an integrator.
+        """
+        k = len(slots)
+        self._reserve(k)
+        self._k = k
+        b = self._views.get(k)
+        if b is None:
+            b = self._views[k] = self._bundle(k)
+        self._b = b
+        pool = self.pool
+        np.take(pool.lo, slots, axis=0, out=b[0], mode="clip")
+        np.take(pool.scale, slots, axis=0, out=b[1], mode="clip")
+        np.take(pool.slot_base, slots, out=b[2], mode="clip")
+        return self
+
+    def __call__(self, points: np.ndarray,
+                 out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Interpolated velocities at ``points`` (``(k, 3)``, matching the
+        bound slot count).  ``out`` receives the result when given."""
+        k = self._k
+        if len(points) != k:
+            raise ValueError(
+                f"sampler bound to {k} slots, got {len(points)} points")
+        (lo, scale, base0, g, icell, t, s, wfx, wfy, m1, m1z, wfz,
+         w4, w, base, base_col, idx, corners) = self._b
+        if out is None:
+            out = np.empty((k, 3), dtype=np.float64)
+
+        # Continuous node coordinates, clipped: ((p - lo) * scale) in
+        # [0, node_max].
+        np.subtract(points, lo, out=g)
+        np.multiply(g, scale, out=g)
+        np.minimum(g, self._node_max, out=g)
+        np.maximum(g, 0.0, out=g)
+
+        # Cell index: truncation == astype(int64) for the clipped g >= 0,
+        # then clamp to the last cell.
+        np.copyto(icell, g, casting="unsafe")
+        np.minimum(icell, self._cell_max, out=icell)
+
+        # Fractional offsets t and their complements s = 1 - t.
+        np.subtract(g, icell, out=t)
+        np.subtract(1.0, t, out=s)
+
+        # w[c] = {s,t}x * {s,t}y * {s,t}z via two broadcasted products;
+        # grouping matches the scalar form ((x*y) * z), corner order
+        # matches corner_offsets (z fastest, then y, then x).
+        np.multiply(wfx, wfy, out=m1)
+        np.multiply(m1z, wfz, out=w4)
+
+        # Flat base index of each particle's cell within its slot
+        # (matmul == the explicit (ix*ny + iy)*nz + iz integer arithmetic).
+        np.matmul(icell, self._axis_strides, out=base)
+        np.add(base, base0, out=base)
+        np.add(base_col, self._offsets_row, out=idx)
+        self._flat.take(idx, axis=0, out=corners, mode="clip")
+
+        # Single weighted reduction (bit-identical to multiply + sum).
+        return fast_einsum("ke,kec->kc", w, corners, out=out)
+
 
 class BlockPool:
     """A set of same-shaped loaded blocks stacked for single-gather
-    interpolation."""
+    interpolation.
+
+    Pools are immutable once constructed (block data is never mutated in
+    place), which is what makes them safe to cache and reuse across
+    advect calls — see ``Worker.advect_pool``.
+    """
 
     def __init__(self, blocks: Sequence[Block]) -> None:
         blocks = list(blocks)
@@ -70,52 +267,459 @@ class BlockPool:
         self.block_lo = np.stack([b.info.bounds.lo_array for b in blocks])
         self.block_hi = np.stack([b.info.bounds.hi_array for b in blocks])
         self.offsets = corner_offsets(self.dims[1], self.dims[2])
+        self._sampler: Optional[PoolSampler] = None
+        self._scalar_ctx: object = None
 
     def __len__(self) -> int:
         return len(self.blocks)
 
-    def sampler_for(self, slots: np.ndarray):
-        """Velocity function for a fixed per-particle slot assignment."""
-        lo = self.lo[slots]
-        scale = self.scale[slots]
-        base_of_slot = self.slot_base[slots]
-        nx, ny, nz = self.dims
-        node_max = self.node_max
-        flat = self.flat
-        offsets = self.offsets
+    def sampler(self) -> PoolSampler:
+        """The pool's persistent fused sampler (workspaces survive across
+        advect calls; rebind per round with :meth:`PoolSampler.bind`)."""
+        if self._sampler is None:
+            self._sampler = PoolSampler(self)
+        return self._sampler
 
-        def f(points: np.ndarray) -> np.ndarray:
-            g = (points - lo) * scale
-            np.minimum(g, node_max, out=g)
-            np.maximum(g, 0.0, out=g)
-            fx, fy, fz = g[:, 0], g[:, 1], g[:, 2]
-            ix = np.minimum(fx.astype(np.int64), nx - 2)
-            iy = np.minimum(fy.astype(np.int64), ny - 2)
-            iz = np.minimum(fz.astype(np.int64), nz - 2)
-            tx = fx - ix
-            ty = fy - iy
-            tz = fz - iz
-            sx = 1.0 - tx
-            sy = 1.0 - ty
-            sz = 1.0 - tz
-            base = base_of_slot + (ix * ny + iy) * nz + iz
-            corners = flat[base[:, None] + offsets[None, :]]
-            w = np.empty((len(points), 8), dtype=np.float64)
-            sxsy = sx * sy
-            sxty = sx * ty
-            txsy = tx * sy
-            txty = tx * ty
-            w[:, 0] = sxsy * sz
-            w[:, 1] = sxsy * tz
-            w[:, 2] = sxty * sz
-            w[:, 3] = sxty * tz
-            w[:, 4] = txsy * sz
-            w[:, 5] = txsy * tz
-            w[:, 6] = txty * sz
-            w[:, 7] = txty * tz
-            return (corners * w[:, :, None]).sum(axis=1)
+    def sampler_for(self, slots: np.ndarray) -> PoolSampler:
+        """Velocity function for a fixed per-particle slot assignment.
 
-        return f
+        Returns a dedicated bound :class:`PoolSampler` (a fresh instance,
+        so callers can hold several simultaneously).
+        """
+        return PoolSampler(self).bind(np.asarray(slots, dtype=np.int64))
+
+    def scalar_ctx(self) -> Optional[tuple]:
+        """Python-float mirrors of the pool geometry for the scalar path.
+
+        Built lazily on first small-batch use (``None`` for pools too
+        large to mirror); immutable, like the pool itself.
+        """
+        if self._scalar_ctx is None:
+            if self.flat.shape[0] > _SCALAR_CTX_MAX_NODES:
+                self._scalar_ctx = False
+            else:
+                nx, ny, nz = self.dims
+                # The flat mirror is assembled from per-*block* cached
+                # lists: pools are rebuilt far more often than blocks are
+                # reloaded, so each block's data is converted once for its
+                # lifetime, not once per pool.
+                flat: List[float] = []
+                for b in self.blocks:
+                    part = getattr(b, "_scalar_flat", None)
+                    if part is None:
+                        part = b._flat.ravel().tolist()
+                        b._scalar_flat = part
+                    flat += part
+                self._scalar_ctx = (
+                    flat,
+                    self.lo.tolist(),
+                    self.scale.tolist(),
+                    self.slot_base.tolist(),
+                    self.block_lo.tolist(),
+                    self.block_hi.tolist(),
+                    tuple(float(v) for v in self.node_max),
+                    (nx - 2, ny - 2, nz - 2),
+                    (ny * nz, nz),
+                    tuple(int(o) * 3 for o in self.offsets),
+                )
+        return self._scalar_ctx or None
+
+
+def _d5_step_scalar(sctx: tuple, pctx: tuple, x: float, y: float, z: float,
+                    hcur: float, rtol: float, atol: float,
+                    k1c: Optional[tuple]) -> tuple:
+    """One DOPRI5 trial step for a single particle, in Python floats.
+
+    Bit-for-bit identical to :meth:`Dopri5.attempt_steps_prepared` over a
+    bound :class:`PoolSampler` with ``k == 1``: Python float arithmetic is
+    the same IEEE-754 double arithmetic as NumPy's elementwise loops, the
+    trilinear accumulation below follows the einsum's sequential corner
+    order, and the error norm follows c_einsum's ``(r0²+r2²)+r1²``
+    3-element order (all verified empirically by the kernel-equivalence
+    tests).  Exists because at ``k <= _SCALAR_MAX_K`` per-call NumPy
+    dispatch dominates the actual arithmetic.
+
+    ``k1c``, when given, is a previously computed ``f(x, y, z)`` under the
+    same ``pctx`` (an accepted step's 7th stage at the new position, or a
+    rejected step's 1st stage at the unchanged one — DOPRI5's FSAL
+    property) and replaces the first stage evaluation; the sampler is
+    deterministic, so reuse is exact.  Returns
+    ``(newx, newy, newz, err, k1, k7)`` with the stage tuples for the
+    caller to carry forward.
+    """
+    (flat, o0, o1, o2, o3, o4, o5, o6, o7,
+     nmx, nmy, nmz, cmx, cmy, cmz, nyz, nz) = sctx
+    lox, loy, loz, scx, scy, scz, b0 = pctx
+    kx = [0.0] * 7
+    ky = [0.0] * 7
+    kz = [0.0] * 7
+    qx = x
+    qy = y
+    qz = z
+    newx = newy = newz = 0.0
+    jprev = -1
+    c0 = c1 = c2 = c3 = c4 = c5 = c6 = c7 = 0.0
+    c8 = c9 = c10 = c11 = c12 = c13 = c14 = c15 = 0.0
+    c16 = c17 = c18 = c19 = c20 = c21 = c22 = c23 = 0.0
+    for s in range(7):
+        if s == 0 and k1c is not None:
+            kx[0], ky[0], kz[0] = k1c
+            row = _D5_POS_ROWS[0]
+            i0, c = row[0]
+            ax = kx[i0] * c
+            ay = ky[i0] * c
+            az = kz[i0] * c
+            qx = ax * hcur + x
+            qy = ay * hcur + y
+            qz = az * hcur + z
+            continue
+        # Trilinear eval at (qx, qy, qz): clip to node space, truncate to
+        # the cell, tensor-product weights in ((a*b)*c) grouping, corners
+        # accumulated in z-fastest order — the array kernel's exact ops.
+        # Consecutive stages usually land in the same cell, so the 24
+        # gathered corner values are memoized on the flat cell index.
+        gx = (qx - lox) * scx
+        if gx > nmx:
+            gx = nmx
+        if gx < 0.0:
+            gx = 0.0
+        ix = int(gx)
+        if ix > cmx:
+            ix = cmx
+        gy = (qy - loy) * scy
+        if gy > nmy:
+            gy = nmy
+        if gy < 0.0:
+            gy = 0.0
+        iy = int(gy)
+        if iy > cmy:
+            iy = cmy
+        gz = (qz - loz) * scz
+        if gz > nmz:
+            gz = nmz
+        if gz < 0.0:
+            gz = 0.0
+        iz = int(gz)
+        if iz > cmz:
+            iz = cmz
+        tx = gx - ix
+        ty = gy - iy
+        tz = gz - iz
+        sx = 1.0 - tx
+        sy = 1.0 - ty
+        sz = 1.0 - tz
+        sxsy = sx * sy
+        sxty = sx * ty
+        txsy = tx * sy
+        txty = tx * ty
+        j = (ix * nyz + iy * nz + iz + b0) * 3
+        if j != jprev:
+            jprev = j
+            m = j + o0
+            c0 = flat[m]
+            c1 = flat[m + 1]
+            c2 = flat[m + 2]
+            m = j + o1
+            c3 = flat[m]
+            c4 = flat[m + 1]
+            c5 = flat[m + 2]
+            m = j + o2
+            c6 = flat[m]
+            c7 = flat[m + 1]
+            c8 = flat[m + 2]
+            m = j + o3
+            c9 = flat[m]
+            c10 = flat[m + 1]
+            c11 = flat[m + 2]
+            m = j + o4
+            c12 = flat[m]
+            c13 = flat[m + 1]
+            c14 = flat[m + 2]
+            m = j + o5
+            c15 = flat[m]
+            c16 = flat[m + 1]
+            c17 = flat[m + 2]
+            m = j + o6
+            c18 = flat[m]
+            c19 = flat[m + 1]
+            c20 = flat[m + 2]
+            m = j + o7
+            c21 = flat[m]
+            c22 = flat[m + 1]
+            c23 = flat[m + 2]
+        w = sxsy * sz
+        vx = w * c0
+        vy = w * c1
+        vz = w * c2
+        w = sxsy * tz
+        vx += w * c3
+        vy += w * c4
+        vz += w * c5
+        w = sxty * sz
+        vx += w * c6
+        vy += w * c7
+        vz += w * c8
+        w = sxty * tz
+        vx += w * c9
+        vy += w * c10
+        vz += w * c11
+        w = txsy * sz
+        vx += w * c12
+        vy += w * c13
+        vz += w * c14
+        w = txsy * tz
+        vx += w * c15
+        vy += w * c16
+        vz += w * c17
+        w = txty * sz
+        vx += w * c18
+        vy += w * c19
+        vz += w * c20
+        w = txty * tz
+        vx += w * c21
+        vy += w * c22
+        vz += w * c23
+        kx[s] = vx
+        ky[s] = vy
+        kz[s] = vz
+        if s == 6:
+            break
+        row = _D5_POS_ROWS[s]
+        i0, c = row[0]
+        ax = kx[i0] * c
+        ay = ky[i0] * c
+        az = kz[i0] * c
+        for i0, c in row[1:]:
+            ax += kx[i0] * c
+            ay += ky[i0] * c
+            az += kz[i0] * c
+        if s == 5:
+            # new_pos = pos + (incr5 * h)
+            newx = x + ax * hcur
+            newy = y + ay * hcur
+            newz = z + az * hcur
+            qx = newx
+            qy = newy
+            qz = newz
+        else:
+            qx = ax * hcur + x
+            qy = ay * hcur + y
+            qz = az * hcur + z
+    i0, c = _D5_ERR_ROW[0]
+    ex = kx[i0] * c
+    ey = ky[i0] * c
+    ez = kz[i0] * c
+    for i0, c in _D5_ERR_ROW[1:]:
+        ex += kx[i0] * c
+        ey += ky[i0] * c
+        ez += kz[i0] * c
+    ex = ex * hcur
+    ey = ey * hcur
+    ez = ez * hcur
+    # scale = atol + rtol * maximum(|pos|, |new_pos|), per component
+    ux = abs(x)
+    t2 = abs(newx)
+    if t2 > ux:
+        ux = t2
+    uy = abs(y)
+    t2 = abs(newy)
+    if t2 > uy:
+        uy = t2
+    uz = abs(z)
+    t2 = abs(newz)
+    if t2 > uz:
+        uz = t2
+    rx = ex / (ux * rtol + atol)
+    ry = ey / (uy * rtol + atol)
+    rz = ez / (uz * rtol + atol)
+    err = rx * rx + rz * rz
+    err = err + ry * ry
+    err = err / 3.0
+    return (newx, newy, newz, math.sqrt(err),
+            (kx[0], ky[0], kz[0]), (kx[6], ky[6], kz[6]))
+
+
+def _scalar_rounds(pool: "BlockPool", ctx: tuple,
+                   decomposition: Decomposition, integrator: Integrator,
+                   cfg: IntegratorConfig, alive: np.ndarray,
+                   pos: np.ndarray, h: np.ndarray, time: np.ndarray,
+                   steps: np.ndarray, slot: np.ndarray, codes: np.ndarray,
+                   exit_bid: np.ndarray, geom_idx: List[np.ndarray],
+                   geom_pos: List[np.ndarray], dlo: np.ndarray,
+                   dhi: np.ndarray, h_min_edge: float, rounds: int,
+                   round_limit: Optional[int], max_rounds: int,
+                   result: "PoolResult") -> "tuple[int, np.ndarray]":
+    """Small-batch rounds of :func:`advance_pool` in Python floats.
+
+    Runs the same lockstep rounds as the array path — one trial step per
+    particle per round, identical acceptance, step control, and exit
+    classification on identical bit patterns — until every particle stops
+    or the round budget runs out.  Returns the updated round count and the
+    indices still alive; all per-particle state arrays and the geometry
+    accumulators are updated in place, exactly as the array path would
+    have.
+    """
+    (flat, lo_l, sc_l, base_l, blo_l, bhi_l,
+     node_max, cell_max, strides, off3) = ctx
+    sctx = (flat,) + off3 + node_max + cell_max + strides
+    dlo0, dlo1, dlo2 = float(dlo[0]), float(dlo[1]), float(dlo[2])
+    dhi0, dhi1, dhi2 = float(dhi[0]), float(dhi[1]), float(dhi[2])
+    rtol = integrator.rtol
+    atol = integrator.atol
+    exp_ = -1.0 / integrator.order
+    safety = cfg.safety
+    shrink = cfg.shrink_limit
+    grow = cfg.grow_limit
+    h_min_ = cfg.h_min
+    h_max_ = cfg.h_max
+    min_speed = cfg.min_speed
+    max_steps_ = cfg.max_steps
+    slot_of = pool.slot_of
+    # Crossing relocation, scalarized (same divide/floor/clamp as
+    # Decomposition.locate_many; a crossing particle is always inside the
+    # domain — out-of-domain takes classification precedence — so the
+    # inside test is not needed).
+    bs = decomposition._block_size
+    bs0, bs1, bs2 = float(bs[0]), float(bs[1]), float(bs[2])
+    bx, by, _bz = decomposition.blocks_per_axis
+    bxm, bym, bzm = bx - 1, by - 1, _bz - 1
+
+    def pctx_for(s_: int) -> tuple:
+        lo = lo_l[s_]
+        sc = sc_l[s_]
+        return (lo[0], lo[1], lo[2], sc[0], sc[1], sc[2], base_l[s_])
+
+    # rec = [i, x, y, z, h, t, steps, slot, pctx, (blo, bhi), buf, k1]
+    # k1 is the FSAL stage cache: an accepted step's 7th stage is the
+    # next step's first stage (same point, same block context), and a
+    # rejected step retries from the unchanged position, so its own
+    # first stage carries over.  Invalidated on block crossing.
+    parts = []
+    done = []
+    for i, (x, y, z), hv, tv, sv, s_ in zip(
+            alive.tolist(), pos[alive].tolist(), h[alive].tolist(),
+            time[alive].tolist(), steps[alive].tolist(),
+            slot[alive].tolist()):
+        parts.append([i, x, y, z, hv, tv, sv, s_, pctx_for(s_),
+                      (blo_l[s_], bhi_l[s_]), [], None])
+
+    while parts:
+        if round_limit is not None and rounds >= round_limit:
+            break
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError(
+                f"advance_pool exceeded {max_rounds} rounds; "
+                "step controller is not converging")
+        result.attempted_steps += len(parts)
+        survivors = []
+        for rec in parts:
+            x = rec[1]
+            y = rec[2]
+            z = rec[3]
+            hcur = rec[4]
+            newx, newy, newz, err, k1, k7 = _d5_step_scalar(
+                sctx, rec[8], x, y, z, hcur, rtol, atol, rec[11])
+            rec[11] = k1
+            accept = err <= 1.0
+            dx = newx - x
+            dy = newy - y
+            dz = newz - z
+            disp2 = dx * dx + dz * dz
+            disp2 = disp2 + dy * dy
+            ms = min_speed * hcur
+            stagnant = accept and disp2 < ms * ms
+            underflow = not accept and hcur <= h_min_edge
+            nsteps = rec[6]
+            if accept:
+                x = newx
+                y = newy
+                z = newz
+                rec[1] = x
+                rec[2] = y
+                rec[3] = z
+                rec[5] = rec[5] + hcur
+                nsteps += 1
+                rec[6] = nsteps
+                rec[10].append((newx, newy, newz))
+                rec[11] = k7
+                result.accepted_steps += 1
+            factor = err
+            if factor < 1e-100:
+                factor = 1e-100
+            factor = float(np.power(factor, exp_))
+            factor = factor * safety
+            if factor < shrink:
+                factor = shrink
+            elif factor > grow:
+                factor = grow
+            factor = factor * hcur
+            if factor < h_min_:
+                factor = h_min_
+            elif factor > h_max_:
+                factor = h_max_
+            rec[4] = factor
+            code = 0
+            if accept:
+                blo, bhi = rec[9]
+                if (x < blo[0] or x > bhi[0] or y < blo[1] or y > bhi[1]
+                        or z < blo[2] or z > bhi[2]):
+                    code = 1
+                if nsteps >= max_steps_:
+                    code = 3
+                if (x < dlo0 or x > dhi0 or y < dlo1 or y > dhi1
+                        or z < dlo2 or z > dhi2):
+                    code = 2
+            if underflow:
+                code = 5
+            if stagnant:
+                code = 4
+            if code == _CODE_EXITED:
+                bi = math.floor((x - dlo0) / bs0)
+                if bi > bxm:
+                    bi = bxm
+                if bi < 0:
+                    bi = 0
+                bj = math.floor((y - dlo1) / bs1)
+                if bj > bym:
+                    bj = bym
+                if bj < 0:
+                    bj = 0
+                bk = math.floor((z - dlo2) / bs2)
+                if bk > bzm:
+                    bk = bzm
+                if bk < 0:
+                    bk = 0
+                bid = bi + bx * (bj + by * bk)
+                new_slot = slot_of.get(bid, -1)
+                if new_slot >= 0:
+                    rec[7] = new_slot
+                    rec[8] = pctx_for(new_slot)
+                    rec[9] = (blo_l[new_slot], bhi_l[new_slot])
+                    rec[11] = None  # new block context: FSAL invalid
+                    code = 0
+                else:
+                    exit_bid[rec[0]] = bid
+            if code == _CODE_ACTIVE:
+                survivors.append(rec)
+            else:
+                codes[rec[0]] = code
+                done.append(rec)
+        parts = survivors
+
+    recs = parts + done
+    idx = [rec[0] for rec in recs]
+    pos[idx] = [rec[1:4] for rec in recs]
+    h[idx] = [rec[4] for rec in recs]
+    time[idx] = [rec[5] for rec in recs]
+    steps[idx] = [rec[6] for rec in recs]
+    slot[idx] = [rec[7] for rec in recs]
+    for rec in recs:
+        buf = rec[10]
+        if buf:
+            geom_idx.append(np.full(len(buf), rec[0], dtype=np.int64))
+            geom_pos.append(np.array(buf, dtype=np.float64))
+    return rounds, np.array([rec[0] for rec in parts], dtype=np.int64)
 
 
 @dataclass
@@ -191,22 +795,42 @@ def advance_pool(streamlines: Sequence[Streamline], pool: BlockPool,
         max_rounds = 4 * cfg.max_steps + 64
     h_min_edge = cfg.h_min * (1.0 + 1e-12)
 
+    # The batch arrays above already satisfy the integrator's contract;
+    # validation is hoisted here so the round loop can use the prepared
+    # fast path.
+    pos, h = Integrator.validate_batch(pos, h)
+    sampler = pool.sampler()
+
+    # The scalar fast path handles small surviving batches of the exact
+    # DOPRI5 + trilinear kernel; any other integrator runs the array path
+    # at every size.
+    scalar_ok = type(integrator) is _d5.Dopri5
+
     alive = np.arange(k, dtype=np.int64)
     rounds = 0
     while len(alive):
         if round_limit is not None and rounds >= round_limit:
             break
+        if scalar_ok and len(alive) <= _SCALAR_MAX_K:
+            ctx = pool.scalar_ctx()
+            if ctx is not None:
+                rounds, alive = _scalar_rounds(
+                    pool, ctx, decomposition, integrator, cfg, alive, pos,
+                    h, time, steps, slot, codes, exit_bid, geom_idx,
+                    geom_pos, dlo, dhi, h_min_edge, rounds, round_limit,
+                    max_rounds, result)
+                continue
         rounds += 1
         if rounds > max_rounds:
             raise RuntimeError(
                 f"advance_pool exceeded {max_rounds} rounds; "
                 "step controller is not converging")
         a_slot = slot[alive]
-        f = pool.sampler_for(a_slot)
+        f = sampler.bind(a_slot)
         p = pos[alive]
         hh = h[alive]
 
-        new_p, err = integrator.attempt_steps(f, p, hh)
+        new_p, err = integrator.attempt_steps_prepared(f, p, hh)
         result.attempted_steps += len(alive)
         if integrator.adaptive:
             accept = err <= 1.0
@@ -214,7 +838,7 @@ def advance_pool(streamlines: Sequence[Streamline], pool: BlockPool,
             accept = np.ones(len(alive), dtype=bool)
 
         delta = new_p - p
-        disp2 = np.einsum("kc,kc->k", delta, delta)
+        disp2 = fast_einsum("kc,kc->k", delta, delta)
         stagnant = accept & (disp2 < (cfg.min_speed * hh) ** 2)
         underflow = (~accept) & (hh <= h_min_edge)
 
@@ -249,7 +873,7 @@ def advance_pool(streamlines: Sequence[Streamline], pool: BlockPool,
         if crossing.any():
             local = np.flatnonzero(crossing)
             cross_global = alive[local]
-            bids = decomposition.locate(pos[cross_global])
+            bids = decomposition.locate_many(pos[cross_global])
             new_slots = np.array(
                 [pool.slot_of.get(int(b), -1) for b in bids],
                 dtype=np.int64)

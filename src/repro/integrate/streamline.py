@@ -99,13 +99,18 @@ class Streamline:
         else:
             self.position = np.asarray(self.position,
                                        dtype=np.float64).reshape(3)
+        # Vertex count maintained incrementally by append_segment — the
+        # property is on the per-advance memory-accounting hot path, and
+        # re-summing segment lengths on every access is O(total geometry)
+        # per run.
+        self._n_vertices = sum(len(s) for s in self.segments)
 
     # ------------------------------------------------------------------ #
     # Geometry
     # ------------------------------------------------------------------ #
     @property
     def n_vertices(self) -> int:
-        return sum(len(s) for s in self.segments)
+        return self._n_vertices
 
     def vertices(self) -> np.ndarray:
         """Full polyline as one ``(n, 3)`` array (copy)."""
@@ -127,6 +132,7 @@ class Streamline:
             raise ValueError(f"segment must be (m, 3), got {arr.shape}")
         if len(arr):
             self.segments.append(arr)
+            self._n_vertices += len(arr)
 
     # ------------------------------------------------------------------ #
     # Modelled sizes

@@ -151,26 +151,40 @@ class Decomposition:
         return tuple(b * c for b, c in
                      zip(self.blocks_per_axis, self.cells_per_block))
 
-    def locate(self, points: np.ndarray) -> np.ndarray:
-        """Block id containing each point; ``-1`` for points outside.
+    def locate_many(self, points: np.ndarray) -> np.ndarray:
+        """Block id containing each of ``(k, 3)`` points; ``-1`` outside.
+
+        The batched core of :meth:`locate`, without the scalar-input
+        bookkeeping — hot paths (exit classification in ``advance_pool``)
+        call it directly with an already-2-D float64 array.
 
         Points exactly on an interior block face belong to the
         higher-indexed block except on the domain's upper faces, where they
         are clamped into the last block (so the closed domain is fully
         covered).
         """
-        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 3:
+            raise ValueError(f"points must be (k, 3), got {pts.shape}")
         rel = (pts - self.domain.lo_array) / self._block_size
         ijk = np.floor(rel).astype(np.int64)
         counts = np.array(self.blocks_per_axis, dtype=np.int64)
-        inside = self.domain.contains(pts)
-        inside = np.atleast_1d(inside)
+        inside = np.atleast_1d(self.domain.contains(pts))
         # Points on the top faces: clamp into the last block layer.
         ijk = np.minimum(ijk, counts - 1)
         ijk = np.maximum(ijk, 0)
         bx, by, _ = self.blocks_per_axis
         bids = ijk[:, 0] + bx * (ijk[:, 1] + by * ijk[:, 2])
-        bids = np.where(inside, bids, -1)
+        return np.where(inside, bids, -1)
+
+    def locate(self, points: np.ndarray) -> np.ndarray:
+        """Block id containing each point; ``-1`` for points outside.
+
+        Accepts a single ``(3,)`` point (returning a scalar id) or a
+        ``(k, 3)`` batch; delegates to :meth:`locate_many`.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        bids = self.locate_many(pts)
         if np.asarray(points).ndim == 1:
             return bids[0]
         return bids

@@ -61,3 +61,33 @@ def test_bench_snapshot_diffs_cleanly_against_itself(snapshots):
 
     snap = str(snapshots[0])
     assert cli_main(["diff", snap, snap]) == 0
+
+
+def test_bench_multi_dataset_with_oom_probe(bench_mod, tmp_path):
+    """--dataset accepts a list; thermal adds the gated OOM probe run."""
+    out = tmp_path / "multi"
+    args = ["--dataset", "astro,thermal", "--scale", "0.05",
+            "--ranks", "4", "--sample-interval", "2.0",
+            "--date", "19700102", "--oom-scale", "0.5", "--out", str(out)]
+    assert bench_mod.main(args) == 0
+    doc = json.loads((out / "BENCH_19700102.json").read_text())
+    # 2 datasets x 2 seedings x 3 algorithms + the probe.
+    assert len(doc["runs"]) == 13
+    assert doc["config"]["dataset"] == "astro,thermal"
+    assert doc["config"]["oom_probe_scale"] == 0.5
+    probe = doc["runs"]["thermal-dense-static-4-oomprobe"]
+    assert probe["status"] == "oom"
+    regular = doc["runs"]["thermal-dense-static-4"]
+    assert regular["status"] == "ok"
+
+
+def test_bench_oom_probe_can_be_disabled(bench_mod, tmp_path):
+    out = tmp_path / "noprobe"
+    args = ["--dataset", "thermal", "--scale", "0.05", "--ranks", "4",
+            "--sample-interval", "2.0", "--date", "19700103",
+            "--no-oom-probe", "--out", str(out)]
+    assert bench_mod.main(args) == 0
+    doc = json.loads((out / "BENCH_19700103.json").read_text())
+    assert len(doc["runs"]) == 6
+    assert "oom_probe_scale" not in doc["config"]
+    assert not any(n.endswith("oomprobe") for n in doc["runs"])
