@@ -12,10 +12,25 @@ that ``repro diff`` can gate against:
     PYTHONPATH=src python -m repro diff benchmarks/BENCH_20260806.json \
         BENCH_new.json
 
+Every run in the matrix is independent, so ``--jobs N`` fans them out
+over a process pool (``repro.exec.SweepExecutor``); results are merged
+in spec order, so the snapshot is **byte-identical for any job count**
+(CI ``cmp``s a ``--jobs 2`` run against a serial one).  ``--timeout``
+bounds each run in real seconds; a crashed or timed-out run is recorded
+as a status-only entry and the harness exits 1 without losing the rest
+of the sweep.  The thermal OOM probe always executes in an isolated
+child process: a *real* MemoryError kills the child and is reported as
+the same gated ``oom`` status the simulated probe commits.
+
 The simulation is deterministic and the JSON is emitted with sorted keys
 and no wall-time stamps (the ``generated`` field comes from ``--date``),
 so identical runs produce byte-identical files — the committed baseline
 is diffable, reviewable, and regenerable.
+
+``--rank-scaling 4,8,16`` appends a rank-scaling trajectory of the
+astro/dense/hybrid scenario (one run per rank count) so ``repro diff``
+gates scaling behavior, not just single-point performance; the
+committed extended baseline ``BENCH_20260806_all.json`` carries it.
 
 Schema (``BENCH_SCHEMA`` = 1)::
 
@@ -37,16 +52,25 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from typing import List
 
 if __package__ in (None, ""):  # running as a script
     _src = Path(__file__).resolve().parent.parent / "src"
     if str(_src) not in sys.path:
         sys.path.insert(0, str(_src))
 
-from repro.analysis.scenarios import make_problem, scenario_machine
 from repro.core.config import ALGORITHMS
-from repro.core.driver import run_streamlines
-from repro.obs import Recorder, analyze_run, jsonable
+from repro.exec import (
+    MODE_BENCH,
+    RunSpec,
+    SweepExecutor,
+    failure_report,
+    grid_specs,
+    merge_run_entries,
+    run_spec,
+    text_progress,
+)
+from repro.obs import jsonable
 from repro.obs.diff import BENCH_SCHEMA
 
 #: The canonical trajectory seedings: one sparse (the regime every
@@ -55,36 +79,74 @@ from repro.obs.diff import BENCH_SCHEMA
 #: comma-separated list; the committed astro baseline uses the default).
 SEEDINGS = ("sparse", "dense")
 
+#: The rank-scaling trajectory scenario (``--rank-scaling``): dense
+#: astro seeding under the hybrid algorithm — the configuration whose
+#: load-balancing dynamics are most rank-sensitive.
+SCALING_SCENARIO = ("astro", "dense", "hybrid")
+
 
 def bench_one(dataset: str, seeding: str, algorithm: str, ranks: int,
               scale: float, sample_interval: float) -> dict:
-    """Run one scenario with observability and return its bench entry."""
-    problem = make_problem(dataset, seeding, scale=scale)
-    obs = Recorder(enabled=True, sample_interval=sample_interval)
-    result = run_streamlines(problem, algorithm=algorithm,
-                             machine=scenario_machine(ranks), obs=obs)
-    analysis = analyze_run(result, obs)
-    entry = analysis.to_dict()
-    # The analyzer reports trajectory-level metrics; the scalar summary
-    # adds the aggregate the scaling figures use.
-    entry["parallel_efficiency"] = result.parallel_efficiency
-    return entry
+    """Run one scenario with observability and return its bench entry
+    (kept as the single-run entry point; the sweep goes through
+    ``repro.exec``)."""
+    return run_spec(RunSpec(dataset=dataset, seeding=seeding,
+                            algorithm=algorithm, n_ranks=ranks,
+                            scale=scale, mode=MODE_BENCH,
+                            sample_interval=sample_interval))
 
 
-def build_doc(args: argparse.Namespace) -> dict:
+def build_specs(args: argparse.Namespace) -> List[RunSpec]:
+    """The harness matrix, in merge order: the dataset grid, then the
+    isolated thermal OOM probe, then the rank-scaling trajectory."""
     datasets = [d for d in args.dataset.split(",") if d]
-    runs = {}
-    for dataset in datasets:
-        for seeding in SEEDINGS:
-            for algorithm in ALGORITHMS:
-                name = f"{dataset}-{seeding}-{algorithm}-{args.ranks}"
-                print(f"  running {name} ...", flush=True)
-                runs[name] = bench_one(dataset, seeding, algorithm,
-                                       args.ranks, args.scale,
-                                       args.sample_interval)
-                print(f"    wall={runs[name]['wall_clock']:.3f}s "
-                      f"E={runs[name]['block_efficiency']:.3f} "
-                      f"status={runs[name]['status']}")
+    specs = grid_specs(datasets, SEEDINGS, ALGORITHMS, [args.ranks],
+                       scale=args.scale, mode=MODE_BENCH,
+                       sample_interval=args.sample_interval)
+    # The thermal/dense/static working set exceeds one rank's memory at
+    # larger scales — the paper's parallelize-over-data pathology.  When
+    # the thermal scenarios are benchmarked, probe it and commit the
+    # expected "oom" status so `repro diff` gates on it staying that way
+    # (an ok->oom flip on any other run is a regression; oom->ok here
+    # would mean the memory model went soft).
+    if "thermal" in datasets and args.oom_probe:
+        specs.append(RunSpec(
+            dataset="thermal", seeding="dense", algorithm="static",
+            n_ranks=args.ranks, scale=args.oom_scale, mode=MODE_BENCH,
+            sample_interval=args.sample_interval, tag="oomprobe",
+            isolate=True, oom_probe=True))
+    if args.rank_scaling:
+        have = {s.name for s in specs}
+        dataset, seeding, algorithm = SCALING_SCENARIO
+        for ranks in parse_rank_scaling(args.rank_scaling):
+            spec = RunSpec(dataset=dataset, seeding=seeding,
+                           algorithm=algorithm, n_ranks=ranks,
+                           scale=args.scale, mode=MODE_BENCH,
+                           sample_interval=args.sample_interval)
+            if spec.name not in have:  # grid may already cover one point
+                specs.append(spec)
+                have.add(spec.name)
+    return specs
+
+
+def parse_rank_scaling(text: str) -> List[int]:
+    try:
+        ranks = [int(x) for x in text.split(",") if x]
+    except ValueError:
+        raise SystemExit(f"--rank-scaling {text!r} is not a "
+                         "comma-separated list of rank counts")
+    if not ranks or any(r <= 0 for r in ranks):
+        raise SystemExit(f"--rank-scaling {text!r}: rank counts must be "
+                         "positive")
+    return ranks
+
+
+def build_doc(args: argparse.Namespace) -> tuple:
+    """Run the matrix and merge the snapshot; returns (doc, outcomes)."""
+    specs = build_specs(args)
+    executor = SweepExecutor(jobs=args.jobs, timeout=args.timeout or None,
+                             progress=text_progress())
+    outcomes = executor.run(specs)
     doc = {
         "schema": BENCH_SCHEMA,
         "generated": args.date,
@@ -96,23 +158,14 @@ def build_doc(args: argparse.Namespace) -> dict:
             "scale": args.scale,
             "sample_interval": args.sample_interval,
         },
-        "runs": runs,
+        "runs": merge_run_entries(outcomes),
     }
-    # The thermal/dense/static working set exceeds one rank's memory at
-    # larger scales — the paper's parallelize-over-data pathology.  When
-    # the thermal scenarios are benchmarked, probe it and commit the
-    # expected "oom" status so `repro diff` gates on it staying that way
-    # (an ok->oom flip on any other run is a regression; oom->ok here
-    # would mean the memory model went soft).
-    if "thermal" in datasets and args.oom_probe:
-        name = f"thermal-dense-static-{args.ranks}-oomprobe"
-        print(f"  running {name} (scale {args.oom_scale}) ...", flush=True)
-        entry = bench_one("thermal", "dense", "static", args.ranks,
-                          args.oom_scale, args.sample_interval)
-        print(f"    status={entry['status']}")
-        doc["runs"][name] = entry
+    if any(o.spec.oom_probe for o in outcomes):
         doc["config"]["oom_probe_scale"] = args.oom_scale
-    return doc
+    if args.rank_scaling:
+        doc["config"]["rank_scaling"] = parse_rank_scaling(
+            args.rank_scaling)
+    return doc, outcomes
 
 
 def main(argv=None) -> int:
@@ -131,6 +184,17 @@ def main(argv=None) -> int:
     parser.add_argument("--ranks", type=int, default=8)
     parser.add_argument("--scale", type=float, default=0.1)
     parser.add_argument("--sample-interval", type=float, default=1.0)
+    parser.add_argument("--rank-scaling", default="",
+                        help="comma-separated rank counts for an "
+                             "astro/dense/hybrid scaling trajectory "
+                             "(e.g. 4,8,16); off by default")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the run fan-out "
+                             "(default 1 = serial; 0 = one per CPU); "
+                             "output is byte-identical for any value")
+    parser.add_argument("--timeout", type=float, default=0.0,
+                        help="per-run limit in real seconds "
+                             "(0 = unlimited)")
     parser.add_argument("--date", default="unversioned",
                         help="YYYYMMDD stamp for the filename and the "
                              "'generated' field (explicit, so reruns are "
@@ -139,7 +203,7 @@ def main(argv=None) -> int:
                         help="output directory (default: benchmarks/)")
     args = parser.parse_args(argv)
 
-    doc = build_doc(args)
+    doc, outcomes = build_doc(args)
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{args.date}.json"
@@ -148,6 +212,10 @@ def main(argv=None) -> int:
                            separators=(",", ":")))
         f.write("\n")
     print(f"wrote {path} ({len(doc['runs'])} runs)")
+    report = failure_report(outcomes)
+    if report:
+        print(report, file=sys.stderr)
+        return 1
     return 0
 
 

@@ -15,10 +15,30 @@ import sys
 from pathlib import Path
 
 from repro.analysis.experiments import sweep_dataset
-from repro.analysis.report import FIGURE_NUMBERS, METRIC_INFO, figure_table
-from repro.analysis.scenarios import RANK_COUNTS, SEED_COUNTS
+from repro.analysis.report import (
+    FIGURE_NUMBERS,
+    METRIC_INFO,
+    critical_path_context_table,
+    figure_table,
+)
+from repro.analysis.scenarios import DATASETS, RANK_COUNTS, SEED_COUNTS
+from repro.core.config import ALGORITHMS
+from repro.exec import (
+    MODE_BENCH,
+    RunSpec,
+    SweepExecutor,
+    failure_report,
+    merge_run_entries,
+    text_progress,
+)
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+#: Worker processes for the run fan-out (the tables are byte-identical
+#: for any value; see docs/performance.md).
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+#: Rank count for the critical-path context runs (mid-sweep, where the
+#: §5 discussion sits).
+CONTEXT_RANKS = 32
 
 #: (dataset, metric) -> what the paper reports for that figure.
 PAPER_FINDINGS = {
@@ -120,11 +140,45 @@ kind of factor.
 """
 
 
+CONTEXT_HEADER = """## Critical-path context (`repro analyze`)
+
+End-to-end wall-clock attribution for the dense-seeding scenarios at
+{ranks} simulated ranks: the `repro analyze` critical-path walk tiles
+`[0, wall]` with the busy segments that gated progress, so each row
+explains *where the time went* for the figures above (compute-bound vs
+I/O-bound vs communication-bound is the axis the paper's §5 discussion
+turns on).  Percentages are shares of that run's wall clock.
+"""
+
+
+def critical_path_sections() -> list:
+    """One critical-path context table per dataset (dense seeding,
+    every algorithm), produced with the sweep executor."""
+    specs = [RunSpec(dataset=dataset, seeding="dense", algorithm=algo,
+                     n_ranks=CONTEXT_RANKS, scale=SCALE, mode=MODE_BENCH)
+             for dataset in DATASETS for algo in ALGORITHMS]
+    executor = SweepExecutor(jobs=JOBS, progress=text_progress(sys.stderr))
+    outcomes = executor.run(specs)
+    report = failure_report(outcomes)
+    if report:
+        raise SystemExit(report)
+    entries = merge_run_entries(outcomes)
+    parts = [CONTEXT_HEADER.format(ranks=CONTEXT_RANKS)]
+    for dataset in DATASETS:
+        parts.append(f"### {dataset} (dense seeding)\n")
+        parts.append("```")
+        parts.append(critical_path_context_table(
+            {name: entry for name, entry in entries.items()
+             if name.startswith(f"{dataset}-")}))
+        parts.append("```\n")
+    return parts
+
+
 def main() -> None:
     out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("EXPERIMENTS.md")
     # Sweep order: cheap/critical first so partial runs still cover the
     # headline results (thermal carries the §5.3 OOM).
-    sweeps = {ds: sweep_dataset(ds, scale=SCALE) for ds in
+    sweeps = {ds: sweep_dataset(ds, scale=SCALE, jobs=JOBS) for ds in
               ("thermal", "astro", "fusion")}
 
     parts = [HEADER.format(
@@ -145,6 +199,8 @@ def main() -> None:
         parts.append("```")
         parts.append(figure_table(dataset, sweeps[dataset], metric))
         parts.append("```\n")
+
+    parts.extend(critical_path_sections())
 
     out.write_text("\n".join(parts))
     print(f"wrote {out}")

@@ -9,20 +9,33 @@ cost.
 
 Summaries (not full results) are cached: streamline geometry is dropped
 after aggregation to keep long benchmark sessions memory-bounded.
+
+The disk cache is a **directory of per-key JSON files** written
+atomically (tmp file + ``os.replace``) under an advisory lock, so
+concurrent sweep workers (``repro sweep --jobs N``) can share it safely
+and an interrupted benchmark session can never leave a corrupt cache.
+A legacy whole-file ``.sweep_cache.json`` (the pre-executor layout) is
+still read for migration.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+try:  # POSIX advisory locking; the cache degrades gracefully without it
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.core.config import HybridConfig
 from repro.core.driver import run_streamlines
-from repro.core.results import STATUS_OK, RunResult
+from repro.core.results import STATUS_OK, STATUS_OOM, RunResult
 from repro.analysis.scenarios import (
     RANK_COUNTS,
     make_problem,
@@ -32,10 +45,14 @@ from repro.analysis.scenarios import (
 #: Bump when a code change invalidates previously cached sweep results.
 CACHE_VERSION = 2  # v2: span-based timer charging (last-ulp float shifts)
 
-#: Default on-disk cache location (override with REPRO_CACHE_DIR; set the
-#: environment variable to an empty string to disable disk caching).
-_DEFAULT_CACHE = Path(__file__).resolve().parents[3] / "benchmarks" \
-    / ".sweep_cache.json"
+#: Default on-disk cache locations (override with REPRO_CACHE_DIR; set
+#: the environment variable to an empty string to disable disk caching).
+#: ``_DEFAULT_CACHE_DIR`` is the per-key cache directory; the sibling
+#: ``.sweep_cache.json`` file is the legacy whole-file layout, read once
+#: for migration but never written.
+_BENCH_ROOT = Path(__file__).resolve().parents[3] / "benchmarks"
+_DEFAULT_CACHE_DIR = _BENCH_ROOT / ".sweep_cache"
+_DEFAULT_LEGACY_CACHE = _BENCH_ROOT / ".sweep_cache.json"
 
 
 @dataclass(frozen=True)
@@ -85,60 +102,142 @@ _CACHE: Dict[ExperimentKey, RunSummary] = {}
 _DISK_LOADED = False
 
 
-def _cache_path() -> Optional[Path]:
+def _cache_dir() -> Optional[Path]:
+    """The per-key cache directory (None = disk caching disabled)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env is not None:
+        if env == "":
+            return None
+        return Path(env) / "sweep_cache"
+    return _DEFAULT_CACHE_DIR
+
+
+def _legacy_cache_path() -> Optional[Path]:
     env = os.environ.get("REPRO_CACHE_DIR")
     if env is not None:
         if env == "":
             return None
         return Path(env) / "sweep_cache.json"
-    return _DEFAULT_CACHE
+    return _DEFAULT_LEGACY_CACHE
+
+
+def _entry_path(key: ExperimentKey) -> Optional[Path]:
+    root = _cache_dir()
+    if root is None:
+        return None
+    return root / (f"{key.dataset}-{key.seeding}-{key.algorithm}"
+                   f"-r{key.n_ranks}-s{key.scale!r}.json")
+
+
+@contextlib.contextmanager
+def _cache_lock(root: Path) -> Iterator[None]:
+    """Advisory exclusive lock on the cache directory.
+
+    Entry writes are already atomic (tmp + ``os.replace``) and identical
+    keys produce identical bytes, so the lock only serializes the write
+    *step* across concurrent workers (and whole-directory maintenance
+    like :func:`clear_cache`); readers never need it.  Best-effort: on
+    platforms without ``fcntl`` it is a no-op.
+    """
+    if fcntl is None:
+        yield
+        return
+    lock_path = root / ".lock"
+    try:
+        fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+    except OSError:
+        yield
+        return
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        yield
+    finally:
+        with contextlib.suppress(OSError):
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        os.close(fd)
+
+
+def _decode_entry(blob: Dict) -> Optional[Tuple[ExperimentKey, RunSummary]]:
+    if blob.get("version") != CACHE_VERSION:
+        return None
+    try:
+        key = ExperimentKey(**blob["key"])
+        return key, RunSummary(key=key, **blob["summary"])
+    except (KeyError, TypeError):
+        return None
 
 
 def _load_disk_cache() -> None:
-    """Populate the in-memory cache from disk once per process."""
+    """Populate the in-memory cache from disk once per process.
+
+    Reads the legacy whole-file cache first (if present), then every
+    per-key entry file — per-key entries win, they are newer."""
     global _DISK_LOADED
     if _DISK_LOADED:
         return
     _DISK_LOADED = True
-    path = _cache_path()
-    if path is None or not path.is_file():
+    legacy = _legacy_cache_path()
+    if legacy is not None and legacy.is_file():
+        try:
+            blob = json.loads(legacy.read_text())
+        except (OSError, json.JSONDecodeError):
+            blob = {}
+        if blob.get("version") == CACHE_VERSION:
+            for entry in blob.get("runs", []):
+                decoded = _decode_entry({"version": CACHE_VERSION, **entry})
+                if decoded is not None:
+                    _CACHE.setdefault(*decoded)
+    root = _cache_dir()
+    if root is None or not root.is_dir():
         return
-    try:
-        blob = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError):
-        return
-    if blob.get("version") != CACHE_VERSION:
-        return
-    for entry in blob.get("runs", []):
-        key = ExperimentKey(**entry["key"])
-        _CACHE[key] = RunSummary(key=key, **entry["summary"])
+    for path in sorted(root.glob("*.json")):
+        try:
+            blob = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue  # torn entries are impossible; stale tmp isn't read
+        decoded = _decode_entry(blob)
+        if decoded is not None:
+            key, summary = decoded
+            _CACHE[key] = summary
 
 
-def _save_disk_cache() -> None:
-    path = _cache_path()
+def _save_entry(key: ExperimentKey, summary: RunSummary) -> None:
+    """Persist one run atomically: write a private tmp file, then
+    ``os.replace`` it over the entry — a reader (or a crash, or a
+    concurrent worker) can observe the old entry or the new one, never
+    a torn write."""
+    path = _entry_path(key)
     if path is None:
         return
-    runs = []
-    for key, summary in _CACHE.items():
-        d = dataclasses.asdict(summary)
-        d.pop("key")
-        runs.append({"key": dataclasses.asdict(key), "summary": d})
+    d = dataclasses.asdict(summary)
+    d.pop("key")
+    blob = {"version": CACHE_VERSION,
+            "key": dataclasses.asdict(key), "summary": d}
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(
-            {"version": CACHE_VERSION, "runs": runs}))
+        with _cache_lock(path.parent):
+            tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(blob))
+            os.replace(tmp, path)
     except OSError:
         pass  # caching is best-effort
 
 
 def clear_cache(disk: bool = False) -> None:
     """Drop all memoized runs (tests).  ``disk=True`` also removes the
-    on-disk cache file."""
+    on-disk cache entries (and the legacy cache file)."""
     _CACHE.clear()
     if disk:
-        path = _cache_path()
-        if path is not None and path.is_file():
-            path.unlink()
+        root = _cache_dir()
+        if root is not None and root.is_dir():
+            with _cache_lock(root):
+                for path in root.glob("*.json*"):
+                    with contextlib.suppress(OSError):
+                        path.unlink()
+        legacy = _legacy_cache_path()
+        if legacy is not None and legacy.is_file():
+            with contextlib.suppress(OSError):
+                legacy.unlink()
 
 
 def summarize(key: ExperimentKey, result: RunResult) -> RunSummary:
@@ -182,7 +281,7 @@ def run_experiment(dataset: str, seeding: str, algorithm: str,
     summary = summarize(key, result)
     if hybrid is None:
         _CACHE[key] = summary
-        _save_disk_cache()
+        _save_entry(key, summary)
     return summary
 
 
@@ -191,12 +290,46 @@ def sweep_dataset(dataset: str, scale: float = 1.0,
                   algorithms: Sequence[str] = ("static", "ondemand",
                                                "hybrid"),
                   seedings: Sequence[str] = ("sparse", "dense"),
-                  ) -> List[RunSummary]:
-    """Run the full grid for one dataset (all four figures' data)."""
-    out: List[RunSummary] = []
-    for seeding in seedings:
-        for algorithm in algorithms:
-            for n_ranks in rank_counts:
-                out.append(run_experiment(dataset, seeding, algorithm,
-                                          n_ranks, scale=scale))
-    return out
+                  jobs: int = 1, timeout: Optional[float] = None,
+                  progress=None) -> List[RunSummary]:
+    """Run the full grid for one dataset (all four figures' data).
+
+    ``jobs > 1`` fans uncached cells out over a
+    :class:`~repro.exec.executor.SweepExecutor` process pool; the
+    returned list is in grid order either way (the executor merges in
+    spec order), so figure tables are identical for any job count.
+    Raises ``RuntimeError`` with a failure report if any fanned-out run
+    crashed or timed out (completed cells stay cached, so a retry only
+    re-runs the failures).
+    """
+    keys = [ExperimentKey(dataset=dataset, seeding=seeding,
+                          algorithm=algorithm, n_ranks=n_ranks,
+                          scale=scale)
+            for seeding in seedings
+            for algorithm in algorithms
+            for n_ranks in rank_counts]
+    if jobs > 1:
+        _load_disk_cache()
+        missing = [k for k in keys if k not in _CACHE]
+        if missing:
+            from repro.exec import (OUTCOME_OOM, RunSpec, SweepExecutor,
+                                    failure_report)
+
+            specs = [RunSpec(dataset=k.dataset, seeding=k.seeding,
+                             algorithm=k.algorithm, n_ranks=k.n_ranks,
+                             scale=k.scale) for k in missing]
+            outcomes = SweepExecutor(jobs=jobs, timeout=timeout,
+                                     progress=progress).run(specs)
+            if any(o.failed for o in outcomes):
+                raise RuntimeError(failure_report(outcomes))
+            for k, o in zip(missing, outcomes):
+                if o.status == OUTCOME_OOM:
+                    # A *real* MemoryError in the child: report the
+                    # gated status, but never persist a machine-
+                    # dependent outcome to the shared cache.
+                    _CACHE[k] = RunSummary(key=k, status=STATUS_OOM)
+                else:
+                    _CACHE[k] = o.payload
+                    _save_entry(k, o.payload)
+    return [run_experiment(k.dataset, k.seeding, k.algorithm, k.n_ranks,
+                           scale=k.scale) for k in keys]

@@ -13,7 +13,8 @@ leaf-span duration summaries.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Any, Dict, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 from repro.analysis.experiments import RunSummary
 
@@ -138,6 +139,43 @@ def wait_state_table(result: "RunResult", obs: "Recorder") -> str:
         row += "".join(f"{waits.get(r, 0.0):>{max(10, len(r) + 6)}.3f}"
                        for r in reasons)
         row += f" {drain:>10.3f} {total:>10.3f} {wall:>10.3f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def critical_path_context_table(
+        entries: Mapping[str, Mapping[str, Any]]) -> str:
+    """Critical-path context for a set of analyzed runs (the ``repro
+    analyze`` breakdown, condensed to one row per run).
+
+    ``entries`` maps run name to a bench-style entry dict (what
+    ``BENCH_*.json`` stores per run: ``wall_clock``, ``status``, and a
+    ``critical_path`` kind -> seconds table).  Rendered as an aligned
+    table — wall clock plus each critical-path component with its share
+    of the wall — this is the end-to-end attribution EXPERIMENTS.md
+    pairs with the figure tables: *why* an algorithm's wall clock is
+    what it is, not just what it is.  Runs that did not complete (the
+    §5.3 OOM) render as their status.
+    """
+    kinds = ("compute", "io", "comm", "idle")
+    name_w = max(len("run"), max((len(n) for n in entries), default=0))
+    col_w = 16
+    header = ("run".ljust(name_w) + f"{'wall [s]':>10}"
+              + "".join(f"{k:>{col_w}}" for k in kinds))
+    lines = [header, "-" * len(header)]
+    for name, entry in entries.items():
+        status = entry.get("status", "ok")
+        if status != "ok":
+            lines.append(name.ljust(name_w)
+                         + f"{status.upper():>10}")
+            continue
+        wall = float(entry.get("wall_clock", 0.0))
+        path = entry.get("critical_path", {})
+        row = name.ljust(name_w) + f"{wall:>10.3f}"
+        for kind in kinds:
+            seconds = float(path.get(kind, 0.0))
+            pct = 100.0 * seconds / wall if wall > 0 else 0.0
+            row += f"{seconds:>9.3f} {pct:>4.1f}%".rjust(col_w)
         lines.append(row)
     return "\n".join(lines)
 

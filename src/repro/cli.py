@@ -4,13 +4,20 @@ Commands
 --------
 ``run``        run one evaluation scenario with one algorithm and print
                the paper's metrics for it
-``figure``     regenerate one paper figure (table form)
+``figure``     regenerate one paper figure (table form); ``--jobs N``
+               fans uncached runs over a process pool
+``sweep``      run a full evaluation grid with the parallel sweep
+               executor (``--jobs N``) and write a deterministic
+               summary JSON — byte-identical for any job count
 ``trace``      run one scenario with full observability and export a
                Perfetto timeline, span/sample JSONL, and idle analysis
 ``analyze``    post-run analytics on a ``trace`` output directory:
                critical-path breakdown, imbalance, ping-pong diagnostics
 ``diff``       compare two runs (trace dirs or BENCH_*.json files) with
                regression thresholds; non-zero exit on regression
+``trend``      critical-path breakdown trend table over a series of
+               BENCH_*.json snapshots (the trend view, not just
+               pairwise diff)
 ``recommend``  apply the §6 decision heuristics to a described problem
 ``scenarios``  list the built-in evaluation scenarios
 """
@@ -18,6 +25,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -74,9 +82,137 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print(f"figure {args.number} is not a {args.dataset} figure; "
               f"valid: {valid}", file=sys.stderr)
         return 2
-    summaries = sweep_dataset(args.dataset, scale=args.scale,
-                              rank_counts=args.ranks or RANK_COUNTS)
+    try:
+        summaries = sweep_dataset(args.dataset, scale=args.scale,
+                                  rank_counts=args.ranks or RANK_COUNTS,
+                                  jobs=args.jobs,
+                                  timeout=args.timeout or None,
+                                  progress=_stderr_progress(args))
+    except RuntimeError as exc:
+        print(f"repro figure: {exc}", file=sys.stderr)
+        return 1
     print(figure_table(args.dataset, summaries, metric))
+    return 0
+
+
+def _stderr_progress(args):
+    """Live per-run progress on stderr when fanning out (stdout stays a
+    clean, deterministic artifact)."""
+    if getattr(args, "jobs", 1) == 1:
+        return None
+    from repro.exec import text_progress
+
+    return text_progress(sys.stderr)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from repro.exec import (
+        OUTCOME_OOM,
+        SweepExecutor,
+        failure_report,
+        grid_specs,
+        text_progress,
+    )
+    from repro.obs import jsonable
+
+    def split(text: str, valid, what: str) -> List[str]:
+        items = [x for x in text.split(",") if x]
+        for item in items:
+            if item not in valid:
+                raise ValueError(f"unknown {what} {item!r}; "
+                                 f"expected one of {tuple(valid)}")
+        return items
+
+    try:
+        datasets = split(args.dataset, DATASETS, "dataset")
+        seedings = split(args.seeding, SEEDINGS, "seeding")
+        algorithms = split(args.algorithm, ALGORITHMS, "algorithm")
+        if not datasets:
+            raise ValueError("no datasets selected")
+    except ValueError as exc:
+        print(f"repro sweep: {exc}", file=sys.stderr)
+        return 2
+    rank_counts = args.ranks or list(RANK_COUNTS)
+
+    specs = grid_specs(datasets, seedings, algorithms, rank_counts,
+                       scale=args.scale)
+    executor = SweepExecutor(jobs=args.jobs, timeout=args.timeout or None,
+                             progress=text_progress(sys.stderr))
+    outcomes = executor.run(specs)
+
+    runs = {}
+    for o in outcomes:
+        if o.ok:
+            entry = dataclasses.asdict(o.payload)
+            entry.pop("key", None)
+        elif o.status == OUTCOME_OOM:
+            entry = {"status": "oom"}
+        else:
+            entry = {"status": o.status}
+        runs[o.spec.name] = entry
+
+    widths = (28, 8, 12, 12, 12, 8)
+    header = "".join(f"{h:>{w}}" if i else f"{h:<{w}}"
+                     for i, (h, w) in enumerate(zip(
+                         ("run", "status", "wall", "io", "comm", "E"),
+                         widths)))
+    print(header)
+    print("-" * len(header))
+    for o in outcomes:
+        entry = runs[o.spec.name]
+        cells = [f"{o.spec.name:<{widths[0]}}",
+                 f"{entry.get('status', o.status):>{widths[1]}}"]
+        for metric, w in (("wall_clock", widths[2]),
+                          ("io_time", widths[3]),
+                          ("comm_time", widths[4])):
+            value = entry.get(metric)
+            cells.append(f"{value:>{w}.3f}" if isinstance(value, float)
+                         else f"{'-':>{w}}")
+        eff = entry.get("block_efficiency")
+        cells.append(f"{eff:>{widths[5]}.3f}" if isinstance(eff, float)
+                     else f"{'-':>{widths[5]}}")
+        print("".join(cells))
+
+    if args.out:
+        doc = {
+            "schema": 1,
+            "config": {
+                "datasets": datasets,
+                "seedings": seedings,
+                "algorithms": algorithms,
+                "ranks": list(rank_counts),
+                "scale": args.scale,
+            },
+            "runs": runs,
+        }
+        out = Path(args.out)
+        if out.parent:
+            out.parent.mkdir(parents=True, exist_ok=True)
+        with open(out, "w", encoding="utf-8") as f:
+            f.write(json.dumps(jsonable(doc), sort_keys=True,
+                               separators=(",", ":")))
+            f.write("\n")
+        print(f"wrote {out} ({len(runs)} runs)", file=sys.stderr)
+
+    report = failure_report(outcomes)
+    if report:
+        print(report, file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    from repro.obs import load_snapshots, trend_table
+
+    try:
+        snapshots = load_snapshots(args.snapshots)
+    except (OSError, ValueError) as exc:
+        print(f"repro trend: {exc}", file=sys.stderr)
+        return 2
+    print(trend_table(snapshots))
     return 0
 
 
@@ -212,7 +348,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--dataset", choices=DATASETS, required=True)
     p_fig.add_argument("--scale", type=float, default=0.25)
     p_fig.add_argument("--ranks", type=int, nargs="*", default=None)
+    p_fig.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for uncached runs "
+                            "(default 1 = serial; 0 = one per CPU); "
+                            "the table is identical for any value")
+    p_fig.add_argument("--timeout", type=float, default=0.0,
+                       help="per-run limit in real seconds "
+                            "(0 = unlimited)")
     p_fig.set_defaults(func=_cmd_figure)
+
+    p_sw = sub.add_parser(
+        "sweep",
+        help="run an evaluation grid with the parallel sweep executor")
+    p_sw.add_argument("--dataset", default="astro",
+                      help="comma-separated datasets "
+                           "(astro,fusion,thermal)")
+    p_sw.add_argument("--seeding", default="sparse,dense",
+                      help="comma-separated seedings (default both)")
+    p_sw.add_argument("--algorithm", default="static,ondemand,hybrid",
+                      help="comma-separated algorithms (default all)")
+    p_sw.add_argument("--ranks", type=int, nargs="*", default=None,
+                      help=f"rank counts (default {list(RANK_COUNTS)})")
+    p_sw.add_argument("--scale", type=float, default=0.25)
+    p_sw.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (default 1 = serial; "
+                           "0 = one per CPU); the merged output is "
+                           "byte-identical for any value")
+    p_sw.add_argument("--timeout", type=float, default=0.0,
+                      help="per-run limit in real seconds "
+                           "(0 = unlimited)")
+    p_sw.add_argument("--out", default=None,
+                      help="write a deterministic summary JSON here")
+    p_sw.set_defaults(func=_cmd_sweep)
 
     p_tr = sub.add_parser(
         "trace",
@@ -251,6 +418,14 @@ def build_parser() -> argparse.ArgumentParser:
                            "ones and regressions")
     p_df.set_defaults(func=_cmd_diff)
 
+    p_tn = sub.add_parser(
+        "trend",
+        help="critical-path trend table over a series of snapshots")
+    p_tn.add_argument("snapshots", nargs="+",
+                      help="two or more BENCH_*.json files (or trace "
+                           "dirs), oldest first")
+    p_tn.set_defaults(func=_cmd_trend)
+
     p_rec = sub.add_parser("recommend",
                            help="apply the §6 decision heuristics")
     p_rec.add_argument("--seeds", type=int, required=True)
@@ -271,7 +446,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe (e.g. `repro trend | head`);
+        # suppress the traceback and exit like a well-behaved filter.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,66 @@
+"""Parallel sweep execution: multi-process run fan-out with a
+byte-identical deterministic merge.
+
+The evaluation matrix (dataset x seeding x algorithm x rank count) is a
+list of fully independent, deterministic simulated runs — the
+workflow-level analogue of the paper's parallelize-over-seeds strategy.
+This package fans that list out over a bounded pool of OS processes and
+merges the results **in spec order**, so every downstream artifact
+(``BENCH_*.json`` snapshots, sweep summaries, EXPERIMENTS.md tables) is
+byte-identical regardless of ``--jobs``.
+
+Layers
+------
+:mod:`repro.exec.spec`
+    :class:`RunSpec` / :class:`RunOutcome` — picklable run identities
+    and their results; :func:`grid_specs` for the canonical sweep order.
+:mod:`repro.exec.worker`
+    The child-side task implementations (one per spec ``mode``) plus
+    the real-``MemoryError`` -> ``oom`` containment.
+:mod:`repro.exec.executor`
+    :class:`SweepExecutor` — the bounded scheduler with per-run
+    timeout, crash containment, and OOM-probe isolation.
+
+``repro.exec`` sits *above* ``repro.analysis`` (tasks import it
+lazily), so nothing in the simulator depends on multiprocessing.
+"""
+
+from repro.exec.executor import (
+    SweepExecutor,
+    default_jobs,
+    merge_run_entries,
+    text_progress,
+)
+from repro.exec.spec import (
+    MODE_BENCH,
+    MODE_SUMMARY,
+    OUTCOME_CRASHED,
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    OUTCOME_OOM,
+    OUTCOME_TIMEOUT,
+    RunOutcome,
+    RunSpec,
+    failure_report,
+    grid_specs,
+)
+from repro.exec.worker import run_spec
+
+__all__ = [
+    "MODE_BENCH",
+    "MODE_SUMMARY",
+    "OUTCOME_CRASHED",
+    "OUTCOME_ERROR",
+    "OUTCOME_OK",
+    "OUTCOME_OOM",
+    "OUTCOME_TIMEOUT",
+    "RunOutcome",
+    "RunSpec",
+    "SweepExecutor",
+    "default_jobs",
+    "failure_report",
+    "grid_specs",
+    "merge_run_entries",
+    "run_spec",
+    "text_progress",
+]

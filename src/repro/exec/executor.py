@@ -1,0 +1,322 @@
+"""Bounded multi-process sweep execution with deterministic merge order.
+
+Every run of the evaluation matrix is independent and deterministic, so
+a sweep is embarrassingly parallel: :class:`SweepExecutor` fans specs
+out over at most ``jobs`` OS processes and returns outcomes **in spec
+order**, regardless of completion order — callers merge artifacts from
+that list, which is what makes ``--jobs N`` output byte-identical to
+serial output.
+
+Robustness guards, per run:
+
+* **timeout** — a child exceeding ``timeout`` real seconds is
+  terminated and reported as a ``timeout`` outcome;
+* **isolation** — ``spec.isolate`` forces child-process execution even
+  at ``jobs=1`` (the thermal OOM probe uses it: a real
+  :class:`MemoryError` kills the child, not the harness, and surfaces
+  as the gated ``oom`` status);
+* **crash containment** — a child that dies without reporting (segfault,
+  ``os._exit``, the kernel OOM killer) yields a ``crashed`` outcome
+  (``oom`` for probe specs); completed runs are never lost.
+
+``jobs=1`` with no timeout runs specs inline in this process — the
+historical serial behavior, byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+import traceback
+import multiprocessing
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.spec import (
+    OUTCOME_CRASHED,
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    OUTCOME_OOM,
+    OUTCOME_TIMEOUT,
+    RunOutcome,
+    RunSpec,
+)
+from repro.exec.worker import child_main, oom_payload, run_spec
+
+#: Environment override for the multiprocessing start method
+#: (``fork``/``spawn``/``forkserver``).  Defaults to ``fork`` where the
+#: platform offers it (cheap, inherits loaded modules) and ``spawn``
+#: elsewhere; results are identical either way.
+START_METHOD_ENV = "REPRO_MP_START"
+
+#: Scheduler poll interval [real seconds].
+_POLL = 0.05
+
+ProgressFn = Callable[[str, Any, int, int], None]
+
+
+def default_jobs() -> int:
+    """``--jobs 0`` resolution: one worker per CPU."""
+    return os.cpu_count() or 1
+
+
+def _start_method() -> str:
+    method = os.environ.get(START_METHOD_ENV)
+    if method:
+        return method
+    return ("fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+
+
+@dataclass
+class _Child:
+    """Book-keeping for one live worker process."""
+
+    idx: int
+    spec: RunSpec
+    proc: Any
+    recv: Any
+    started: float
+    deadline: Optional[float]
+    msg: Optional[Tuple[str, Any]] = None
+
+
+class SweepExecutor:
+    """Run a list of :class:`RunSpec` with bounded process fan-out.
+
+    Parameters
+    ----------
+    jobs:
+        Maximum concurrent worker processes.  ``1`` (default) is
+        serial; ``0`` or negative resolves to the CPU count.
+    timeout:
+        Per-run wall-clock limit in *real* seconds (``None`` — the
+        default — disables the guard).  Setting a timeout forces child
+        execution even at ``jobs=1`` so the limit is enforceable.
+    progress:
+        Optional callback ``progress(event, payload, done, total)``
+        where ``event`` is ``"start"`` (payload: the spec) or
+        ``"done"`` (payload: the outcome).  Called from this process
+        only, as runs start and finish (completion order).
+    """
+
+    def __init__(self, jobs: int = 1, timeout: Optional[float] = None,
+                 progress: Optional[ProgressFn] = None):
+        self.jobs = default_jobs() if jobs <= 0 else int(jobs)
+        self.timeout = timeout if timeout and timeout > 0 else None
+        self.progress = progress
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunOutcome]:
+        """Execute every spec; outcomes are returned in spec order."""
+        specs = list(specs)
+        total = len(specs)
+        results: List[Optional[RunOutcome]] = [None] * total
+        done = {"n": 0}
+
+        def emit(event: str, payload: Any) -> None:
+            if event == "done":
+                done["n"] += 1
+            if self.progress is not None:
+                self.progress(event, payload, done["n"], total)
+
+        if self.jobs > 1:
+            self._run_children(list(enumerate(specs)), self.jobs,
+                               results, emit)
+        else:
+            for i, spec in enumerate(specs):
+                if spec.isolate or self.timeout is not None:
+                    self._run_children([(i, spec)], 1, results, emit)
+                else:
+                    emit("start", spec)
+                    results[i] = self._run_inline(spec)
+                    emit("done", results[i])
+        return [r for r in results if r is not None]
+
+    # ------------------------------------------------------------------ #
+    # Inline (serial) execution
+    # ------------------------------------------------------------------ #
+
+    def _run_inline(self, spec: RunSpec) -> RunOutcome:
+        t0 = time.monotonic()
+        try:
+            payload = run_spec(spec)
+        except MemoryError:
+            return RunOutcome(spec=spec, status=OUTCOME_OOM,
+                              payload=oom_payload(spec),
+                              elapsed=time.monotonic() - t0)
+        except Exception:
+            return RunOutcome(spec=spec, status=OUTCOME_ERROR,
+                              error=traceback.format_exc(limit=20),
+                              elapsed=time.monotonic() - t0)
+        return RunOutcome(spec=spec, status=OUTCOME_OK, payload=payload,
+                          elapsed=time.monotonic() - t0)
+
+    # ------------------------------------------------------------------ #
+    # Child-process execution
+    # ------------------------------------------------------------------ #
+
+    def _spawn(self, ctx, idx: int, spec: RunSpec) -> _Child:
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=child_main, args=(spec, send_conn),
+                           daemon=True)
+        proc.start()
+        send_conn.close()  # child holds the write end now
+        now = time.monotonic()
+        deadline = now + self.timeout if self.timeout else None
+        return _Child(idx=idx, spec=spec, proc=proc, recv=recv_conn,
+                      started=now, deadline=deadline)
+
+    def _finish(self, child: _Child, status: str, payload: Any = None,
+                error: str = "") -> RunOutcome:
+        try:
+            child.recv.close()
+        except OSError:
+            pass
+        return RunOutcome(spec=child.spec, status=status, payload=payload,
+                          error=error,
+                          elapsed=time.monotonic() - child.started)
+
+    def _reap(self, child: _Child) -> RunOutcome:
+        """Build the outcome for a child whose pipe closed."""
+        child.proc.join(timeout=10.0)
+        if child.proc.is_alive():  # sent its result but will not exit
+            child.proc.terminate()
+            child.proc.join()
+        if child.msg is not None:
+            status, payload = child.msg
+            if status == OUTCOME_OK:
+                return self._finish(child, OUTCOME_OK, payload=payload)
+            if status == OUTCOME_OOM:
+                return self._finish(child, OUTCOME_OOM, payload=payload)
+            return self._finish(child, OUTCOME_ERROR,
+                                error=str(payload))
+        # Died without reporting: hard crash, or the kernel's OOM
+        # killer.  For the OOM probe that *is* the measured outcome.
+        code = child.proc.exitcode
+        if child.spec.oom_probe:
+            return self._finish(child, OUTCOME_OOM,
+                                payload=oom_payload(child.spec),
+                                error=f"child died (exit code {code})")
+        return self._finish(child, OUTCOME_CRASHED,
+                            error=f"child died without result "
+                                  f"(exit code {code})")
+
+    def _run_children(self, items: List[Tuple[int, RunSpec]], jobs: int,
+                      results: List[Optional[RunOutcome]],
+                      emit: Callable[[str, Any], None]) -> None:
+        ctx = multiprocessing.get_context(_start_method())
+        pending = list(items)
+        active: Dict[Any, _Child] = {}
+        try:
+            while pending or active:
+                while pending and len(active) < jobs:
+                    idx, spec = pending.pop(0)
+                    child = self._spawn(ctx, idx, spec)
+                    active[child.recv] = child
+                    emit("start", spec)
+                ready = mp_connection.wait(list(active), timeout=_POLL)
+                finished: List[_Child] = []
+                for conn in ready:
+                    child = active[conn]
+                    try:
+                        child.msg = conn.recv()
+                    except (EOFError, OSError):
+                        child.msg = None
+                    finished.append(child)
+                now = time.monotonic()
+                for child in list(active.values()):
+                    if (child not in finished and child.deadline
+                            and now > child.deadline):
+                        child.proc.terminate()
+                        child.proc.join()
+                        outcome = self._finish(
+                            child, OUTCOME_TIMEOUT,
+                            error=f"exceeded {self.timeout:g}s limit")
+                        del active[child.recv]
+                        results[child.idx] = outcome
+                        emit("done", outcome)
+                for child in finished:
+                    outcome = self._reap(child)
+                    del active[child.recv]
+                    results[child.idx] = outcome
+                    emit("done", outcome)
+        finally:
+            for child in active.values():  # interrupt / error cleanup
+                child.proc.terminate()
+                child.proc.join()
+                try:
+                    child.recv.close()
+                except OSError:
+                    pass
+
+
+# ---------------------------------------------------------------------- #
+# Merging and progress rendering
+# ---------------------------------------------------------------------- #
+
+def merge_run_entries(outcomes: Sequence[RunOutcome]
+                      ) -> Dict[str, Dict[str, Any]]:
+    """Merge bench-mode outcomes into the ``runs`` table of a
+    ``BENCH_*.json`` document, in spec order.
+
+    Successful runs contribute their full entry; a probe-level real OOM
+    contributes the minimal gated entry; executor failures contribute a
+    status-only entry (``repro diff`` flags the status change) so the
+    rest of the sweep is never discarded.
+    """
+    runs: Dict[str, Dict[str, Any]] = {}
+    for o in outcomes:
+        if o.ok or o.status == OUTCOME_OOM:
+            runs[o.spec.name] = o.payload
+        else:
+            runs[o.spec.name] = {"status": o.status}
+    return runs
+
+
+def text_progress(stream=None) -> ProgressFn:
+    """A progress callback printing live per-run lines.
+
+    Works for both task modes: bench payloads are entry dicts, summary
+    payloads are ``RunSummary`` objects.
+    """
+    out = stream if stream is not None else sys.stdout
+
+    def _metric(payload: Any, name: str) -> Optional[float]:
+        if isinstance(payload, dict):
+            value = payload.get(name)
+            return float(value) if isinstance(value, (int, float)) else None
+        return getattr(payload, name, None)
+
+    def progress(event: str, payload: Any, done: int, total: int) -> None:
+        if event == "start":
+            print(f"  running {payload} ...", file=out, flush=True)
+            return
+        o: RunOutcome = payload
+        tag = f"[{done}/{total}]"
+        if o.failed:
+            detail = f" ({o.error.splitlines()[-1]})" if o.error else ""
+            print(f"    {tag} {o.spec.name}: {o.status.upper()}{detail}",
+                  file=out, flush=True)
+            return
+        wall = _metric(o.payload, "wall_clock")
+        eff = _metric(o.payload, "block_efficiency")
+        status = (o.payload.get("status", o.status)
+                  if isinstance(o.payload, dict)
+                  else getattr(o.payload, "status", o.status))
+        bits = []
+        if wall is not None:
+            bits.append(f"wall={wall:.3f}s")
+        if eff is not None:
+            bits.append(f"E={eff:.3f}")
+        bits.append(f"status={status}")
+        bits.append(f"{o.elapsed:.1f}s real")
+        print(f"    {tag} {o.spec.name}: {' '.join(bits)}",
+              file=out, flush=True)
+
+    return progress

@@ -1,0 +1,125 @@
+"""Child-process side of the sweep executor.
+
+:func:`run_spec` executes one :class:`~repro.exec.spec.RunSpec` and
+returns its picklable payload; it is the single implementation both the
+serial in-process path and the pooled child processes call, which is
+what makes ``--jobs N`` byte-identical to ``--jobs 1``: the simulation
+is deterministic and pure, so *where* it runs cannot change the result.
+
+:func:`child_main` wraps :func:`run_spec` for process execution: the
+payload (or a failure) is sent back over a pipe, and a real
+:class:`MemoryError` is caught and reported as an ``oom`` outcome
+instead of propagating — the child dies quietly, the harness survives.
+
+Fault injection (tests only)
+----------------------------
+``REPRO_EXEC_FAULT=<kind>:<substring>`` arms a fault for every spec
+whose name contains ``<substring>``: ``hang`` sleeps forever (exercises
+the per-run timeout), ``crash`` hard-exits the child (``os._exit``),
+``raise`` raises ``RuntimeError``, and ``memerr`` raises
+``MemoryError``.  Children inherit the environment, so the hook works
+under every multiprocessing start method; it is inert unless the
+variable is set.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from typing import Any, Tuple
+
+from repro.exec.spec import (
+    MODE_BENCH,
+    MODE_SUMMARY,
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    OUTCOME_OOM,
+    RunSpec,
+)
+
+#: Environment variable arming the test-only fault hook.
+FAULT_ENV = "REPRO_EXEC_FAULT"
+
+
+def _maybe_inject_fault(spec: RunSpec) -> None:
+    fault = os.environ.get(FAULT_ENV, "")
+    if not fault:
+        return
+    kind, _, substring = fault.partition(":")
+    if not substring or substring not in spec.name:
+        return
+    if kind == "hang":
+        time.sleep(3600.0)
+    elif kind == "crash":
+        os._exit(3)
+    elif kind == "raise":
+        raise RuntimeError(f"injected fault for {spec.name}")
+    elif kind == "memerr":
+        raise MemoryError(f"injected MemoryError for {spec.name}")
+
+
+def _task_summary(spec: RunSpec) -> Any:
+    """Figure-pipeline task: the memoized experiment run.  Children
+    share the per-key disk cache (atomic per-entry writes), so a
+    parallel sweep leaves the same cache a serial one would."""
+    from repro.analysis.experiments import run_experiment
+
+    return run_experiment(spec.dataset, spec.seeding, spec.algorithm,
+                          spec.n_ranks, scale=spec.scale)
+
+
+def _task_bench(spec: RunSpec) -> Any:
+    """Trajectory-harness task: one observed run, analyzed into the
+    ``BENCH_*.json`` entry dict."""
+    from repro.analysis.scenarios import make_problem, scenario_machine
+    from repro.core.driver import run_streamlines
+    from repro.obs import Recorder, analyze_run
+
+    problem = make_problem(spec.dataset, spec.seeding, scale=spec.scale)
+    obs = Recorder(enabled=True, sample_interval=spec.sample_interval)
+    result = run_streamlines(problem, algorithm=spec.algorithm,
+                             machine=scenario_machine(spec.n_ranks),
+                             obs=obs)
+    entry = analyze_run(result, obs).to_dict()
+    # The analyzer reports trajectory-level metrics; the scalar summary
+    # adds the aggregate the scaling figures use.
+    entry["parallel_efficiency"] = result.parallel_efficiency
+    return entry
+
+
+_TASKS = {
+    MODE_SUMMARY: _task_summary,
+    MODE_BENCH: _task_bench,
+}
+
+
+def run_spec(spec: RunSpec) -> Any:
+    """Execute one spec and return its payload (raises on failure)."""
+    task = _TASKS.get(spec.mode)
+    if task is None:
+        raise ValueError(f"unknown run mode {spec.mode!r}; "
+                         f"expected one of {sorted(_TASKS)}")
+    _maybe_inject_fault(spec)
+    return task(spec)
+
+
+def oom_payload(spec: RunSpec) -> dict:
+    """Minimal run entry for a spec whose child hit a *real*
+    MemoryError — the same gated ``oom`` status the simulated probe
+    commits, so ``repro diff`` treats both identically."""
+    return {"status": "oom"}
+
+
+def child_main(spec: RunSpec, conn) -> None:
+    """Process entry point: run the spec, ship the outcome back."""
+    try:
+        payload: Tuple[str, Any] = (OUTCOME_OK, run_spec(spec))
+    except MemoryError:
+        payload = (OUTCOME_OOM, oom_payload(spec))
+    except BaseException:
+        payload = (OUTCOME_ERROR, traceback.format_exc(limit=20))
+    try:
+        conn.send(payload)
+    finally:
+        conn.close()

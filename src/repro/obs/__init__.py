@@ -53,6 +53,7 @@ from repro.obs.export import (
     write_spans_jsonl,
 )
 from repro.obs.recorder import NULL_RECORDER, Recorder
+from repro.obs.trend import TREND_METRICS, load_snapshots, trend_table
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
     NULL_REGISTRY,
@@ -108,7 +109,10 @@ __all__ = [
     "diff_table",
     "gini",
     "jsonable",
+    "TREND_METRICS",
     "load_comparable",
+    "load_snapshots",
+    "trend_table",
     "perfetto_events",
     "perfetto_json",
     "regressions",

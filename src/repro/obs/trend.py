@@ -1,0 +1,116 @@
+"""Critical-path trends over a *series* of benchmark snapshots.
+
+``repro diff`` answers "did this commit regress against one baseline?";
+``repro trend`` answers "how has the critical-path breakdown moved over
+a series of committed ``BENCH_*.json`` snapshots?" — the ROADMAP's
+trend view.  For every run name in the series it tabulates the trend
+metrics (wall clock, the four critical-path components, block
+efficiency) across snapshots in the order given, with the relative
+change from the first to the last snapshot in which the run appears.
+
+Inputs are the same as ``repro diff``: ``BENCH_*.json`` files or
+``repro trace`` output directories (analyzed on the fly).  Snapshot
+columns are labelled with the document's ``generated`` stamp (falling
+back to the file name), disambiguated when stamps repeat.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.diff import flatten_metrics, load_comparable
+
+#: Metrics tabulated per run, in display order.
+TREND_METRICS: Tuple[str, ...] = (
+    "wall_clock",
+    "critical_path.compute",
+    "critical_path.io",
+    "critical_path.comm",
+    "critical_path.idle",
+    "block_efficiency",
+)
+
+#: A loaded snapshot: (column label, run-name -> metrics table).
+Snapshot = Tuple[str, Dict[str, Dict[str, Any]]]
+
+
+def load_snapshots(paths: Sequence[Any]) -> List[Snapshot]:
+    """Load a series of snapshots in the order given (>= 2 required)."""
+    if len(paths) < 2:
+        raise ValueError("trend needs at least two snapshots "
+                         f"(got {len(paths)})")
+    snapshots: List[Snapshot] = []
+    seen: Dict[str, int] = {}
+    for raw in paths:
+        path = Path(raw)
+        runs = load_comparable(path)
+        label = path.name
+        if path.is_file():
+            try:
+                generated = json.loads(path.read_text()).get("generated")
+            except (OSError, json.JSONDecodeError):  # load_comparable read it
+                generated = None  # pragma: no cover - unreachable in practice
+            if isinstance(generated, str) and generated:
+                label = generated
+        n = seen.get(label, 0)
+        seen[label] = n + 1
+        if n:
+            label = f"{label}#{n + 1}"
+        snapshots.append((label, runs))
+    return snapshots
+
+
+def _cell(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.3f}"
+
+
+def _delta_pct(first: Optional[float],
+               last: Optional[float]) -> str:
+    if first is None or last is None:
+        return "-"
+    if first == 0.0:
+        return "-" if last == 0.0 else "new"
+    return f"{100.0 * (last - first) / abs(first):+.1f}%"
+
+
+def trend_table(snapshots: Sequence[Snapshot],
+                metrics: Sequence[str] = TREND_METRICS) -> str:
+    """Render the per-run trend tables across the snapshot series."""
+    labels = [label for label, _ in snapshots]
+    names = sorted({name for _, runs in snapshots for name in runs})
+    colw = max(10, *(len(label) + 2 for label in labels))
+    metw = max(len("metric"), *(len(m) for m in metrics), len("status"))
+
+    out: List[str] = []
+    header = ("  " + "metric".ljust(metw)
+              + "".join(f"{label:>{colw}}" for label in labels)
+              + f"{'Δ%':>9}")
+    for name in names:
+        rows: List[str] = [name, header, "  " + "-" * (len(header) - 2)]
+        entries = [runs.get(name) for _, runs in snapshots]
+        statuses = [e.get("status", "ok") if e is not None else None
+                    for e in entries]
+        if len({s for s in statuses if s is not None}) > 1:
+            rows.append("  " + "status".ljust(metw)
+                        + "".join(f"{s if s is not None else '-':>{colw}}"
+                                  for s in statuses) + f"{'-':>9}")
+        flat = [flatten_metrics(e) if e is not None else {}
+                for e in entries]
+        for metric in metrics:
+            values = [f.get(metric) for f in flat]
+            present = [v for v in values if v is not None]
+            if not present:
+                continue
+            # A run present in only one snapshot has no trend yet.
+            delta = ("-" if len(present) < 2
+                     else _delta_pct(present[0], present[-1]))
+            rows.append("  " + metric.ljust(metw)
+                        + "".join(f"{_cell(v):>{colw}}" for v in values)
+                        + f"{delta:>9}")
+        out.extend(rows)
+        out.append("")
+    while out and not out[-1]:
+        out.pop()
+    return "\n".join(out)

@@ -81,6 +81,30 @@ def test_bench_multi_dataset_with_oom_probe(bench_mod, tmp_path):
     assert regular["status"] == "ok"
 
 
+def test_bench_rank_scaling_trajectory(bench_mod, tmp_path):
+    """--rank-scaling appends astro/dense/hybrid runs per rank count,
+    deduplicating any point the main grid already covers."""
+    out = tmp_path / "scaling"
+    args = ["--scale", "0.05", "--ranks", "4", "--sample-interval", "2.0",
+            "--date", "19700104", "--rank-scaling", "2,4",
+            "--out", str(out)]
+    assert bench_mod.main(args) == 0
+    doc = json.loads((out / "BENCH_19700104.json").read_text())
+    # 6 grid runs + the 2-rank scaling point (the 4-rank point is the
+    # grid's own astro-dense-hybrid-4).
+    assert len(doc["runs"]) == 7
+    assert doc["config"]["rank_scaling"] == [2, 4]
+    assert doc["runs"]["astro-dense-hybrid-2"]["status"] == "ok"
+    assert doc["runs"]["astro-dense-hybrid-4"]["status"] == "ok"
+
+
+def test_bench_rank_scaling_validation(bench_mod, tmp_path):
+    args = ["--scale", "0.05", "--ranks", "4", "--date", "x",
+            "--rank-scaling", "4,banana", "--out", str(tmp_path)]
+    with pytest.raises(SystemExit, match="rank-scaling"):
+        bench_mod.main(args)
+
+
 def test_bench_oom_probe_can_be_disabled(bench_mod, tmp_path):
     out = tmp_path / "noprobe"
     args = ["--dataset", "thermal", "--scale", "0.05", "--ranks", "4",

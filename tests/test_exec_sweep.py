@@ -1,0 +1,287 @@
+"""Parallel sweep executor: determinism, robustness guards, merging."""
+
+import dataclasses
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentKey,
+    RunSummary,
+    _entry_path,
+    _save_entry,
+    clear_cache,
+    sweep_dataset,
+)
+from repro.exec import (
+    OUTCOME_CRASHED,
+    OUTCOME_OK,
+    OUTCOME_OOM,
+    OUTCOME_TIMEOUT,
+    RunSpec,
+    SweepExecutor,
+    failure_report,
+    grid_specs,
+    merge_run_entries,
+)
+from repro.exec.worker import FAULT_ENV
+
+REPO = Path(__file__).resolve().parent.parent
+
+TINY = dict(scale=0.02)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the disk cache at a temp dir and clear memory between
+    tests (children inherit the environment, so they share it)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    import repro.analysis.experiments as exp
+    exp._DISK_LOADED = False
+    clear_cache()
+    yield
+    clear_cache()
+    exp._DISK_LOADED = False
+
+
+@pytest.fixture(scope="module")
+def bench_mod():
+    spec = importlib.util.spec_from_file_location(
+        "bench_trajectory_exec", REPO / "benchmarks" / "bench_trajectory.py")
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_trajectory_exec", mod)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+# --------------------------------------------------------------------- #
+# Spec plumbing
+# --------------------------------------------------------------------- #
+
+def test_run_spec_names():
+    spec = RunSpec(dataset="astro", seeding="dense", algorithm="hybrid",
+                   n_ranks=8)
+    assert spec.name == "astro-dense-hybrid-8"
+    probe = dataclasses.replace(spec, tag="oomprobe")
+    assert probe.name == "astro-dense-hybrid-8-oomprobe"
+
+
+def test_grid_specs_order():
+    specs = grid_specs(["a", "b"], ["s"], ["x", "y"], [4, 8], scale=0.5)
+    names = [s.name for s in specs]
+    assert names == ["a-s-x-4", "a-s-x-8", "a-s-y-4", "a-s-y-8",
+                     "b-s-x-4", "b-s-x-8", "b-s-y-4", "b-s-y-8"]
+    assert all(s.scale == 0.5 for s in specs)
+
+
+def test_unknown_mode_rejected():
+    from repro.exec import run_spec
+
+    with pytest.raises(ValueError, match="unknown run mode"):
+        run_spec(RunSpec(dataset="astro", seeding="sparse",
+                         algorithm="hybrid", n_ranks=4, mode="nope"))
+
+
+# --------------------------------------------------------------------- #
+# Determinism: jobs=1 vs jobs=4 must merge byte-identically
+# --------------------------------------------------------------------- #
+
+def _summary_doc(outcomes):
+    runs = {}
+    for o in outcomes:
+        entry = dataclasses.asdict(o.payload)
+        entry.pop("key")
+        runs[o.spec.name] = entry
+    return json.dumps(runs, sort_keys=True).encode()
+
+
+def test_four_spec_sweep_parallel_matches_serial():
+    """The acceptance contract: the same 4-spec sweep merged from a
+    4-process pool is byte-equal to the serial merge."""
+    specs = grid_specs(["astro"], ["sparse", "dense"],
+                       ["ondemand", "static"], [4], scale=0.02)
+    assert len(specs) == 4
+    serial = SweepExecutor(jobs=1).run(specs)
+    clear_cache(disk=True)  # force the pool to actually re-run
+    parallel = SweepExecutor(jobs=4).run(specs)
+    assert [o.status for o in serial] == [OUTCOME_OK] * 4
+    assert [o.status for o in parallel] == [OUTCOME_OK] * 4
+    assert _summary_doc(serial) == _summary_doc(parallel)
+
+
+def test_sweep_dataset_parallel_matches_serial():
+    serial = sweep_dataset("astro", rank_counts=(4,),
+                           algorithms=("ondemand",),
+                           seedings=("sparse", "dense"), **TINY)
+    clear_cache(disk=True)
+    parallel = sweep_dataset("astro", rank_counts=(4,),
+                             algorithms=("ondemand",),
+                             seedings=("sparse", "dense"), jobs=4, **TINY)
+    assert serial == parallel  # frozen dataclasses, exact floats
+
+
+def test_bench_trajectory_jobs_byte_identical(bench_mod, tmp_path):
+    """End-to-end: the BENCH snapshot is byte-identical for any
+    --jobs value (what CI cmp-gates)."""
+    args = ["--scale", "0.05", "--ranks", "4", "--sample-interval", "2.0",
+            "--date", "par"]
+    assert bench_mod.main(args + ["--out", str(tmp_path / "serial"),
+                                  "--jobs", "1"]) == 0
+    assert bench_mod.main(args + ["--out", str(tmp_path / "pool"),
+                                  "--jobs", "4"]) == 0
+    a = (tmp_path / "serial" / "BENCH_par.json").read_bytes()
+    b = (tmp_path / "pool" / "BENCH_par.json").read_bytes()
+    assert a == b
+
+
+# --------------------------------------------------------------------- #
+# Robustness guards
+# --------------------------------------------------------------------- #
+
+def test_per_run_timeout(monkeypatch):
+    monkeypatch.setenv(FAULT_ENV, "hang:astro-sparse-ondemand")
+    spec = RunSpec(dataset="astro", seeding="sparse",
+                   algorithm="ondemand", n_ranks=4, scale=0.02)
+    [outcome] = SweepExecutor(jobs=2, timeout=1.0).run([spec])
+    assert outcome.status == OUTCOME_TIMEOUT
+    assert "1s limit" in outcome.error
+    assert failure_report([outcome])
+
+
+def test_child_crash_does_not_lose_the_sweep(monkeypatch):
+    monkeypatch.setenv(FAULT_ENV, "crash:astro-sparse-static")
+    specs = grid_specs(["astro"], ["sparse"], ["static", "ondemand"],
+                       [4], scale=0.02)
+    outcomes = SweepExecutor(jobs=2).run(specs)
+    assert [o.spec.name for o in outcomes] == [s.name for s in specs]
+    crashed, survived = outcomes
+    assert crashed.status == OUTCOME_CRASHED
+    assert "exit code 3" in crashed.error
+    assert survived.status == OUTCOME_OK
+    assert survived.payload.ok
+    report = failure_report(outcomes)
+    assert "1/2 runs failed" in report
+    assert "astro-sparse-static-4: crashed" in report
+
+
+def test_child_exception_is_reported(monkeypatch):
+    monkeypatch.setenv(FAULT_ENV, "raise:astro")
+    spec = RunSpec(dataset="astro", seeding="sparse",
+                   algorithm="ondemand", n_ranks=4, scale=0.02)
+    [outcome] = SweepExecutor(jobs=2).run([spec])
+    assert outcome.status == "error"
+    assert "injected fault" in outcome.error
+
+
+def test_real_memoryerror_is_gated_oom_in_child(monkeypatch):
+    """The OOM-probe contract: a real MemoryError kills the child, not
+    the harness, and surfaces as the gated 'oom' status."""
+    monkeypatch.setenv(FAULT_ENV, "memerr:oomprobe")
+    probe = RunSpec(dataset="thermal", seeding="dense",
+                    algorithm="static", n_ranks=4, scale=0.02,
+                    mode="bench", tag="oomprobe", isolate=True,
+                    oom_probe=True)
+    [outcome] = SweepExecutor(jobs=1).run([probe])  # serial: still a child
+    assert outcome.status == OUTCOME_OOM
+    assert outcome.payload == {"status": "oom"}
+    assert not outcome.failed  # the probe's oom is a result, not a crash
+
+
+def test_isolated_spec_crash_spares_the_harness(monkeypatch):
+    """isolate=True runs in a child even at jobs=1: a hard child death
+    cannot take the calling process down."""
+    monkeypatch.setenv(FAULT_ENV, "crash:thermal")
+    spec = RunSpec(dataset="thermal", seeding="dense", algorithm="static",
+                   n_ranks=4, scale=0.02, isolate=True)
+    [outcome] = SweepExecutor(jobs=1).run([spec])
+    assert outcome.status == OUTCOME_CRASHED
+
+
+def test_inline_memoryerror_is_gated(monkeypatch):
+    monkeypatch.setenv(FAULT_ENV, "memerr:astro")
+    spec = RunSpec(dataset="astro", seeding="sparse",
+                   algorithm="ondemand", n_ranks=4, scale=0.02)
+    [outcome] = SweepExecutor(jobs=1).run([spec])  # inline serial path
+    assert outcome.status == OUTCOME_OOM
+
+
+def test_sweep_dataset_raises_on_failures(monkeypatch):
+    monkeypatch.setenv(FAULT_ENV, "crash:astro")
+    with pytest.raises(RuntimeError, match="runs failed"):
+        sweep_dataset("astro", rank_counts=(4,), algorithms=("ondemand",),
+                      seedings=("sparse",), jobs=2, **TINY)
+
+
+def test_merge_run_entries_statuses():
+    from repro.exec import RunOutcome
+
+    ok = RunOutcome(spec=RunSpec(dataset="a", seeding="s", algorithm="x",
+                                 n_ranks=4), status=OUTCOME_OK,
+                    payload={"status": "ok", "wall_clock": 1.0})
+    oom = RunOutcome(spec=RunSpec(dataset="a", seeding="s", algorithm="y",
+                                  n_ranks=4, oom_probe=True),
+                     status=OUTCOME_OOM, payload={"status": "oom"})
+    dead = RunOutcome(spec=RunSpec(dataset="a", seeding="s",
+                                   algorithm="z", n_ranks=4),
+                      status=OUTCOME_TIMEOUT, error="too slow")
+    runs = merge_run_entries([ok, oom, dead])
+    assert list(runs) == ["a-s-x-4", "a-s-y-4", "a-s-z-4"]
+    assert runs["a-s-x-4"]["wall_clock"] == 1.0
+    assert runs["a-s-y-4"] == {"status": "oom"}
+    assert runs["a-s-z-4"] == {"status": "timeout"}
+
+
+# --------------------------------------------------------------------- #
+# Atomic per-key cache
+# --------------------------------------------------------------------- #
+
+def test_cache_entry_written_atomically(tmp_path):
+    key = ExperimentKey(dataset="astro", seeding="sparse",
+                        algorithm="hybrid", n_ranks=8, scale=0.5)
+    summary = RunSummary(key=key, status="ok", wall_clock=1.25)
+    _save_entry(key, summary)
+    path = _entry_path(key)
+    assert path is not None and path.is_file()
+    # No tmp residue: the write went through os.replace.
+    assert not list(path.parent.glob("*.tmp.*"))
+    blob = json.loads(path.read_text())
+    assert blob["key"] == dataclasses.asdict(key)
+    assert blob["summary"]["wall_clock"] == 1.25
+
+
+def test_corrupt_cache_entry_is_ignored():
+    import repro.analysis.experiments as exp
+
+    key = ExperimentKey(dataset="astro", seeding="sparse",
+                        algorithm="hybrid", n_ranks=8, scale=0.5)
+    _save_entry(key, RunSummary(key=key, status="ok", wall_clock=2.0))
+    # A torn/corrupt sibling must not poison the load.
+    bad = _entry_path(key).parent / "garbage.json"
+    bad.write_text("{not json")
+    exp._CACHE.clear()
+    exp._DISK_LOADED = False
+    exp._load_disk_cache()
+    assert exp._CACHE[key].wall_clock == 2.0
+
+
+def test_legacy_whole_file_cache_still_read(tmp_path, monkeypatch):
+    import repro.analysis.experiments as exp
+
+    root = tmp_path / "legacy"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+    root.mkdir()
+    key = ExperimentKey(dataset="astro", seeding="dense",
+                        algorithm="static", n_ranks=16, scale=1.0)
+    d = dataclasses.asdict(RunSummary(key=key, status="ok",
+                                      wall_clock=7.5))
+    d.pop("key")
+    (root / "sweep_cache.json").write_text(json.dumps(
+        {"version": exp.CACHE_VERSION,
+         "runs": [{"key": dataclasses.asdict(key), "summary": d}]}))
+    exp._CACHE.clear()
+    exp._DISK_LOADED = False
+    exp._load_disk_cache()
+    assert exp._CACHE[key].wall_clock == 7.5

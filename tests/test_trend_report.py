@@ -1,0 +1,101 @@
+"""`repro trend` snapshot-series tables and the EXPERIMENTS.md
+critical-path context renderer."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import critical_path_context_table
+from repro.cli import main as cli_main
+from repro.obs.trend import load_snapshots, trend_table
+
+
+def _bench_doc(generated, wall, status="ok"):
+    entry = {"status": status}
+    if status == "ok":
+        entry.update({
+            "wall_clock": wall,
+            "critical_path": {"compute": wall * 0.7, "io": wall * 0.2,
+                              "comm": wall * 0.05, "idle": wall * 0.05},
+            "block_efficiency": 0.5,
+        })
+    return {"schema": 1, "generated": generated, "config": {},
+            "runs": {"astro-dense-hybrid-8": entry}}
+
+
+@pytest.fixture
+def snapshot_files(tmp_path):
+    a = tmp_path / "BENCH_a.json"
+    b = tmp_path / "BENCH_b.json"
+    a.write_text(json.dumps(_bench_doc("20260101", 2.0)))
+    b.write_text(json.dumps(_bench_doc("20260806", 1.0)))
+    return a, b
+
+
+def test_trend_table_deltas(snapshot_files):
+    snapshots = load_snapshots(snapshot_files)
+    assert [label for label, _ in snapshots] == ["20260101", "20260806"]
+    table = trend_table(snapshots)
+    assert "astro-dense-hybrid-8" in table
+    assert "wall_clock" in table
+    assert "-50.0%" in table           # 2.0 -> 1.0
+    assert "critical_path.compute" in table
+
+
+def test_trend_requires_two_snapshots(snapshot_files):
+    with pytest.raises(ValueError, match="at least two"):
+        load_snapshots([snapshot_files[0]])
+
+
+def test_trend_duplicate_labels_disambiguated(tmp_path):
+    a = tmp_path / "x.json"
+    b = tmp_path / "y.json"
+    a.write_text(json.dumps(_bench_doc("same", 2.0)))
+    b.write_text(json.dumps(_bench_doc("same", 3.0)))
+    labels = [label for label, _ in load_snapshots([a, b])]
+    assert labels == ["same", "same#2"]
+
+
+def test_trend_status_change_row(tmp_path):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(json.dumps(_bench_doc("one", 2.0)))
+    b.write_text(json.dumps(_bench_doc("two", 0.0, status="oom")))
+    table = trend_table(load_snapshots([a, b]))
+    assert "status" in table
+    assert "oom" in table
+
+
+def test_trend_cli(snapshot_files, capsys):
+    a, b = snapshot_files
+    assert cli_main(["trend", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "astro-dense-hybrid-8" in out
+    assert "-50.0%" in out
+
+
+def test_trend_cli_rejects_single_snapshot(snapshot_files, capsys):
+    assert cli_main(["trend", str(snapshot_files[0])]) == 2
+    assert "at least two" in capsys.readouterr().err
+
+
+def test_trend_cli_rejects_bad_schema(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": 99, "runs": {}}))
+    assert cli_main(["trend", str(bad), str(bad)]) == 2
+    assert "unsupported bench schema" in capsys.readouterr().err
+
+
+def test_critical_path_context_table():
+    entries = {
+        "astro-dense-static-32": {
+            "status": "ok", "wall_clock": 10.0,
+            "critical_path": {"compute": 6.0, "io": 3.0, "comm": 0.5,
+                              "idle": 0.5}},
+        "astro-dense-oom-32": {"status": "oom"},
+    }
+    table = critical_path_context_table(entries)
+    assert "astro-dense-static-32" in table
+    assert "10.000" in table
+    assert "60.0%" in table       # compute share of wall
+    assert "OOM" in table         # failed run renders as its status
