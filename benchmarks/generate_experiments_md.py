@@ -147,7 +147,10 @@ End-to-end wall-clock attribution for the dense-seeding scenarios at
 `[0, wall]` with the busy segments that gated progress, so each row
 explains *where the time went* for the figures above (compute-bound vs
 I/O-bound vs communication-bound is the axis the paper's §5 discussion
-turns on).  Percentages are shares of that run's wall clock.
+turns on).  Percentages are shares of that run's wall clock.  The seed
+p50/p95 columns are per-streamline birth-to-termination latency
+percentiles from the per-seed lifecycle reconstruction (`repro
+slowest` breaks the slowest ones down segment by segment).
 """
 
 

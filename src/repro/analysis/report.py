@@ -160,8 +160,12 @@ def critical_path_context_table(
     kinds = ("compute", "io", "comm", "idle")
     name_w = max(len("run"), max((len(n) for n in entries), default=0))
     col_w = 16
+    seed_cols = ("p50", "p95") if any(
+        isinstance(e.get("seed_latency"), Mapping)
+        for e in entries.values()) else ()
     header = ("run".ljust(name_w) + f"{'wall [s]':>10}"
-              + "".join(f"{k:>{col_w}}" for k in kinds))
+              + "".join(f"{k:>{col_w}}" for k in kinds)
+              + "".join(f"{'seed ' + c:>10}" for c in seed_cols))
     lines = [header, "-" * len(header)]
     for name, entry in entries.items():
         status = entry.get("status", "ok")
@@ -176,6 +180,12 @@ def critical_path_context_table(
             seconds = float(path.get(kind, 0.0))
             pct = 100.0 * seconds / wall if wall > 0 else 0.0
             row += f"{seconds:>9.3f} {pct:>4.1f}%".rjust(col_w)
+        latency = entry.get("seed_latency")
+        for c in seed_cols:
+            if isinstance(latency, Mapping) and c in latency:
+                row += f"{float(latency[c]):>10.3f}"
+            else:
+                row += f"{'-':>10}"
         lines.append(row)
     return "\n".join(lines)
 
@@ -263,6 +273,19 @@ def analysis_report(analysis: "RunAnalysis") -> str:
     out.append("")
     out.append("block efficiency over time (cumulative E):")
     out.extend(_efficiency_trajectory(analysis))
+    out.append("")
+    out.append("seed latency (birth -> termination, per streamline):")
+    latency = analysis.seed_latency
+    if latency is None:
+        out.append("  (no per-seed provenance — trace was recorded "
+                   "before streamline ids; see `repro slowest` after "
+                   "re-tracing)")
+    else:
+        out.append(f"  completed seeds    {int(latency['count']):10d}")
+        out.append(f"  mean / p50         {latency['mean']:10.3f} / "
+                   f"{latency['p50']:.3f} s")
+        out.append(f"  p95 / max          {latency['p95']:10.3f} / "
+                   f"{latency['max']:.3f} s")
     out.append("")
     out.append("leaf span durations [s]:")
     out.extend(_span_summary_table(analysis))

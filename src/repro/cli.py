@@ -13,6 +13,10 @@ Commands
                Perfetto timeline, span/sample JSONL, and idle analysis
 ``analyze``    post-run analytics on a ``trace`` output directory:
                critical-path breakdown, imbalance, ping-pong diagnostics
+``slowest``    top-K slowest streamlines of a trace with per-segment
+               lifecycle breakdowns (per-seed critical paths)
+``streamline`` full cross-rank lifecycle of one streamline, optionally
+               exported as a per-seed Perfetto track
 ``diff``       compare two runs (trace dirs or BENCH_*.json files) with
                regression thresholds; non-zero exit on regression
 ``trend``      critical-path breakdown trend table over a series of
@@ -283,6 +287,74 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_trace_lineages(trace_dir):
+    """Seed lineages of a ``repro trace`` output directory (empty when
+    the trace predates per-streamline provenance)."""
+    from repro.obs.analyze import load_spans_jsonl
+    from repro.obs.lineage import seed_lineages
+
+    path = Path(trace_dir) / "spans.jsonl"
+    if not path.is_file():
+        raise FileNotFoundError(
+            f"{path} not found — pass a `repro trace` output directory")
+    return seed_lineages(load_spans_jsonl(path))
+
+
+_NO_PROVENANCE = (
+    "no per-seed provenance in this trace: it was recorded before "
+    "streamline ids were attached to spans — re-run `repro trace` "
+    "to regenerate it")
+
+
+def _cmd_slowest(args: argparse.Namespace) -> int:
+    from repro.obs import slowest_seeds, slowest_table, \
+        write_seed_perfetto
+
+    try:
+        lineages = _load_trace_lineages(args.trace_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro slowest: {exc}", file=sys.stderr)
+        return 2
+    if not lineages:
+        print(_NO_PROVENANCE)
+        return 0
+    picks = slowest_seeds(lineages, top=args.top)
+    print(f"slowest {len(picks)} of {len(lineages)} seeds "
+          f"(birth->termination latency, per-segment breakdown):")
+    print(slowest_table(lineages, top=args.top))
+    if args.perfetto:
+        write_seed_perfetto(args.perfetto, picks)
+        print(f"wrote {len(picks)} per-seed Perfetto track(s) to "
+              f"{args.perfetto}", file=sys.stderr)
+    return 0
+
+
+def _cmd_streamline(args: argparse.Namespace) -> int:
+    from repro.obs import lifecycle_table, write_seed_perfetto
+
+    try:
+        lineages = _load_trace_lineages(args.trace_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro streamline: {exc}", file=sys.stderr)
+        return 2
+    if not lineages:
+        print(f"repro streamline: {_NO_PROVENANCE}", file=sys.stderr)
+        return 2
+    by_sid = {ln.sid: ln for ln in lineages}
+    lineage = by_sid.get(args.sid)
+    if lineage is None:
+        print(f"repro streamline: no lineage for seed {args.sid} "
+              f"(trace has seeds {min(by_sid)}..{max(by_sid)})",
+              file=sys.stderr)
+        return 2
+    print(lifecycle_table(lineage))
+    if args.perfetto:
+        write_seed_perfetto(args.perfetto, [lineage])
+        print(f"wrote the seed's Perfetto track to {args.perfetto}",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_diff(args: argparse.Namespace) -> int:
     from repro.obs import diff_runs, diff_table, load_comparable, \
         regressions
@@ -405,6 +477,29 @@ def build_parser() -> argparse.ArgumentParser:
                            "(contains run.json/spans.jsonl/samples.jsonl)")
     p_an.set_defaults(func=_cmd_analyze)
 
+    p_sl = sub.add_parser(
+        "slowest",
+        help="top-K slowest streamlines with lifecycle breakdowns")
+    p_sl.add_argument("trace_dir",
+                      help="a `repro trace` output directory")
+    p_sl.add_argument("--top", type=int, default=5,
+                      help="how many seeds to report (default 5)")
+    p_sl.add_argument("--perfetto", default=None, metavar="PATH",
+                      help="also write the reported seeds' lifecycle "
+                           "tracks as a Perfetto JSON file")
+    p_sl.set_defaults(func=_cmd_slowest)
+
+    p_st = sub.add_parser(
+        "streamline",
+        help="full cross-rank lifecycle of one streamline")
+    p_st.add_argument("trace_dir",
+                      help="a `repro trace` output directory")
+    p_st.add_argument("sid", type=int, help="streamline (seed) id")
+    p_st.add_argument("--perfetto", default=None, metavar="PATH",
+                      help="also write the seed's lifecycle track as a "
+                           "Perfetto JSON file")
+    p_st.set_defaults(func=_cmd_streamline)
+
     p_df = sub.add_parser(
         "diff",
         help="compare two runs with regression thresholds")
@@ -447,7 +542,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     try:
-        return args.func(args)
+        code = args.func(args)
+        # Flush inside the guard: a small report fits the pipe buffer, so
+        # the write that actually hits the closed pipe is otherwise the
+        # interpreter-exit flush — outside any handler, where it prints
+        # an "Exception ignored" warning and poisons the exit code.
+        sys.stdout.flush()
+        return code
     except BrokenPipeError:
         # Downstream pager/head closed the pipe (e.g. `repro trend | head`);
         # suppress the traceback and exit like a well-behaved filter.

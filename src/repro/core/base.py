@@ -103,8 +103,17 @@ class Worker:
     # ------------------------------------------------------------------ #
     # Blocks
     # ------------------------------------------------------------------ #
-    def ensure_block(self, block_id: int) -> Generator[Request, Any, Block]:
-        """The block, from cache or via a (priced) filesystem read."""
+    def ensure_block(self, block_id: int,
+                     waiting_lines: Optional[Sequence[Streamline]] = None,
+                     ) -> Generator[Request, Any, Block]:
+        """The block, from cache or via a (priced) filesystem read.
+
+        ``waiting_lines`` (optional, recording-only) names the
+        streamlines blocked on this load; on a cache miss their ids tag
+        the ``io.load_block`` span so per-seed lineage can attribute the
+        blocked-on-load interval.  Pass the live queue list — ids are
+        only extracted when the recorder is enabled and a read happens.
+        """
         ctx = self.ctx
         obs = ctx.obs
         block = self.cache.get(block_id)
@@ -115,7 +124,10 @@ class Worker:
             return block
         if obs.enabled:
             obs.registry.counter("cache.misses").inc()
-        with obs.span(ctx.rank, "io.load_block", block=block_id):
+        sids = (sorted(ln.sid for ln in waiting_lines)
+                if obs.enabled and waiting_lines else None)
+        with obs.span(ctx.rank, "io.load_block", block=block_id,
+                      **({"sids": sids} if sids else {})):
             yield from ctx.read_block_bytes(self.cost.block_nbytes)
             block = self.store.load(block_id)
         evicted = self.cache.put(block)
@@ -177,6 +189,9 @@ class Worker:
             raise RuntimeError(f"rank {self.ctx.rank} already owns "
                                f"streamline {line.sid}")
         rank = self.ctx.rank
+        obs = self.ctx.obs
+        if obs.enabled:
+            obs.marker(rank, "seed.own", sid=line.sid)
         if line.visited_ranks:
             self.ctx.metrics.lines_received += 1
             if rank in line.visited_ranks:
@@ -204,6 +219,9 @@ class Worker:
         if nbytes is None:
             raise RuntimeError(f"rank {self.ctx.rank} does not own "
                                f"streamline {line.sid}")
+        obs = self.ctx.obs
+        if obs.enabled:
+            obs.marker(self.ctx.rank, "seed.release", sid=line.sid)
         self.ctx.memory.free(nbytes, "streamline")
 
     def owns_line(self, sid: int) -> bool:
@@ -244,12 +262,17 @@ class Worker:
         result = advance_pool(pool_lines, pool, self.problem.field.domain,
                               self.problem.decomposition, self.integrator,
                               self.problem.integ, round_limit=round_limit)
-        yield from self.ctx.compute(result.attempted_steps)
+        obs = self.ctx.obs
+        yield from self.ctx.compute(
+            result.attempted_steps,
+            sids=([ln.sid for ln in pool_lines] if obs.enabled else None))
         for line in pool_lines:
             self.grow_line(line)
         for line in result.terminated:
             self.done_lines.append(line)
             self.ctx.metrics.streamlines_completed += 1
+            if obs.enabled:
+                obs.marker(self.ctx.rank, "seed.term", sid=line.sid)
         if self.ctx.trace.enabled:
             self.ctx.trace.emit(
                 self.ctx.rank, "advect_pool", blocks=len(blocks),

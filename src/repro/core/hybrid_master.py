@@ -394,11 +394,17 @@ class HybridMaster:
         (block id -1) so the global count can still reach n_seeds.  Every
         master handles its own share; the deltas flow to the root."""
         entries = self.pool.pop(-1, [])
+        obs = self.ctx.obs
         for sid, pt in entries:
             line = Streamline(sid=sid, seed=pt)
             line.terminate(Status.OUT_OF_BOUNDS)
             self.done_lines.append(line)
             self._group_term_delta += 1
+            # The master never owns these curves (no Worker bookkeeping),
+            # so emit the lifecycle bracket directly.
+            if obs.enabled:
+                obs.marker(self.ctx.rank, "seed.own", sid=sid)
+                obs.marker(self.ctx.rank, "seed.term", sid=sid)
 
     def _process(self, inbox) -> Generator[Request, Any, None]:
         for m in inbox:

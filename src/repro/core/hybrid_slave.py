@@ -133,12 +133,17 @@ class HybridSlave(Worker):
                 for line in lines:
                     self.own_line(line)
                 if not self.has_block(payload.block_id):
-                    yield from self.ensure_block(payload.block_id)
+                    yield from self.ensure_block(
+                        payload.block_id,
+                        waiting_lines=lines
+                        + self.waiting.get(payload.block_id, []))
                     self._promote(payload.block_id)
                 self.ready.setdefault(payload.block_id, []).extend(lines)
             elif isinstance(payload, msg.LoadBlock):
                 if not self.has_block(payload.block_id):
-                    yield from self.ensure_block(payload.block_id)
+                    yield from self.ensure_block(
+                        payload.block_id,
+                        waiting_lines=self.waiting.get(payload.block_id, ()))
                 self._promote(payload.block_id)
             elif isinstance(payload, msg.SendForce):
                 lines = self.waiting.pop(payload.block_id, [])

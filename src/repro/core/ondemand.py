@@ -64,6 +64,8 @@ class OnDemandWorker(Worker):
                 line.terminate(Status.OUT_OF_BOUNDS)
                 self.done_lines.append(line)
                 self.ctx.metrics.streamlines_completed += 1
+                if self.ctx.obs.enabled:
+                    self.ctx.obs.marker(self.ctx.rank, "seed.term", sid=sid)
             else:
                 self._enqueue(line)
 
@@ -88,7 +90,8 @@ class OnDemandWorker(Worker):
             if not self.ready:
                 # No in-memory work left: now (and only now) do I/O.
                 bid = self._next_block_to_load()
-                yield from self.ensure_block(bid)
+                yield from self.ensure_block(
+                    bid, waiting_lines=self.waiting[bid])
                 self.ready[bid] = self.waiting.pop(bid)
                 # Other waiting blocks may already be resident (loaded
                 # earlier, still cached); promote them too.

@@ -72,6 +72,9 @@ class StaticWorker(Worker):
                     self.done_lines.append(line)
                     self.ctx.metrics.streamlines_completed += 1
                     self._pending_term_delta += 1
+                    if self.ctx.obs.enabled:
+                        self.ctx.obs.marker(self.ctx.rank, "seed.term",
+                                            sid=sid)
                 continue
             if self.owns_block(bid):
                 line = Streamline(sid=sid, seed=self.problem.seeds[sid],
@@ -159,7 +162,8 @@ class StaticWorker(Worker):
                                 key=lambda b: (-len(self.queue[b]), b))
                 wanted = wanted[:max(1, self.cache.capacity // 2)]
                 for bid in wanted:
-                    yield from self.ensure_block(bid)
+                    yield from self.ensure_block(
+                        bid, waiting_lines=self.queue[bid])
                 batch = []
                 for bid in wanted:
                     batch.extend(self.queue.pop(bid))

@@ -46,11 +46,23 @@ from repro.obs.export import (
     jsonable,
     perfetto_events,
     perfetto_json,
+    seed_perfetto_json,
     timeline_text,
     write_perfetto,
     write_run_json,
     write_samples_jsonl,
+    write_seed_perfetto,
     write_spans_jsonl,
+)
+from repro.obs.lineage import (
+    LIFECYCLE_KINDS,
+    SeedLineage,
+    SeedSegment,
+    lifecycle_table,
+    seed_latency_summary,
+    seed_lineages,
+    slowest_seeds,
+    slowest_table,
 )
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.obs.trend import TREND_METRICS, load_snapshots, trend_table
@@ -86,6 +98,7 @@ __all__ = [
     "DiffRow",
     "Gauge",
     "Histogram",
+    "LIFECYCLE_KINDS",
     "MetricsRegistry",
     "NULL_RECORDER",
     "NULL_REGISTRY",
@@ -93,6 +106,8 @@ __all__ = [
     "NullSpan",
     "Recorder",
     "RunAnalysis",
+    "SeedLineage",
+    "SeedSegment",
     "Segment",
     "Span",
     "SpanRecord",
@@ -110,16 +125,23 @@ __all__ = [
     "gini",
     "jsonable",
     "TREND_METRICS",
+    "lifecycle_table",
     "load_comparable",
     "load_snapshots",
     "trend_table",
     "perfetto_events",
     "perfetto_json",
     "regressions",
+    "seed_latency_summary",
+    "seed_lineages",
+    "seed_perfetto_json",
+    "slowest_seeds",
+    "slowest_table",
     "span",
     "timeline_text",
     "write_perfetto",
     "write_run_json",
     "write_samples_jsonl",
+    "write_seed_perfetto",
     "write_spans_jsonl",
 ]

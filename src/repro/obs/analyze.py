@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.obs.lineage import seed_latency_summary, seed_lineages
 from repro.obs.registry import Histogram
 from repro.obs.span import SpanRecord
 
@@ -327,6 +328,10 @@ class RunAnalysis:
     #: rank -> wait reason -> seconds (as recorded; empty when unknown).
     waits: Dict[int, Dict[str, float]] = field(default_factory=dict)
     rank_rows: List[Dict[str, Any]] = field(default_factory=list)
+    #: count/mean/p50/p95/max of per-seed birth->termination latency.
+    #: None when the trace predates per-streamline provenance (no
+    #: ``seed.*`` markers) — consumers must treat that as "unavailable".
+    seed_latency: Optional[Dict[str, float]] = None
 
     @property
     def path_total(self) -> float:
@@ -339,7 +344,7 @@ class RunAnalysis:
         compute = sum(r.get("compute_time", 0.0) for r in self.rank_rows)
         loaded = sum(r.get("blocks_loaded", 0) for r in self.rank_rows)
         purged = sum(r.get("blocks_purged", 0) for r in self.rank_rows)
-        return {
+        out = {
             "schema": RUN_SCHEMA,
             "algorithm": self.algorithm,
             "status": self.status,
@@ -361,6 +366,9 @@ class RunAnalysis:
             "span_summaries": {k: dict(v)
                                for k, v in sorted(self.span_summaries.items())},
         }
+        if self.seed_latency is not None:
+            out["seed_latency"] = dict(self.seed_latency)
+        return out
 
 
 def _span_duration_summaries(spans: Sequence[Any]) -> Dict[str, Dict[str, float]]:
@@ -409,6 +417,7 @@ def analyze(run: Mapping[str, Any], spans: Sequence[Any],
         span_summaries=_span_duration_summaries(spans),
         waits={int(k): dict(v) for k, v in run.get("waits", {}).items()},
         rank_rows=rank_rows,
+        seed_latency=seed_latency_summary(seed_lineages(spans)),
     )
 
 

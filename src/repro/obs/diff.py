@@ -37,6 +37,10 @@ METRIC_DIRECTIONS: Dict[str, int] = {
     "critical_path.idle": +1,
     "pingpong_count": +1,
     "lines_received": +1,
+    "seed_latency.mean": +1,
+    "seed_latency.p50": +1,
+    "seed_latency.p95": +1,
+    "seed_latency.max": +1,
     "block_efficiency": -1,
     "parallel_efficiency": -1,
     "participation_ratio": -1,
@@ -51,6 +55,11 @@ DEFAULT_THRESHOLDS: Dict[str, float] = {
     "comm_time": 25.0,
     "block_efficiency": 5.0,
     "parallel_efficiency": 10.0,
+    # Tail latency of the slowest seeds: the per-streamline provenance
+    # metric.  Looser than wall_clock — a single seed's path is noisier
+    # than the whole run.  Compared only when both sides carry it
+    # (pre-provenance baselines simply lack the key).
+    "seed_latency.p95": 15.0,
 }
 
 

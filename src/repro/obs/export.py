@@ -178,6 +178,52 @@ def write_run_json(path, result, recorder: Recorder) -> None:
 
 
 # ---------------------------------------------------------------------- #
+# Per-seed Perfetto track
+# ---------------------------------------------------------------------- #
+
+def seed_perfetto_events(lineage) -> List[Dict[str, Any]]:
+    """``traceEvents`` for one seed's lifecycle: a dedicated process
+    (pid 1, named after the sid) with one thread whose slices are the
+    lifecycle segments, so a seed's cross-rank journey reads as a single
+    horizontal track in the Perfetto UI.  ``args.rank`` records where
+    each segment ran (-1 = in flight between ranks)."""
+    sid = lineage.sid
+    events: List[Dict[str, Any]] = [
+        {"ph": "M", "pid": 1, "tid": sid, "ts": 0,
+         "name": "process_name", "args": {"name": "streamlines"}},
+        {"ph": "M", "pid": 1, "tid": sid, "ts": 0,
+         "name": "thread_name", "args": {"name": f"seed {sid}"}},
+        {"ph": "M", "pid": 1, "tid": sid, "ts": 0,
+         "name": "thread_sort_index", "args": {"sort_index": sid}},
+    ]
+    for seg in lineage.segments:
+        events.append({
+            "ph": "X", "pid": 1, "tid": sid,
+            "name": seg.kind, "cat": "seed",
+            "ts": _us(seg.start), "dur": _us(seg.duration),
+            "args": {"rank": seg.rank, "sid": sid},
+        })
+    return events
+
+
+def seed_perfetto_json(lineages: Sequence) -> str:
+    """Perfetto document with one track per seed lifecycle (deterministic
+    JSON; lineages are rendered in the given order)."""
+    events: List[Dict[str, Any]] = []
+    for lineage in lineages:
+        events.extend(seed_perfetto_events(lineage))
+    doc = {"displayTimeUnit": "ms", "traceEvents": events}
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def write_seed_perfetto(path, lineages: Sequence) -> None:
+    """Write per-seed lifecycle tracks as a Perfetto JSON file."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(seed_perfetto_json(lineages))
+        f.write("\n")
+
+
+# ---------------------------------------------------------------------- #
 # Text timeline (Gantt)
 # ---------------------------------------------------------------------- #
 

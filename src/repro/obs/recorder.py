@@ -82,6 +82,22 @@ class Recorder:
         return Span(self, rank, name, category=category, metrics=metrics,
                     attrs=attrs or None)
 
+    def marker(self, rank: int, name: str, **attrs: Any) -> None:
+        """Record a zero-duration span at the current simulated time.
+
+        Markers are pure provenance (e.g. the ``seed.own`` / ``seed.release``
+        / ``seed.term`` streamline lifecycle events): they charge no timer,
+        consume no simulated time, and are dropped entirely when the
+        recorder is disabled, so emitting them cannot perturb the schedule.
+        """
+        if not self.enabled:
+            return
+        t = self._clock()
+        self._spans.append(SpanRecord(
+            rank=rank, name=name, start=t, end=t,
+            depth=self._depth.get(rank, 0),
+            attrs=tuple(sorted(attrs.items())) if attrs else ()))
+
     @property
     def spans(self) -> Tuple[SpanRecord, ...]:
         return tuple(self._spans)

@@ -106,8 +106,10 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
 
-    def percentile(self, q: float) -> float:
-        """Estimated ``q``-th percentile (``q`` in [0, 100]).
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-th percentile (``q`` in [0, 100]), or None on
+        an empty histogram (a percentile of nothing is not 0.0 — callers
+        must not mistake "no observations" for "all observations fast").
 
         Bucket-resolution estimate: linear interpolation inside the
         bucket where the cumulative count crosses ``q``, clamped to the
@@ -117,7 +119,7 @@ class Histogram:
         if not 0 <= q <= 100:
             raise ValueError(f"percentile q must be in [0, 100], got {q}")
         if self.total == 0:
-            return 0.0
+            return None
         target = q / 100.0 * self.total
         cumulative = 0
         for i, count in enumerate(self.counts):
@@ -133,7 +135,15 @@ class Histogram:
         return self.max
 
     def summary(self) -> Dict[str, float]:
-        """count / mean / p50 / p95 / max (the analyzer's table row)."""
+        """count / mean / p50 / p95 / max (the analyzer's table row).
+
+        Raises ValueError on an empty histogram: a summary row full of
+        fabricated zeros would read as a real measurement downstream.
+        """
+        if self.total == 0:
+            raise ValueError(
+                f"histogram {self.name!r} has no observations — "
+                "nothing to summarize")
         return {
             "count": self.total,
             "mean": self.mean,

@@ -99,11 +99,15 @@ class RankContext:
     def now(self) -> float:
         return self.engine.now
 
-    def compute(self, steps: int) -> Generator[Request, Any, float]:
+    def compute(self, steps: int,
+                sids: Optional[Any] = None) -> Generator[Request, Any, float]:
         """Charge ``steps`` integration steps of compute time.
 
         Returns the simulated seconds consumed.  Must be called with
-        ``yield from``.
+        ``yield from``.  ``sids`` (optional, recording-only) tags the
+        span with the streamline ids advanced by this call so the
+        per-seed lineage reconstruction can attribute the interval;
+        callers should only build the list when ``obs.enabled``.
         """
         if steps < 0:
             raise ValueError(f"negative step count: {steps}")
@@ -114,6 +118,8 @@ class RankContext:
                       metrics=self.metrics) as sp:
             if obs.enabled:
                 sp.set(steps=steps)
+                if sids is not None:
+                    sp.set(sids=sorted(sids))
             if seconds > 0:
                 yield Sleep(seconds)
         self.metrics.steps += steps

@@ -143,6 +143,17 @@ class Comm:
                       metrics=m) as sp:
             if obs.enabled:
                 sp.set(dst=dst, kind=kind, nbytes=nbytes)
+                # Streamline provenance: tag the send with the ids it
+                # carries so per-seed lineage can attribute the handoff.
+                # Duck-typed (StreamlinePacket has .lines, AssignSeeds
+                # has .sids) to keep this module free of core imports.
+                lines = getattr(payload, "lines", None)
+                if lines is not None:
+                    sp.set(sids=sorted(ln.sid for ln in lines))
+                else:
+                    sids = getattr(payload, "sids", None)
+                    if sids is not None:
+                        sp.set(sids=sorted(sids))
                 reg = obs.registry
                 reg.counter("comm.msgs_sent").inc()
                 reg.histogram("comm.msg_bytes",

@@ -50,10 +50,14 @@ def test_bench_snapshot_schema(snapshots):
         for key in ("wall_clock", "io_time", "comm_time",
                     "block_efficiency", "parallel_efficiency",
                     "critical_path", "participation_ratio",
-                    "pingpong_count"):
+                    "pingpong_count", "seed_latency"):
             assert key in entry, (name, key)
         path = sum(entry["critical_path"].values())
         assert abs(path - entry["wall_clock"]) < 1e-6
+        latency = entry["seed_latency"]
+        assert latency["count"] > 0
+        assert latency["p50"] <= latency["p95"] <= latency["max"]
+        assert latency["max"] <= entry["wall_clock"] + 1e-9
 
 
 def test_bench_snapshot_diffs_cleanly_against_itself(snapshots):

@@ -1,0 +1,273 @@
+"""Per-streamline provenance: lifecycle reconstruction and tiling."""
+
+import math
+
+import pytest
+
+from repro.core.driver import run_streamlines
+from repro.obs import Recorder, analyze_run
+from repro.obs.analyze import leaf_kind, load_spans_jsonl
+from repro.obs.export import seed_perfetto_json, write_spans_jsonl
+from repro.obs.lineage import (
+    LIFECYCLE_KINDS,
+    has_seed_provenance,
+    lifecycle_table,
+    seed_latency_summary,
+    seed_lineages,
+    slowest_seeds,
+    slowest_table,
+)
+from repro.obs.span import SpanRecord
+
+
+def rec(rank, name, start, end, **attrs):
+    return SpanRecord(rank=rank, name=name, start=start, end=end,
+                      depth=0, attrs=tuple(sorted(attrs.items())))
+
+
+def marker(rank, name, t, sid):
+    return rec(rank, name, t, t, sid=sid)
+
+
+def assert_exact_tiling(lineage):
+    """The acceptance invariant: segments tile birth->termination with
+    shared endpoints, so durations sum to the seed's wall exactly."""
+    segs = lineage.segments
+    assert segs, f"seed {lineage.sid} has no segments"
+    assert segs[0].start == lineage.birth
+    assert segs[-1].end == lineage.death
+    for a, b in zip(segs, segs[1:]):
+        assert a.end == b.start, (lineage.sid, a, b)
+    total = math.fsum(s.duration for s in segs)
+    assert total == pytest.approx(lineage.wall, abs=1e-12)
+
+
+# ---------------------------------------------------------------------- #
+# Synthetic lifecycles
+# ---------------------------------------------------------------------- #
+
+def test_seed_markers_are_invisible_to_rank_level_analytics():
+    # Lifecycle markers must not perturb the rank-level critical path:
+    # they are not leaf busy spans.
+    assert leaf_kind("seed.own") is None
+    assert leaf_kind("seed.release") is None
+    assert leaf_kind("seed.term") is None
+
+
+def test_single_rank_lifecycle_tiles_with_queued_gaps():
+    spans = [
+        marker(0, "seed.own", 0.0, 7),
+        rec(0, "io.load_block", 0.0, 1.0, block=3, sids=[7]),
+        rec(0, "compute.advect", 1.0, 3.0, sids=[7]),
+        # gap 3.0..4.0: the rank worked on something untagged
+        rec(0, "compute.advect", 4.0, 5.0, sids=[7]),
+        marker(0, "seed.term", 5.0, 7),
+    ]
+    (ln,) = seed_lineages(spans)
+    assert ln.sid == 7
+    assert ln.complete and ln.wall == pytest.approx(5.0)
+    assert ln.ranks == [0] and ln.handoffs == 0 and ln.pingpong == 0
+    assert [(s.kind, s.start, s.end) for s in ln.segments] == [
+        ("load", 0.0, 1.0), ("advect", 1.0, 3.0),
+        ("queued", 3.0, 4.0), ("advect", 4.0, 5.0)]
+    assert_exact_tiling(ln)
+
+
+def test_cross_rank_handoff_splits_into_handoff_and_inflight():
+    spans = [
+        marker(0, "seed.own", 0.0, 1),
+        rec(0, "compute.advect", 0.0, 2.0, sids=[1]),
+        marker(0, "seed.release", 2.0, 1),
+        rec(0, "comm.send", 2.0, 2.5, dst=3, sids=[1]),
+        # wire + mailbox latency 2.5..3.0
+        marker(3, "seed.own", 3.0, 1),
+        rec(3, "compute.advect", 3.0, 4.0, sids=[1]),
+        marker(3, "seed.term", 4.0, 1),
+    ]
+    (ln,) = seed_lineages(spans)
+    assert ln.ranks == [0, 3] and ln.handoffs == 1 and ln.pingpong == 0
+    assert [(s.kind, s.rank) for s in ln.segments] == [
+        ("advect", 0), ("handoff", 0), ("inflight", -1), ("advect", 3)]
+    assert_exact_tiling(ln)
+    bd = ln.breakdown()
+    assert bd["handoff"] == pytest.approx(0.5)
+    assert bd["inflight"] == pytest.approx(0.5)
+    assert set(bd) == set(LIFECYCLE_KINDS)
+
+
+def test_untagged_send_gap_is_all_inflight():
+    # Pre-upgrade senders (or spans lost to truncation) leave no tagged
+    # comm.send: the whole release->own gap must still be covered.
+    spans = [
+        marker(0, "seed.own", 0.0, 2),
+        rec(0, "compute.advect", 0.0, 1.0, sids=[2]),
+        marker(0, "seed.release", 1.0, 2),
+        marker(1, "seed.own", 2.0, 2),
+        marker(1, "seed.term", 2.5, 2),
+    ]
+    (ln,) = seed_lineages(spans)
+    kinds = [s.kind for s in ln.segments]
+    assert kinds == ["advect", "inflight", "queued"]
+    assert_exact_tiling(ln)
+
+
+def test_pingpong_counts_revisits():
+    spans = []
+    t = 0.0
+    for hop, rank in enumerate([0, 1, 0, 1]):
+        spans.append(marker(rank, "seed.own", t, 5))
+        spans.append(rec(rank, "compute.advect", t, t + 1.0, sids=[5]))
+        t += 1.0
+        if hop < 3:
+            spans.append(marker(rank, "seed.release", t, 5))
+            spans.append(rec(rank, "comm.send", t, t + 0.25,
+                             dst=1 - rank, sids=[5]))
+            t += 0.5
+    spans.append(marker(1, "seed.term", t, 5))
+    (ln,) = seed_lineages(spans)
+    assert ln.ranks == [0, 1, 0, 1]
+    assert ln.handoffs == 3
+    assert ln.pingpong == 2  # both re-arrivals hit a visited rank
+    assert_exact_tiling(ln)
+
+
+def test_point_episode_out_of_domain_seed():
+    # Out-of-domain seeds are born and terminated at the same instant.
+    spans = [marker(0, "seed.own", 0.0, 9),
+             marker(0, "seed.term", 0.0, 9)]
+    (ln,) = seed_lineages(spans)
+    assert ln.complete and ln.wall == 0.0
+    assert ln.segments == [] and ln.ranks == [0]
+
+
+def test_incomplete_lineage_is_flagged_and_excluded_from_slowest():
+    spans = [
+        marker(0, "seed.own", 0.0, 4),
+        rec(0, "compute.advect", 0.0, 1.5, sids=[4]),
+        # no termination: the run died (OOM) mid-flight
+        marker(0, "seed.own", 0.0, 8),
+        rec(0, "compute.advect", 0.0, 1.0, sids=[8]),
+        marker(0, "seed.term", 1.0, 8),
+    ]
+    lns = seed_lineages(spans)
+    by_sid = {ln.sid: ln for ln in lns}
+    assert not by_sid[4].complete and by_sid[4].wall is None
+    assert by_sid[8].complete
+    assert [ln.sid for ln in slowest_seeds(lns, top=5)] == [8]
+    assert "excluded" in slowest_table(lns, top=5)
+
+
+def test_pre_provenance_trace_yields_no_lineages():
+    spans = [rec(0, "compute.advect", 0.0, 1.0),
+             rec(0, "io.read", 1.0, 2.0)]
+    assert not has_seed_provenance(spans)
+    assert seed_lineages(spans) == []
+    assert seed_latency_summary([]) is None
+    assert "no completed seed lineages" in slowest_table([], top=5)
+
+
+def test_seed_latency_summary_exact_percentiles():
+    spans = []
+    for sid, wall in enumerate([1.0, 2.0, 3.0, 4.0]):
+        spans.append(marker(0, "seed.own", 0.0, sid))
+        spans.append(marker(0, "seed.term", wall, sid))
+    s = seed_latency_summary(seed_lineages(spans))
+    assert s["count"] == 4
+    assert s["mean"] == pytest.approx(2.5)
+    assert s["p50"] == 2.0  # nearest-rank on the sorted sample
+    assert s["p95"] == 4.0
+    assert s["max"] == 4.0
+
+
+def test_double_own_without_release_raises():
+    spans = [marker(0, "seed.own", 0.0, 1),
+             marker(1, "seed.own", 1.0, 1)]
+    with pytest.raises(ValueError, match="owned twice"):
+        seed_lineages(spans)
+
+
+# ---------------------------------------------------------------------- #
+# Live runs: acceptance invariants for every algorithm
+# ---------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("algorithm", ["static", "ondemand", "hybrid"])
+def test_lineages_tile_every_seed_wall(small_problem, small_machine,
+                                       algorithm):
+    obs = Recorder(enabled=True)
+    result = run_streamlines(small_problem, algorithm=algorithm,
+                             machine=small_machine, obs=obs)
+    assert result.ok
+    lineages = seed_lineages(obs.spans)
+    assert len(lineages) == small_problem.n_seeds
+    for ln in lineages:
+        assert ln.complete
+        if ln.segments:
+            assert_exact_tiling(ln)
+        assert 0.0 <= ln.birth <= ln.death <= result.wall_clock
+
+
+@pytest.mark.parametrize("algorithm", ["static", "ondemand", "hybrid"])
+def test_lineage_handoffs_match_rank_metrics(small_problem, small_machine,
+                                             algorithm):
+    # The lineage view and the per-rank counters are independent
+    # accounts of the same events; they must agree in aggregate.
+    obs = Recorder(enabled=True)
+    result = run_streamlines(small_problem, algorithm=algorithm,
+                             machine=small_machine, obs=obs)
+    analysis = analyze_run(result, obs)
+    lineages = seed_lineages(obs.spans)
+    assert sum(ln.handoffs for ln in lineages) == analysis.lines_received
+    assert sum(ln.pingpong for ln in lineages) == analysis.pingpong_count
+
+
+def test_analysis_carries_seed_latency(small_problem, small_machine):
+    obs = Recorder(enabled=True)
+    result = run_streamlines(small_problem, algorithm="hybrid",
+                             machine=small_machine, obs=obs)
+    analysis = analyze_run(result, obs)
+    assert analysis.seed_latency is not None
+    assert analysis.seed_latency["count"] == small_problem.n_seeds
+    entry = analysis.to_dict()
+    assert entry["seed_latency"]["max"] <= entry["wall_clock"] + 1e-9
+    # A latency-free analysis omits the key entirely (old-trace path).
+    analysis.seed_latency = None
+    assert "seed_latency" not in analysis.to_dict()
+
+
+def test_lineages_survive_jsonl_round_trip(tmp_path, small_problem,
+                                           small_machine):
+    obs = Recorder(enabled=True)
+    run_streamlines(small_problem, algorithm="static",
+                    machine=small_machine, obs=obs)
+    live = seed_lineages(obs.spans)
+    write_spans_jsonl(tmp_path / "spans.jsonl", obs)
+    reloaded = seed_lineages(load_spans_jsonl(tmp_path / "spans.jsonl"))
+    assert [(ln.sid, ln.ranks, ln.segments) for ln in live] \
+        == [(ln.sid, ln.ranks, ln.segments) for ln in reloaded]
+
+
+def test_disabled_recorder_emits_no_seed_spans(small_problem,
+                                               small_machine):
+    obs = Recorder(enabled=False)
+    run_streamlines(small_problem, algorithm="hybrid",
+                    machine=small_machine, obs=obs)
+    assert len(obs.spans) == 0
+
+
+def test_rendering_and_perfetto_export(small_problem, small_machine):
+    obs = Recorder(enabled=True)
+    run_streamlines(small_problem, algorithm="hybrid",
+                    machine=small_machine, obs=obs)
+    lineages = seed_lineages(obs.spans)
+    table = slowest_table(lineages, top=3)
+    assert "wall [s]" in table and len(table.splitlines()) >= 5
+    detail = lifecycle_table(lineages[0])
+    assert f"streamline {lineages[0].sid}" in detail
+
+    import json
+    doc = json.loads(seed_perfetto_json(slowest_seeds(lineages, top=3)))
+    slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert slices and all(e["cat"] == "seed" for e in slices)
+    assert all(e["name"] in LIFECYCLE_KINDS for e in slices)
+    # Deterministic export: same lineages -> same bytes.
+    assert seed_perfetto_json(lineages) == seed_perfetto_json(lineages)

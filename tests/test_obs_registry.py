@@ -40,7 +40,7 @@ def test_histogram_buckets_and_overflow():
 def test_histogram_percentile_interpolates_and_clamps():
     reg = MetricsRegistry()
     h = reg.histogram("t", buckets=(1.0, 2.0, 4.0))
-    assert h.percentile(50) == 0.0  # empty
+    assert h.percentile(50) is None  # empty: no value, not a fake 0.0
     for v in (0.5, 1.5, 2.5, 3.5):
         h.observe(v)
     # Estimates live inside the observed range and are monotone in q.
@@ -73,6 +73,27 @@ def test_histogram_summary_and_min_max_snapshot():
     snap = h.snapshot()
     assert snap["min"] == pytest.approx(0.5)
     assert snap["max"] == pytest.approx(3.0)
+
+
+def test_empty_histogram_percentile_is_none():
+    # Regression: an empty histogram used to answer 0.0, which reads as
+    # "all observations were instant" downstream.  No observations means
+    # no percentile.
+    h = MetricsRegistry().histogram("empty")
+    for q in (0, 50, 95, 100):
+        assert h.percentile(q) is None
+    # Range validation still fires before the emptiness check.
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_empty_histogram_summary_raises_clear_error():
+    h = MetricsRegistry().histogram("empty")
+    with pytest.raises(ValueError, match="no observations"):
+        h.summary()
+    # One observation restores the normal contract.
+    h.observe(2.0)
+    assert h.summary()["count"] == 1
 
 
 def test_histogram_rejects_unsorted_buckets():
