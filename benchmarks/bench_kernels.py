@@ -26,6 +26,12 @@ written to their own JSON artifact for CI to upload::
 the default profile takes longer and gives stabler numbers.  Timings are
 best-of-``repeats`` of the mean over an inner loop, the standard
 approach when per-call cost is near the timer resolution.
+
+``--profile`` wraps each kernel family in a
+:class:`~repro.obs.host.HostProbe` (sampling profiler on) and replaces
+the hand-rolled us/call printout with the probe's per-phase host table
+and a top-10 collapsed-stack table — the fast way to see *where inside
+the kernels* the wall time goes, not just how much there is.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ import argparse
 import json
 import sys
 import time
+from contextlib import nullcontext
 from pathlib import Path
 
 if __package__ in (None, ""):  # running as a script
@@ -148,6 +155,11 @@ def main(argv=None) -> int:
                              "finishes in seconds")
     parser.add_argument("--out", default=None,
                         help="write a JSON artifact with the timings")
+    parser.add_argument("--profile", action="store_true",
+                        help="wrap each kernel bench in a HostProbe "
+                             "sampling profiler; print host-phase and "
+                             "top-10 collapsed-stack tables instead of "
+                             "the us/call printout")
     args = parser.parse_args(argv)
 
     inner = 50 if args.quick else 400
@@ -155,24 +167,45 @@ def main(argv=None) -> int:
     rng = np.random.default_rng(0)
     field, dec, pool = _fixture()
 
+    probe = None
+    if args.profile:
+        from repro.obs.host import HostProbe, collapsed_table, host_report
+
+        probe = HostProbe(profile=True, profile_interval=0.002)
+
+    def phase(name):
+        return probe.phase(name) if probe else nullcontext()
+
     t0 = time.perf_counter()
+    kernels = {}
+    benches = (
+        ("sampler", lambda: bench_sampler(pool, dec, rng, inner, repeats)),
+        ("step", lambda: bench_step(pool, dec, rng, inner, repeats)),
+        ("pool_build", lambda: bench_pool_build(dec, inner, repeats)),
+        ("advance", lambda: bench_advance(field, dec, pool, rng, inner,
+                                          repeats)),
+    )
+    for name, bench in benches:
+        with phase(name):
+            kernels[name] = bench()
     doc = {
         "profile": "quick" if args.quick else "full",
         "batch_sizes": list(BATCH_SIZES),
-        "kernels": {
-            "sampler": bench_sampler(pool, dec, rng, inner, repeats),
-            "step": bench_step(pool, dec, rng, inner, repeats),
-            "pool_build": bench_pool_build(dec, inner, repeats),
-            "advance": bench_advance(field, dec, pool, rng, inner,
-                                     repeats),
-        },
+        "kernels": kernels,
     }
     doc["total_seconds"] = round(time.perf_counter() - t0, 3)
 
-    for kernel, entries in doc["kernels"].items():
-        for label, rec in entries.items():
-            print(f"{kernel:>10s} {label:>8s} "
-                  f"{rec['ns_per_call'] / 1e3:10.2f} us/call")
+    if probe is not None:
+        probe.stop()
+        doc["host"] = probe.to_dict()
+        print(host_report(doc["host"]))
+        print()
+        print(collapsed_table(probe.collapsed(), top=10))
+    else:
+        for kernel, entries in doc["kernels"].items():
+            for label, rec in entries.items():
+                print(f"{kernel:>10s} {label:>8s} "
+                      f"{rec['ns_per_call'] / 1e3:10.2f} us/call")
     print(f"total: {doc['total_seconds']:.1f}s ({doc['profile']})")
 
     if args.out:

@@ -8,7 +8,12 @@ Commands
                fans uncached runs over a process pool
 ``sweep``      run a full evaluation grid with the parallel sweep
                executor (``--jobs N``) and write a deterministic
-               summary JSON — byte-identical for any job count
+               summary JSON — byte-identical for any job count;
+               ``--telemetry DIR`` additionally captures the executor's
+               host-side event log and utilization report
+``profile``    run one scenario under the host-side profiler: real
+               wall/CPU/RSS/GC cost per phase plus a sampled
+               collapsed-stack file for flamegraph.pl / speedscope
 ``trace``      run one scenario with full observability and export a
                Perfetto timeline, span/sample JSONL, and idle analysis
 ``analyze``    post-run analytics on a ``trace`` output directory:
@@ -18,7 +23,9 @@ Commands
 ``streamline`` full cross-rank lifecycle of one streamline, optionally
                exported as a per-seed Perfetto track
 ``diff``       compare two runs (trace dirs or BENCH_*.json files) with
-               regression thresholds; non-zero exit on regression
+               regression thresholds; non-zero exit on regression;
+               ``--host`` compares two host profiles advisory-only
+               (host metrics are machine-dependent and never gate)
 ``trend``      critical-path breakdown trend table over a series of
                BENCH_*.json snapshots (the trend view, not just
                pairwise diff)
@@ -109,6 +116,82 @@ def _stderr_progress(args):
     return text_progress(sys.stderr)
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.driver import run_streamlines
+    from repro.obs import Recorder
+    from repro.obs.host import (
+        HOST_SCHEMA,
+        HostProbe,
+        collapsed_table,
+        host_report,
+        write_collapsed,
+    )
+
+    probe = HostProbe(profile=True, profile_interval=args.interval,
+                      trace_malloc=args.tracemalloc)
+    try:
+        with probe.phase("setup"):
+            problem = make_problem(args.dataset, args.seeding,
+                                   scale=args.scale)
+            machine = scenario_machine(args.ranks)
+    except ValueError as exc:
+        probe.stop()
+        print(f"repro profile: invalid scenario: {exc}", file=sys.stderr)
+        return 2
+    # Host telemetry only: the simulated recorder stays disabled, so no
+    # trace directory is needed and the run leaves no span records —
+    # the two observability layers toggle independently.
+    obs = Recorder(enabled=False, host=probe)
+    with probe.phase("advect"):
+        result = run_streamlines(problem, algorithm=args.algorithm,
+                                 machine=machine, obs=obs)
+    probe.stop()
+    host = probe.to_dict()
+
+    name = (f"{args.dataset}-{args.seeding}-{args.algorithm}-"
+            f"{args.ranks}")
+    print(f"{args.algorithm} on {args.dataset}/{args.seeding} "
+          f"@ {args.ranks} simulated ranks (scale {args.scale}):")
+    sim = (f"{result.wall_clock:.3f} s" if result.ok
+           else f"OOM at rank {result.oom_rank} "
+                f"(t={result.wall_clock:.3f} s)")
+    print(f"  simulated wall clock {sim} (the deterministic number; "
+          "everything below is real machine time)")
+    print()
+    print(host_report(host))
+    print()
+    print(collapsed_table(probe.collapsed(), top=args.top))
+    if args.collapsed:
+        write_collapsed(args.collapsed, probe.collapsed())
+        print(f"wrote {len(probe.collapsed())} collapsed stacks to "
+              f"{args.collapsed} (flamegraph.pl / speedscope format)",
+              file=sys.stderr)
+    if args.json:
+        doc = {
+            "host_schema": HOST_SCHEMA,
+            "scenario": {
+                "name": name,
+                "dataset": args.dataset,
+                "seeding": args.seeding,
+                "algorithm": args.algorithm,
+                "ranks": args.ranks,
+                "scale": args.scale,
+            },
+            "host": host,
+        }
+        out = Path(args.json)
+        if out.parent:
+            out.parent.mkdir(parents=True, exist_ok=True)
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote host profile to {out} (compare with "
+              "`repro diff --host`)", file=sys.stderr)
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import dataclasses
     import json
@@ -143,9 +226,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     specs = grid_specs(datasets, seedings, algorithms, rank_counts,
                        scale=args.scale)
+    sink = None
+    telemetry_dir = None
+    if args.telemetry:
+        from repro.exec import JsonlTelemetry
+
+        telemetry_dir = Path(args.telemetry)
+        telemetry_dir.mkdir(parents=True, exist_ok=True)
+        sink = JsonlTelemetry(telemetry_dir / "events.jsonl")
     executor = SweepExecutor(jobs=args.jobs, timeout=args.timeout or None,
-                             progress=text_progress(sys.stderr))
+                             progress=text_progress(sys.stderr),
+                             telemetry=sink)
     outcomes = executor.run(specs)
+    if sink is not None:
+        sink.close()
 
     runs = {}
     for o in outcomes:
@@ -201,11 +295,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f.write("\n")
         print(f"wrote {out} ({len(runs)} runs)", file=sys.stderr)
 
+    telemetry_ok = True
+    if telemetry_dir is not None:
+        from repro.exec import load_events, telemetry_report, \
+            validate_events
+
+        events = load_events(telemetry_dir / "events.jsonl")
+        problems = validate_events(events)
+        util_path = telemetry_dir / "utilization.txt"
+        util_path.write_text(telemetry_report(events) + "\n",
+                             encoding="utf-8")
+        print(f"telemetry: {len(events)} events -> "
+              f"{telemetry_dir / 'events.jsonl'}; utilization report -> "
+              f"{util_path}", file=sys.stderr)
+        if problems:
+            telemetry_ok = False
+            print("telemetry: event log FAILED validation:",
+                  file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+
     report = failure_report(outcomes)
     if report:
         print(report, file=sys.stderr)
         return 1
-    return 0
+    return 0 if telemetry_ok else 1
 
 
 def _cmd_trend(args: argparse.Namespace) -> int:
@@ -360,6 +474,28 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         regressions
     from repro.obs.diff import parse_threshold_args
 
+    if args.host:
+        from repro.obs import load_host_comparable
+
+        try:
+            base = load_host_comparable(args.base)
+            new = load_host_comparable(args.new)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"repro diff --host: {exc}", file=sys.stderr)
+            return 2
+        base_name, new_name = next(iter(base)), next(iter(new))
+        if base_name != new_name:
+            print(f"note: comparing different scenarios "
+                  f"({base_name} vs {new_name})", file=sys.stderr)
+            new = {base_name: new[new_name]}
+        # Advisory only: host metrics vary by machine and load, so no
+        # thresholds, no gating, and always exit 0.
+        rows = diff_runs(base, new, thresholds={})
+        print("host metrics diff (advisory: real machine time, varies "
+              "by host and load — never gated):")
+        print(diff_table(rows, all_rows=True))
+        return 0
+
     try:
         thresholds = parse_threshold_args(args.threshold)
         base = load_comparable(args.base)
@@ -451,7 +587,37 @@ def build_parser() -> argparse.ArgumentParser:
                            "(0 = unlimited)")
     p_sw.add_argument("--out", default=None,
                       help="write a deterministic summary JSON here")
+    p_sw.add_argument("--telemetry", default=None, metavar="DIR",
+                      help="capture the executor's host-side event log "
+                           "(events.jsonl) and utilization report into "
+                           "DIR; never affects the deterministic "
+                           "outputs")
     p_sw.set_defaults(func=_cmd_sweep)
+
+    p_pr = sub.add_parser(
+        "profile",
+        help="profile one run on the real machine (host telemetry + "
+             "collapsed stacks)")
+    p_pr.add_argument("dataset", choices=DATASETS)
+    p_pr.add_argument("--seeding", choices=SEEDINGS, default="sparse")
+    p_pr.add_argument("--algorithm", choices=ALGORITHMS, default="hybrid")
+    p_pr.add_argument("--ranks", type=int, default=8)
+    p_pr.add_argument("--scale", type=float, default=0.25)
+    p_pr.add_argument("--interval", type=float, default=0.005,
+                      help="sampling-profiler period in real seconds "
+                           "(default 5 ms)")
+    p_pr.add_argument("--top", type=int, default=10,
+                      help="stacks to show in the table (default 10)")
+    p_pr.add_argument("--tracemalloc", action="store_true",
+                      help="also record per-phase tracemalloc deltas "
+                           "(slows the run severalfold)")
+    p_pr.add_argument("--collapsed", default=None, metavar="PATH",
+                      help="write collapsed stacks here "
+                           "(flamegraph.pl / speedscope format)")
+    p_pr.add_argument("--json", default=None, metavar="PATH",
+                      help="write the host-metric profile as JSON "
+                           "(compare with `repro diff --host`)")
+    p_pr.set_defaults(func=_cmd_profile)
 
     p_tr = sub.add_parser(
         "trace",
@@ -511,6 +677,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_df.add_argument("--all", action="store_true",
                       help="show every compared metric, not just gated "
                            "ones and regressions")
+    p_df.add_argument("--host", action="store_true",
+                      help="compare two `repro profile --json` host "
+                           "profiles — advisory only: host metrics are "
+                           "machine-dependent, never gate, and the "
+                           "exit code is always 0")
     p_df.set_defaults(func=_cmd_diff)
 
     p_tn = sub.add_parser(

@@ -20,6 +20,11 @@ Layers
 :mod:`repro.exec.executor`
     :class:`SweepExecutor` — the bounded scheduler with per-run
     timeout, crash containment, and OOM-probe isolation.
+:mod:`repro.exec.telemetry`
+    Host-side executor telemetry: the JSONL event log
+    (:class:`JsonlTelemetry`), its schema validator, and the
+    utilization / timeline / queue-depth analyzers.  Telemetry never
+    perturbs deterministic artifacts.
 
 ``repro.exec`` sits *above* ``repro.analysis`` (tasks import it
 lazily), so nothing in the simulator depends on multiprocessing.
@@ -30,6 +35,15 @@ from repro.exec.executor import (
     default_jobs,
     merge_run_entries,
     text_progress,
+)
+from repro.exec.telemetry import (
+    JsonlTelemetry,
+    load_events,
+    telemetry_report,
+    utilization_table,
+    validate_events,
+    worker_intervals,
+    worker_timeline_text,
 )
 from repro.exec.spec import (
     MODE_BENCH,
@@ -44,9 +58,10 @@ from repro.exec.spec import (
     failure_report,
     grid_specs,
 )
-from repro.exec.worker import run_spec
+from repro.exec.worker import run_spec, run_spec_with_host
 
 __all__ = [
+    "JsonlTelemetry",
     "MODE_BENCH",
     "MODE_SUMMARY",
     "OUTCOME_CRASHED",
@@ -60,7 +75,14 @@ __all__ = [
     "default_jobs",
     "failure_report",
     "grid_specs",
+    "load_events",
     "merge_run_entries",
     "run_spec",
+    "run_spec_with_host",
+    "telemetry_report",
     "text_progress",
+    "utilization_table",
+    "validate_events",
+    "worker_intervals",
+    "worker_timeline_text",
 ]

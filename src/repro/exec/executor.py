@@ -21,10 +21,18 @@ Robustness guards, per run:
 
 ``jobs=1`` with no timeout runs specs inline in this process — the
 historical serial behavior, byte-for-byte.
+
+Telemetry: pass a sink (:class:`repro.exec.telemetry.JsonlTelemetry`)
+and the executor logs ``dispatch`` / ``start`` / ``finish`` / ``retire``
+events per run — worker slot ids, real timestamps, and the child's
+host-metric dict piped back with the result (``RunOutcome.host``).
+Telemetry is host-side only: payloads, merge order, and every
+deterministic artifact are byte-identical with it on or off.
 """
 
 from __future__ import annotations
 
+import bisect
 import os
 import sys
 import time
@@ -43,7 +51,12 @@ from repro.exec.spec import (
     RunOutcome,
     RunSpec,
 )
-from repro.exec.worker import child_main, oom_payload, run_spec
+from repro.exec.worker import (
+    child_main,
+    oom_payload,
+    run_spec,
+    run_spec_with_host,
+)
 
 #: Environment override for the multiprocessing start method
 #: (``fork``/``spawn``/``forkserver``).  Defaults to ``fork`` where the
@@ -80,7 +93,8 @@ class _Child:
     recv: Any
     started: float
     deadline: Optional[float]
-    msg: Optional[Tuple[str, Any]] = None
+    slot: int = 0
+    msg: Optional[Tuple[Any, ...]] = None
 
 
 class SweepExecutor:
@@ -100,13 +114,32 @@ class SweepExecutor:
         where ``event`` is ``"start"`` (payload: the spec) or
         ``"done"`` (payload: the outcome).  Called from this process
         only, as runs start and finish (completion order).
+    telemetry:
+        Optional event sink with an ``emit(dict)`` method (see
+        :class:`repro.exec.telemetry.JsonlTelemetry`).  When set, the
+        executor logs per-run lifecycle events and collects host
+        metrics from every run (``RunOutcome.host``); deterministic
+        outputs are unaffected.
     """
 
     def __init__(self, jobs: int = 1, timeout: Optional[float] = None,
-                 progress: Optional[ProgressFn] = None):
+                 progress: Optional[ProgressFn] = None,
+                 telemetry: Optional[Any] = None):
         self.jobs = default_jobs() if jobs <= 0 else int(jobs)
         self.timeout = timeout if timeout and timeout > 0 else None
         self.progress = progress
+        self.telemetry = telemetry
+        self._t0 = 0.0
+
+    def _emit_event(self, kind: str, **fields: Any) -> None:
+        if self.telemetry is None:
+            return
+        event: Dict[str, Any] = {
+            "event": kind,
+            "t": round(time.monotonic() - self._t0, 6),
+        }
+        event.update(fields)
+        self.telemetry.emit(event)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -118,6 +151,8 @@ class SweepExecutor:
         total = len(specs)
         results: List[Optional[RunOutcome]] = [None] * total
         done = {"n": 0}
+        self._t0 = time.monotonic()
+        self._emit_event("sweep_begin", jobs=self.jobs, runs=total)
 
         def emit(event: str, payload: Any) -> None:
             if event == "done":
@@ -133,19 +168,42 @@ class SweepExecutor:
                 if spec.isolate or self.timeout is not None:
                     self._run_children([(i, spec)], 1, results, emit)
                 else:
+                    self._emit_event("dispatch", run=spec.name, idx=i)
+                    self._emit_event("start", run=spec.name, idx=i,
+                                     worker=0)
                     emit("start", spec)
-                    results[i] = self._run_inline(spec)
-                    emit("done", results[i])
+                    outcome = self._run_inline(spec)
+                    self._emit_event("finish", run=spec.name, idx=i,
+                                     worker=0)
+                    results[i] = outcome
+                    self._emit_retire(outcome, i, 0)
+                    emit("done", outcome)
+        self._emit_event("sweep_end", runs=done["n"])
         return [r for r in results if r is not None]
+
+    def _emit_retire(self, outcome: RunOutcome, idx: int,
+                     slot: int) -> None:
+        fields: Dict[str, Any] = {
+            "run": outcome.spec.name, "idx": idx, "worker": slot,
+            "status": outcome.status,
+            "elapsed": round(outcome.elapsed, 6),
+        }
+        if outcome.host is not None:
+            fields["host"] = outcome.host
+        self._emit_event("retire", **fields)
 
     # ------------------------------------------------------------------ #
     # Inline (serial) execution
     # ------------------------------------------------------------------ #
 
     def _run_inline(self, spec: RunSpec) -> RunOutcome:
+        collect_host = self.telemetry is not None
         t0 = time.monotonic()
         try:
-            payload = run_spec(spec)
+            if collect_host:
+                payload, host = run_spec_with_host(spec)
+            else:
+                payload, host = run_spec(spec), None
         except MemoryError:
             return RunOutcome(spec=spec, status=OUTCOME_OOM,
                               payload=oom_payload(spec),
@@ -155,32 +213,36 @@ class SweepExecutor:
                               error=traceback.format_exc(limit=20),
                               elapsed=time.monotonic() - t0)
         return RunOutcome(spec=spec, status=OUTCOME_OK, payload=payload,
-                          elapsed=time.monotonic() - t0)
+                          elapsed=time.monotonic() - t0, host=host)
 
     # ------------------------------------------------------------------ #
     # Child-process execution
     # ------------------------------------------------------------------ #
 
-    def _spawn(self, ctx, idx: int, spec: RunSpec) -> _Child:
+    def _spawn(self, ctx, idx: int, spec: RunSpec, slot: int) -> _Child:
         recv_conn, send_conn = ctx.Pipe(duplex=False)
-        proc = ctx.Process(target=child_main, args=(spec, send_conn),
+        proc = ctx.Process(target=child_main,
+                           args=(spec, send_conn,
+                                 self.telemetry is not None),
                            daemon=True)
         proc.start()
         send_conn.close()  # child holds the write end now
         now = time.monotonic()
         deadline = now + self.timeout if self.timeout else None
         return _Child(idx=idx, spec=spec, proc=proc, recv=recv_conn,
-                      started=now, deadline=deadline)
+                      started=now, deadline=deadline, slot=slot)
 
     def _finish(self, child: _Child, status: str, payload: Any = None,
-                error: str = "") -> RunOutcome:
+                error: str = "", host: Optional[dict] = None
+                ) -> RunOutcome:
         try:
             child.recv.close()
         except OSError:
             pass
         return RunOutcome(spec=child.spec, status=status, payload=payload,
                           error=error,
-                          elapsed=time.monotonic() - child.started)
+                          elapsed=time.monotonic() - child.started,
+                          host=host)
 
     def _reap(self, child: _Child) -> RunOutcome:
         """Build the outcome for a child whose pipe closed."""
@@ -189,13 +251,20 @@ class SweepExecutor:
             child.proc.terminate()
             child.proc.join()
         if child.msg is not None:
-            status, payload = child.msg
+            # Current children send (status, payload, host); tolerate
+            # the historical 2-tuple for any out-of-tree callers.
+            if len(child.msg) == 3:
+                status, payload, host = child.msg
+            else:
+                (status, payload), host = child.msg, None
             if status == OUTCOME_OK:
-                return self._finish(child, OUTCOME_OK, payload=payload)
+                return self._finish(child, OUTCOME_OK, payload=payload,
+                                    host=host)
             if status == OUTCOME_OOM:
-                return self._finish(child, OUTCOME_OOM, payload=payload)
+                return self._finish(child, OUTCOME_OOM, payload=payload,
+                                    host=host)
             return self._finish(child, OUTCOME_ERROR,
-                                error=str(payload))
+                                error=str(payload), host=host)
         # Died without reporting: hard crash, or the kernel's OOM
         # killer.  For the OOM probe that *is* the measured outcome.
         code = child.proc.exitcode
@@ -213,11 +282,24 @@ class SweepExecutor:
         ctx = multiprocessing.get_context(_start_method())
         pending = list(items)
         active: Dict[Any, _Child] = {}
+        free_slots = list(range(jobs))
+
+        def retire(child: _Child, outcome: RunOutcome) -> None:
+            del active[child.recv]
+            results[child.idx] = outcome
+            self._emit_retire(outcome, child.idx, child.slot)
+            bisect.insort(free_slots, child.slot)
+            emit("done", outcome)
+
         try:
             while pending or active:
                 while pending and len(active) < jobs:
                     idx, spec = pending.pop(0)
-                    child = self._spawn(ctx, idx, spec)
+                    slot = free_slots.pop(0)
+                    self._emit_event("dispatch", run=spec.name, idx=idx)
+                    child = self._spawn(ctx, idx, spec, slot)
+                    self._emit_event("start", run=spec.name, idx=idx,
+                                     worker=slot)
                     active[child.recv] = child
                     emit("start", spec)
                 ready = mp_connection.wait(list(active), timeout=_POLL)
@@ -228,6 +310,8 @@ class SweepExecutor:
                         child.msg = conn.recv()
                     except (EOFError, OSError):
                         child.msg = None
+                    self._emit_event("finish", run=child.spec.name,
+                                     idx=child.idx, worker=child.slot)
                     finished.append(child)
                 now = time.monotonic()
                 for child in list(active.values()):
@@ -235,17 +319,16 @@ class SweepExecutor:
                             and now > child.deadline):
                         child.proc.terminate()
                         child.proc.join()
+                        self._emit_event("finish", run=child.spec.name,
+                                         idx=child.idx,
+                                         worker=child.slot)
                         outcome = self._finish(
                             child, OUTCOME_TIMEOUT,
                             error=f"exceeded {self.timeout:g}s limit")
-                        del active[child.recv]
-                        results[child.idx] = outcome
-                        emit("done", outcome)
+                        retire(child, outcome)
                 for child in finished:
                     outcome = self._reap(child)
-                    del active[child.recv]
-                    results[child.idx] = outcome
-                    emit("done", outcome)
+                    retire(child, outcome)
         finally:
             for child in active.values():  # interrupt / error cleanup
                 child.proc.terminate()
@@ -280,12 +363,26 @@ def merge_run_entries(outcomes: Sequence[RunOutcome]
 
 
 def text_progress(stream=None) -> ProgressFn:
-    """A progress callback printing live per-run lines.
+    """A progress callback printing live per-run lines with per-worker
+    state and an ETA.
 
     Works for both task modes: bench payloads are entry dicts, summary
     payloads are ``RunSummary`` objects.
+
+    The renderer assigns worker labels lowest-free-first — the same
+    policy the executor uses for its telemetry slots, and events arrive
+    in the same order, so the labels match the event log.  Every event
+    is rendered into **one** ``write()`` call on one writer: the old
+    multi-``print`` renderer could interleave partial lines when
+    several runs finished in the same scheduler poll.
     """
     out = stream if stream is not None else sys.stdout
+
+    running: Dict[str, float] = {}       # run name -> start monotonic
+    slots: Dict[str, int] = {}           # run name -> worker label
+    free_slots: List[int] = []
+    state = {"next_slot": 0, "max_active": 1, "elapsed_sum": 0.0,
+             "elapsed_n": 0}
 
     def _metric(payload: Any, name: str) -> Optional[float]:
         if isinstance(payload, dict):
@@ -293,16 +390,44 @@ def text_progress(stream=None) -> ProgressFn:
             return float(value) if isinstance(value, (int, float)) else None
         return getattr(payload, name, None)
 
+    def _eta(done: int, total: int) -> str:
+        remaining = total - done
+        if not remaining or not state["elapsed_n"]:
+            return ""
+        mean = state["elapsed_sum"] / state["elapsed_n"]
+        eta = mean * remaining / max(1, state["max_active"])
+        return f" ETA ~{eta:.0f}s"
+
     def progress(event: str, payload: Any, done: int, total: int) -> None:
         if event == "start":
-            print(f"  running {payload} ...", file=out, flush=True)
+            name = str(payload)
+            slot = (free_slots.pop(0) if free_slots
+                    else state["next_slot"])
+            if slot == state["next_slot"]:
+                state["next_slot"] += 1
+            slots[name] = slot
+            running[name] = time.monotonic()
+            state["max_active"] = max(state["max_active"], len(running))
+            queued = max(0, total - done - len(running))
+            out.write(f"  [w{slot}] {name}: start "
+                      f"({len(running)} running, {queued} queued)\n")
+            out.flush()
             return
         o: RunOutcome = payload
+        name = o.spec.name
+        slot = slots.pop(name, None)
+        running.pop(name, None)
+        if slot is not None:
+            bisect.insort(free_slots, slot)
+        state["elapsed_sum"] += o.elapsed
+        state["elapsed_n"] += 1
         tag = f"[{done}/{total}]"
+        wtag = "" if slot is None else f" [w{slot}]"
         if o.failed:
             detail = f" ({o.error.splitlines()[-1]})" if o.error else ""
-            print(f"    {tag} {o.spec.name}: {o.status.upper()}{detail}",
-                  file=out, flush=True)
+            out.write(f"    {tag}{wtag} {name}: "
+                      f"{o.status.upper()}{detail}{_eta(done, total)}\n")
+            out.flush()
             return
         wall = _metric(o.payload, "wall_clock")
         eff = _metric(o.payload, "block_efficiency")
@@ -316,7 +441,8 @@ def text_progress(stream=None) -> ProgressFn:
             bits.append(f"E={eff:.3f}")
         bits.append(f"status={status}")
         bits.append(f"{o.elapsed:.1f}s real")
-        print(f"    {tag} {o.spec.name}: {' '.join(bits)}",
-              file=out, flush=True)
+        out.write(f"    {tag}{wtag} {name}: {' '.join(bits)}"
+                  f"{_eta(done, total)}\n")
+        out.flush()
 
     return progress

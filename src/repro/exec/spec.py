@@ -74,13 +74,21 @@ class RunSpec:
 
 @dataclass
 class RunOutcome:
-    """What happened to one spec: payload or failure."""
+    """What happened to one spec: payload or failure.
+
+    ``host`` carries the child's host-telemetry dict
+    (:meth:`repro.obs.host.HostProbe.to_dict`) when the executor ran
+    with telemetry enabled; like ``elapsed`` it is *real-machine* data,
+    deliberately excluded from deterministic artifacts (the merge step
+    never reads it).
+    """
 
     spec: RunSpec
     status: str
     payload: Any = None
     error: str = ""
     elapsed: float = 0.0
+    host: Optional[dict] = None
 
     @property
     def ok(self) -> bool:

@@ -1,0 +1,327 @@
+"""Executor telemetry: JSONL event log + utilization analytics.
+
+When a :class:`~repro.exec.executor.SweepExecutor` is given a telemetry
+sink, it logs one event per run-lifecycle transition, all emitted from
+the parent scheduler loop (a single writer, so the log needs no
+locking and lines never interleave):
+
+``sweep_begin``
+    once per ``run()`` call — ``jobs`` (pool width) and ``runs``
+    (spec count);
+``dispatch``
+    a spec was popped off the pending queue and assigned a worker slot;
+``start``
+    its worker process started (or the inline call began);
+``finish``
+    the run's result arrived (or its timeout fired / its child died);
+``retire``
+    the outcome was merged into the results list — carries ``status``,
+    ``elapsed`` (real seconds), and, when available, the child's
+    ``host`` metric dict (:mod:`repro.obs.host`) piped back with the
+    result;
+``sweep_end``
+    the sweep drained.
+
+All timestamps ``t`` are real seconds relative to ``sweep_begin``.
+Worker slots are assigned lowest-free-first and released at ``retire``,
+so per-worker ``[start, retire]`` intervals never overlap — the
+invariant :func:`validate_events` checks, together with
+retire-count == run count and per-run event ordering.
+
+The analyzers turn an event list into the scheduling views the
+ROADMAP's longest-run-first heuristic needs as input: a per-worker
+timeline (:func:`worker_timeline_text`), a queue-depth curve
+(:func:`queue_depth_table`), and an idle-fraction/utilization table
+(:func:`utilization_table`).  Host event logs are never byte-stable;
+they live outside BENCH snapshots and the deterministic sweep outputs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+#: Recognized event kinds, in lifecycle order for per-run sequences.
+EVENT_KINDS = ("sweep_begin", "dispatch", "start", "finish", "retire",
+               "sweep_end")
+
+_RUN_ORDER = ("dispatch", "start", "finish", "retire")
+
+
+class JsonlTelemetry:
+    """Append-only JSONL telemetry sink (one event per line).
+
+    Only the executor's parent process writes to it, one ``write`` call
+    per event, so the file needs no locking.  Use as a context manager
+    or call :meth:`close` after the sweep.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        if self.path.parent:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        self._fh.write(json.dumps(event, sort_keys=True,
+                                  separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlTelemetry":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def load_events(path) -> List[Dict[str, Any]]:
+    """Parse a telemetry ``events.jsonl`` file."""
+    path = Path(path)
+    events: List[Dict[str, Any]] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: bad JSON ({exc})")
+            if not isinstance(event, dict):
+                raise ValueError(f"{path}:{lineno}: event is not an object")
+            events.append(event)
+    return events
+
+
+def validate_events(events: Sequence[Mapping[str, Any]]) -> List[str]:
+    """Schema and invariant checks; returns problems (empty == valid).
+
+    Checked: known event kinds with numeric non-negative ``t``; per-run
+    ``dispatch -> start -> finish -> retire`` ordering with
+    non-decreasing timestamps; retire count equals the announced run
+    count; every retire carries a ``status``; per-worker
+    ``[start, retire]`` intervals do not overlap.
+    """
+    problems: List[str] = []
+    announced: Optional[int] = None
+    per_run: Dict[str, List[Mapping[str, Any]]] = {}
+    for i, event in enumerate(events):
+        kind = event.get("event")
+        if kind not in EVENT_KINDS:
+            problems.append(f"event {i}: unknown kind {kind!r}")
+            continue
+        t = event.get("t")
+        if not isinstance(t, (int, float)) or t < 0:
+            problems.append(f"event {i} ({kind}): bad timestamp {t!r}")
+            continue
+        if kind == "sweep_begin":
+            announced = event.get("runs")
+        if kind in _RUN_ORDER:
+            run = event.get("run")
+            if not isinstance(run, str) or not run:
+                problems.append(f"event {i} ({kind}): missing run name")
+                continue
+            per_run.setdefault(run, []).append(event)
+
+    retired = 0
+    for run, seq in per_run.items():
+        kinds = [e["event"] for e in seq]
+        expected = list(_RUN_ORDER[:len(kinds)])
+        if kinds != expected:
+            problems.append(f"run {run}: lifecycle {kinds} != {expected}")
+            continue
+        times = [e["t"] for e in seq]
+        if times != sorted(times):
+            problems.append(f"run {run}: timestamps regress: {times}")
+        if kinds and kinds[-1] == "retire":
+            retired += 1
+            if "status" not in seq[-1]:
+                problems.append(f"run {run}: retire carries no status")
+            workers = {e.get("worker") for e in seq[1:]}
+            if len(workers) != 1 or None in workers:
+                problems.append(f"run {run}: inconsistent worker ids "
+                                f"{sorted(workers, key=str)}")
+    if announced is not None and retired != announced:
+        problems.append(f"retire count {retired} != announced run count "
+                        f"{announced}")
+
+    for worker, intervals in sorted(worker_intervals(events).items()):
+        ordered = sorted(intervals, key=lambda iv: iv.start)
+        for prev, cur in zip(ordered, ordered[1:]):
+            if cur.start < prev.end - 1e-9:
+                problems.append(
+                    f"worker {worker}: overlapping runs {prev.run} "
+                    f"[{prev.start:.3f},{prev.end:.3f}] and {cur.run} "
+                    f"[{cur.start:.3f},{cur.end:.3f}]")
+    return problems
+
+
+# ---------------------------------------------------------------------- #
+# Analyzers
+# ---------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class WorkerInterval:
+    """One run's occupancy of one worker slot (start -> retire)."""
+
+    worker: int
+    run: str
+    start: float
+    end: float
+    status: str
+
+
+def worker_intervals(events: Sequence[Mapping[str, Any]]
+                     ) -> Dict[int, List[WorkerInterval]]:
+    """``worker -> [interval]`` busy intervals, from start/retire pairs."""
+    starts: Dict[str, Mapping[str, Any]] = {}
+    out: Dict[int, List[WorkerInterval]] = {}
+    for event in events:
+        kind = event.get("event")
+        run = event.get("run")
+        if kind == "start":
+            starts[run] = event
+        elif kind == "retire" and run in starts:
+            begin = starts.pop(run)
+            worker = begin.get("worker", -1)
+            out.setdefault(worker, []).append(WorkerInterval(
+                worker=worker, run=run, start=float(begin["t"]),
+                end=float(event["t"]),
+                status=str(event.get("status", "?"))))
+    return out
+
+
+def makespan(events: Sequence[Mapping[str, Any]]) -> float:
+    """Sweep duration: ``sweep_end`` time, else the last event's."""
+    t_end = 0.0
+    for event in events:
+        t = event.get("t")
+        if isinstance(t, (int, float)):
+            t_end = max(t_end, float(t))
+    return t_end
+
+
+def utilization_table(events: Sequence[Mapping[str, Any]]) -> str:
+    """Per-worker runs / busy / idle / idle-fraction table."""
+    span = makespan(events)
+    intervals = worker_intervals(events)
+    if not intervals or span <= 0.0:
+        return "(no completed runs in the event log)"
+    header = (f"{'worker':>6}  {'runs':>5}  {'busy [s]':>10}  "
+              f"{'idle [s]':>10}  {'idle %':>7}")
+    lines = [header, "-" * len(header)]
+    total_busy = 0.0
+    for worker in sorted(intervals):
+        busy = sum(iv.end - iv.start for iv in intervals[worker])
+        total_busy += busy
+        idle = max(0.0, span - busy)
+        lines.append(f"{worker:>6d}  {len(intervals[worker]):>5d}  "
+                     f"{busy:>10.3f}  {idle:>10.3f}  "
+                     f"{idle / span * 100.0:>6.1f}%")
+    n_workers = len(intervals)
+    n_runs = sum(len(v) for v in intervals.values())
+    lines.append("")
+    lines.append(f"makespan {span:.3f} s; {n_runs} runs on {n_workers} "
+                 f"worker slot(s); pool utilization "
+                 f"{total_busy / (span * n_workers) * 100.0:.1f}%")
+    waits = [e for e in events if e.get("event") == "start"]
+    dispatches = {e.get("run"): e for e in events
+                  if e.get("event") == "dispatch"}
+    lags = [float(e["t"]) - float(dispatches[e["run"]]["t"])
+            for e in waits if e.get("run") in dispatches]
+    if lags:
+        lines.append(f"mean dispatch->start lag {sum(lags) / len(lags):.3f} "
+                     f"s over {len(lags)} run(s)")
+    return "\n".join(lines)
+
+
+#: Characters cycled per run so adjacent runs on one worker row are
+#: visually distinct in the timeline.
+_TIMELINE_GLYPHS = "#%@*+"
+
+
+def worker_timeline_text(events: Sequence[Mapping[str, Any]],
+                         width: int = 72) -> str:
+    """Per-worker ASCII Gantt chart of the sweep ('.' = idle)."""
+    span = makespan(events)
+    intervals = worker_intervals(events)
+    if not intervals or span <= 0.0:
+        return "(no completed runs in the event log)"
+    width = max(10, width)
+    lines = [f"per-worker timeline (0 .. {span:.3f} s, {width} cols; "
+             "'.' idle, one glyph per run):"]
+    glyph_of: Dict[str, str] = {}
+    for worker in sorted(intervals):
+        row = ["."] * width
+        for iv in sorted(intervals[worker], key=lambda iv: iv.start):
+            glyph = glyph_of.setdefault(
+                iv.run, _TIMELINE_GLYPHS[len(glyph_of)
+                                         % len(_TIMELINE_GLYPHS)])
+            lo = int(iv.start / span * width)
+            hi = max(lo + 1, int(iv.end / span * width))
+            for col in range(lo, min(hi, width)):
+                row[col] = glyph
+        lines.append(f"  w{worker:<3d} |{''.join(row)}|")
+    legend = [f"{glyph}={run}" for run, glyph in glyph_of.items()]
+    for i in range(0, len(legend), 3):
+        lines.append("       " + "  ".join(legend[i:i + 3]))
+    return "\n".join(lines)
+
+
+def queue_depth_points(events: Sequence[Mapping[str, Any]]
+                       ) -> List[Dict[str, float]]:
+    """``(t, queued, running, done)`` sampled at every start/retire."""
+    total = 0
+    for event in events:
+        if event.get("event") == "sweep_begin":
+            total = int(event.get("runs") or 0)
+    started = finished = 0
+    points: List[Dict[str, float]] = [
+        {"t": 0.0, "queued": total, "running": 0, "done": 0}]
+    for event in events:
+        kind = event.get("event")
+        if kind == "start":
+            started += 1
+        elif kind == "retire":
+            finished += 1
+        else:
+            continue
+        points.append({"t": float(event.get("t", 0.0)),
+                       "queued": max(0, total - started),
+                       "running": started - finished,
+                       "done": finished})
+    return points
+
+
+def queue_depth_table(events: Sequence[Mapping[str, Any]],
+                      max_rows: int = 16) -> str:
+    """The queue-depth curve as a compact table (down-sampled to at
+    most ``max_rows`` transition points)."""
+    points = queue_depth_points(events)
+    if len(points) <= 1:
+        return "(no queue transitions in the event log)"
+    if len(points) > max_rows:
+        step = (len(points) - 1) / (max_rows - 1)
+        points = [points[round(i * step)] for i in range(max_rows)]
+    header = f"{'t [s]':>8}  {'queued':>6}  {'running':>7}  {'done':>5}"
+    lines = [header, "-" * len(header)]
+    for p in points:
+        lines.append(f"{p['t']:>8.3f}  {int(p['queued']):>6d}  "
+                     f"{int(p['running']):>7d}  {int(p['done']):>5d}")
+    return "\n".join(lines)
+
+
+def telemetry_report(events: Sequence[Mapping[str, Any]],
+                     width: int = 72) -> str:
+    """Utilization table + per-worker timeline + queue-depth curve."""
+    return "\n\n".join([
+        utilization_table(events),
+        worker_timeline_text(events, width=width),
+        queue_depth_table(events),
+    ])

@@ -37,6 +37,7 @@ from repro.exec.spec import (
     OUTCOME_OOM,
     RunSpec,
 )
+from repro.obs.host import HostProbe, activated, host_phase
 
 #: Environment variable arming the test-only fault hook.
 FAULT_ENV = "REPRO_EXEC_FAULT"
@@ -63,28 +64,34 @@ def _task_summary(spec: RunSpec) -> Any:
     """Figure-pipeline task: the memoized experiment run.  Children
     share the per-key disk cache (atomic per-entry writes), so a
     parallel sweep leaves the same cache a serial one would."""
-    from repro.analysis.experiments import run_experiment
+    with host_phase("setup"):
+        from repro.analysis.experiments import run_experiment
 
-    return run_experiment(spec.dataset, spec.seeding, spec.algorithm,
-                          spec.n_ranks, scale=spec.scale)
+    with host_phase("advect"):
+        return run_experiment(spec.dataset, spec.seeding, spec.algorithm,
+                              spec.n_ranks, scale=spec.scale)
 
 
 def _task_bench(spec: RunSpec) -> Any:
     """Trajectory-harness task: one observed run, analyzed into the
     ``BENCH_*.json`` entry dict."""
-    from repro.analysis.scenarios import make_problem, scenario_machine
-    from repro.core.driver import run_streamlines
-    from repro.obs import Recorder, analyze_run
+    with host_phase("setup"):
+        from repro.analysis.scenarios import make_problem, scenario_machine
+        from repro.core.driver import run_streamlines
+        from repro.obs import Recorder, analyze_run
 
-    problem = make_problem(spec.dataset, spec.seeding, scale=spec.scale)
-    obs = Recorder(enabled=True, sample_interval=spec.sample_interval)
-    result = run_streamlines(problem, algorithm=spec.algorithm,
-                             machine=scenario_machine(spec.n_ranks),
-                             obs=obs)
-    entry = analyze_run(result, obs).to_dict()
-    # The analyzer reports trajectory-level metrics; the scalar summary
-    # adds the aggregate the scaling figures use.
-    entry["parallel_efficiency"] = result.parallel_efficiency
+        problem = make_problem(spec.dataset, spec.seeding,
+                               scale=spec.scale)
+        obs = Recorder(enabled=True, sample_interval=spec.sample_interval)
+        machine = scenario_machine(spec.n_ranks)
+    with host_phase("advect"):
+        result = run_streamlines(problem, algorithm=spec.algorithm,
+                                 machine=machine, obs=obs)
+    with host_phase("merge"):
+        entry = analyze_run(result, obs).to_dict()
+        # The analyzer reports trajectory-level metrics; the scalar
+        # summary adds the aggregate the scaling figures use.
+        entry["parallel_efficiency"] = result.parallel_efficiency
     return entry
 
 
@@ -104,6 +111,24 @@ def run_spec(spec: RunSpec) -> Any:
     return task(spec)
 
 
+def run_spec_with_host(spec: RunSpec) -> Tuple[Any, dict]:
+    """Execute one spec under an active :class:`HostProbe` and return
+    ``(payload, host_metrics)``.
+
+    The probe is host-side only: the task's phase labels (``setup`` /
+    ``advect`` / ``merge``) charge real wall/CPU/RSS/GC cost, while the
+    payload itself — simulated time — is byte-identical to an unprobed
+    run (the telemetry on/off determinism tests assert this).
+    """
+    probe = HostProbe()
+    try:
+        with activated(probe):
+            payload = run_spec(spec)
+    finally:
+        probe.stop()
+    return payload, probe.to_dict()
+
+
 def oom_payload(spec: RunSpec) -> dict:
     """Minimal run entry for a spec whose child hit a *real*
     MemoryError — the same gated ``oom`` status the simulated probe
@@ -111,14 +136,24 @@ def oom_payload(spec: RunSpec) -> dict:
     return {"status": "oom"}
 
 
-def child_main(spec: RunSpec, conn) -> None:
-    """Process entry point: run the spec, ship the outcome back."""
+def child_main(spec: RunSpec, conn, collect_host: bool = False) -> None:
+    """Process entry point: run the spec, ship the outcome back.
+
+    With ``collect_host`` the run is wrapped in a :class:`HostProbe`
+    and the resulting host-metric dict travels back with the payload
+    (third tuple element) for the executor's telemetry event log.
+    """
+    host = None
     try:
-        payload: Tuple[str, Any] = (OUTCOME_OK, run_spec(spec))
+        if collect_host:
+            value, host = run_spec_with_host(spec)
+        else:
+            value = run_spec(spec)
+        payload: Tuple[str, Any, Any] = (OUTCOME_OK, value, host)
     except MemoryError:
-        payload = (OUTCOME_OOM, oom_payload(spec))
+        payload = (OUTCOME_OOM, oom_payload(spec), host)
     except BaseException:
-        payload = (OUTCOME_ERROR, traceback.format_exc(limit=20))
+        payload = (OUTCOME_ERROR, traceback.format_exc(limit=20), host)
     try:
         conn.send(payload)
     finally:

@@ -54,6 +54,18 @@ from repro.obs.export import (
     write_seed_perfetto,
     write_spans_jsonl,
 )
+from repro.obs.host import (
+    HOST_SCHEMA,
+    NULL_PROBE,
+    HostProbe,
+    PhaseStats,
+    activated,
+    collapsed_table,
+    host_phase,
+    host_report,
+    load_host_comparable,
+    write_collapsed,
+)
 from repro.obs.lineage import (
     LIFECYCLE_KINDS,
     SeedLineage,
@@ -97,13 +109,17 @@ __all__ = [
     "DEFAULT_THRESHOLDS",
     "DiffRow",
     "Gauge",
+    "HOST_SCHEMA",
     "Histogram",
+    "HostProbe",
     "LIFECYCLE_KINDS",
     "MetricsRegistry",
+    "NULL_PROBE",
     "NULL_RECORDER",
     "NULL_REGISTRY",
     "NULL_SPAN",
     "NullSpan",
+    "PhaseStats",
     "Recorder",
     "RunAnalysis",
     "SeedLineage",
@@ -116,17 +132,22 @@ __all__ = [
     "WAIT_MESSAGE",
     "WAIT_STATUS",
     "WaitStates",
+    "activated",
     "analyze",
     "analyze_dir",
     "analyze_run",
+    "collapsed_table",
     "critical_path",
     "diff_runs",
     "diff_table",
     "gini",
+    "host_phase",
+    "host_report",
     "jsonable",
     "TREND_METRICS",
     "lifecycle_table",
     "load_comparable",
+    "load_host_comparable",
     "load_snapshots",
     "trend_table",
     "perfetto_events",
@@ -139,6 +160,7 @@ __all__ = [
     "slowest_table",
     "span",
     "timeline_text",
+    "write_collapsed",
     "write_perfetto",
     "write_run_json",
     "write_samples_jsonl",

@@ -1,0 +1,162 @@
+"""CLI surfaces of host telemetry: profile, sweep --telemetry, diff --host."""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.obs.host import HOST_SCHEMA
+
+COLLAPSED_LINE = re.compile(r"^\S+(?:;\S+)* \d+$")
+
+PROFILE_ARGS = ["profile", "astro", "--seeding", "sparse",
+                "--algorithm", "hybrid", "--ranks", "4",
+                "--scale", "0.05", "--interval", "0.002"]
+
+SWEEP_ARGS = ["sweep", "--dataset", "astro", "--seeding", "sparse",
+              "--algorithm", "static,ondemand", "--ranks", "4",
+              "--scale", "0.02"]
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    import repro.analysis.experiments as exp
+    exp._DISK_LOADED = False
+    exp.clear_cache()
+    yield
+    exp.clear_cache()
+    exp._DISK_LOADED = False
+
+
+# --------------------------------------------------------------------- #
+# repro profile
+# --------------------------------------------------------------------- #
+
+def test_profile_prints_host_and_sim_separately(capsys):
+    assert main(PROFILE_ARGS) == 0
+    out = capsys.readouterr().out
+    assert "simulated wall clock" in out
+    assert "everything below is real machine time" in out
+    assert "host telemetry (real machine time" in out
+    assert "sampled stacks" in out
+    # The canonical phases show up in the host table.
+    assert "setup" in out
+    assert "advect" in out
+
+
+def test_profile_writes_valid_collapsed_file(tmp_path, capsys):
+    path = tmp_path / "out.collapsed"
+    assert main(PROFILE_ARGS + ["--collapsed", str(path)]) == 0
+    err = capsys.readouterr().err
+    assert "flamegraph.pl" in err
+    lines = path.read_text().splitlines()
+    assert lines, "collapsed output is empty"
+    for line in lines:
+        assert COLLAPSED_LINE.match(line), line
+    # Phase-labeled roots: the flamegraph splits by phase.
+    roots = {line.split(";")[0].split(" ")[0] for line in lines}
+    assert "advect" in roots
+
+
+def test_profile_json_document(tmp_path, capsys):
+    path = tmp_path / "deep" / "p.json"
+    assert main(PROFILE_ARGS + ["--json", str(path)]) == 0
+    doc = json.loads(path.read_text())
+    assert doc["host_schema"] == HOST_SCHEMA
+    assert doc["scenario"]["name"] == "astro-sparse-hybrid-4"
+    assert doc["scenario"]["scale"] == 0.05
+    host = doc["host"]
+    assert host["wall_s"] > 0.0
+    assert "advect" in host["phases"]
+    # Strictly host-side: no simulated metrics in the profile document.
+    assert "wall_clock" not in json.dumps(doc)
+
+
+def test_profile_invalid_scenario_exits_2(capsys):
+    assert main(["profile", "astro", "--ranks", "0"]) == 2
+    assert "invalid scenario" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# repro sweep --telemetry
+# --------------------------------------------------------------------- #
+
+def test_sweep_telemetry_writes_valid_artifacts(tmp_path, capsys):
+    from repro.exec import load_events, validate_events
+
+    telem = tmp_path / "telem"
+    assert main(SWEEP_ARGS + ["--jobs", "2",
+                              "--telemetry", str(telem)]) == 0
+    captured = capsys.readouterr()
+    assert "telemetry:" in captured.err
+    events = load_events(telem / "events.jsonl")
+    assert validate_events(events) == []
+    retires = [e for e in events if e["event"] == "retire"]
+    assert len(retires) == 2
+    assert all(e["host"]["wall_s"] > 0 for e in retires)
+    util = (telem / "utilization.txt").read_text()
+    assert "per-worker timeline" in util
+    assert "makespan" in util
+
+
+def test_sweep_output_identical_with_and_without_telemetry(tmp_path,
+                                                           capsys):
+    import repro.analysis.experiments as exp
+
+    assert main(SWEEP_ARGS + ["--jobs", "2",
+                              "--out", str(tmp_path / "plain.json")]) == 0
+    plain_out = capsys.readouterr().out
+    exp.clear_cache(disk=True)
+    assert main(SWEEP_ARGS + ["--jobs", "2",
+                              "--out", str(tmp_path / "telem.json"),
+                              "--telemetry",
+                              str(tmp_path / "telem")]) == 0
+    telem_out = capsys.readouterr().out
+    # stdout table and JSON artifact are byte-identical: telemetry
+    # never perturbs deterministic outputs.
+    assert plain_out == telem_out
+    assert ((tmp_path / "plain.json").read_bytes()
+            == (tmp_path / "telem.json").read_bytes())
+    assert "host" not in json.loads((tmp_path / "telem.json").read_text())
+
+
+# --------------------------------------------------------------------- #
+# repro diff --host
+# --------------------------------------------------------------------- #
+
+def _write_profile(tmp_path, name):
+    path = tmp_path / name
+    assert main(PROFILE_ARGS + ["--json", str(path)]) == 0
+    return path
+
+
+def test_diff_host_is_advisory_exit_0(tmp_path, capsys):
+    path = _write_profile(tmp_path, "p.json")
+    capsys.readouterr()
+    assert main(["diff", "--host", str(path), str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "advisory" in out
+    assert "never gated" in out
+    assert "phase.advect.wall_s" in out
+
+
+def test_diff_host_rejects_non_profile_documents(tmp_path, capsys):
+    bench = tmp_path / "bench.json"
+    bench.write_text(json.dumps({"schema": 3, "runs": {}}))
+    assert main(["diff", "--host", str(bench), str(bench)]) == 2
+    assert "not a host profile" in capsys.readouterr().err
+
+
+def test_diff_host_renames_mismatched_scenarios(tmp_path, capsys):
+    path = _write_profile(tmp_path, "p.json")
+    other = tmp_path / "other.json"
+    doc = json.loads(path.read_text())
+    doc["scenario"]["name"] = "astro-dense-hybrid-4"
+    other.write_text(json.dumps(doc))
+    capsys.readouterr()
+    assert main(["diff", "--host", str(path), str(other)]) == 0
+    captured = capsys.readouterr()
+    assert "comparing different scenarios" in captured.err
+    assert "advisory" in captured.out

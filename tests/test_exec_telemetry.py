@@ -1,0 +1,277 @@
+"""Executor telemetry: event log invariants, host piping, byte-identity."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.experiments import clear_cache
+from repro.exec import (
+    MODE_BENCH,
+    OUTCOME_CRASHED,
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
+    JsonlTelemetry,
+    RunSpec,
+    SweepExecutor,
+    grid_specs,
+    load_events,
+    merge_run_entries,
+    telemetry_report,
+    text_progress,
+    utilization_table,
+    validate_events,
+    worker_intervals,
+    worker_timeline_text,
+)
+from repro.exec.telemetry import makespan, queue_depth_points
+from repro.exec.worker import FAULT_ENV
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    import repro.analysis.experiments as exp
+    exp._DISK_LOADED = False
+    clear_cache()
+    yield
+    clear_cache()
+    exp._DISK_LOADED = False
+
+
+def _sweep(tmp_path, specs, jobs, **kw):
+    sink = JsonlTelemetry(tmp_path / "events.jsonl")
+    with sink:
+        outcomes = SweepExecutor(jobs=jobs, telemetry=sink, **kw).run(specs)
+    return outcomes, load_events(sink.path)
+
+
+# --------------------------------------------------------------------- #
+# The acceptance contract: valid event log from a real parallel sweep
+# --------------------------------------------------------------------- #
+
+def test_parallel_sweep_event_log_is_valid(tmp_path):
+    specs = grid_specs(["astro"], ["sparse"],
+                       ["static", "ondemand", "hybrid"], [4], scale=0.02)
+    outcomes, events = _sweep(tmp_path, specs, jobs=4)
+    assert [o.status for o in outcomes] == [OUTCOME_OK] * 3
+    assert validate_events(events) == []
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "sweep_begin"
+    assert kinds[-1] == "sweep_end"
+    assert kinds.count("retire") == len(specs)
+    assert kinds.count("dispatch") == kinds.count("start") == 3
+    # Per-worker busy intervals never overlap.
+    for worker, ivs in worker_intervals(events).items():
+        ordered = sorted(ivs, key=lambda iv: iv.start)
+        for prev, cur in zip(ordered, ordered[1:]):
+            assert cur.start >= prev.end - 1e-9
+
+
+def test_inline_serial_sweep_emits_events_too(tmp_path):
+    specs = grid_specs(["astro"], ["sparse"], ["ondemand"], [4],
+                       scale=0.02)
+    outcomes, events = _sweep(tmp_path, specs, jobs=1)
+    assert outcomes[0].status == OUTCOME_OK
+    assert validate_events(events) == []
+    assert all(e.get("worker", 0) == 0 for e in events)
+
+
+def test_events_are_one_json_object_per_line(tmp_path):
+    specs = grid_specs(["astro"], ["sparse"], ["ondemand"], [4],
+                       scale=0.02)
+    _sweep(tmp_path, specs, jobs=2)
+    lines = (tmp_path / "events.jsonl").read_text().splitlines()
+    assert len(lines) >= 6
+    for line in lines:
+        event = json.loads(line)
+        assert "event" in event and "t" in event
+
+
+def test_outcomes_carry_child_host_metrics(tmp_path):
+    specs = grid_specs(["astro"], ["sparse"], ["ondemand"], [4],
+                       scale=0.02, mode=MODE_BENCH)
+    outcomes, events = _sweep(tmp_path, specs, jobs=2)
+    [o] = outcomes
+    assert o.host is not None
+    assert o.host["wall_s"] > 0.0
+    # Worker tasks label the canonical phases.
+    assert {"setup", "advect", "merge"} <= set(o.host["phases"])
+    [retire] = [e for e in events if e["event"] == "retire"]
+    assert retire["host"]["phases"].keys() == o.host["phases"].keys()
+
+
+def test_no_telemetry_means_no_host_collection(tmp_path):
+    specs = grid_specs(["astro"], ["sparse"], ["ondemand"], [4],
+                       scale=0.02, mode=MODE_BENCH)
+    [o] = SweepExecutor(jobs=2).run(specs)
+    assert o.status == OUTCOME_OK
+    assert o.host is None
+
+
+# --------------------------------------------------------------------- #
+# Satellite 3: deterministic artifacts byte-identical telemetry on/off
+# --------------------------------------------------------------------- #
+
+def test_merged_artifact_bytes_unchanged_by_telemetry(tmp_path):
+    specs = grid_specs(["astro"], ["sparse"], ["static", "hybrid"], [4],
+                       scale=0.02, mode=MODE_BENCH)
+    plain = SweepExecutor(jobs=2).run(specs)
+    clear_cache(disk=True)
+    with_telem, events = _sweep(tmp_path, specs, jobs=2)
+    assert validate_events(events) == []
+    doc_a = json.dumps(merge_run_entries(plain), sort_keys=True,
+                       indent=2).encode()
+    doc_b = json.dumps(merge_run_entries(with_telem), sort_keys=True,
+                       indent=2).encode()
+    assert doc_a == doc_b
+
+
+# --------------------------------------------------------------------- #
+# Failure paths still produce a complete lifecycle
+# --------------------------------------------------------------------- #
+
+def test_timeout_emits_finish_and_retire(tmp_path, monkeypatch):
+    monkeypatch.setenv(FAULT_ENV, "hang:astro-sparse-ondemand")
+    spec = RunSpec(dataset="astro", seeding="sparse",
+                   algorithm="ondemand", n_ranks=4, scale=0.02)
+    outcomes, events = _sweep(tmp_path, [spec], jobs=2, timeout=1.0)
+    assert outcomes[0].status == OUTCOME_TIMEOUT
+    assert validate_events(events) == []
+    [retire] = [e for e in events if e["event"] == "retire"]
+    assert retire["status"] == OUTCOME_TIMEOUT
+    assert "host" not in retire  # the child never reported
+
+
+def test_crash_emits_finish_and_retire(tmp_path, monkeypatch):
+    monkeypatch.setenv(FAULT_ENV, "crash:astro-sparse-static")
+    specs = grid_specs(["astro"], ["sparse"], ["static", "ondemand"],
+                       [4], scale=0.02)
+    outcomes, events = _sweep(tmp_path, specs, jobs=2)
+    assert outcomes[0].status == OUTCOME_CRASHED
+    assert outcomes[1].status == OUTCOME_OK
+    assert validate_events(events) == []
+    retires = {e["run"]: e for e in events if e["event"] == "retire"}
+    assert retires["astro-sparse-static-4"]["status"] == OUTCOME_CRASHED
+
+
+# --------------------------------------------------------------------- #
+# Analyzers
+# --------------------------------------------------------------------- #
+
+def _synthetic_events():
+    return [
+        {"event": "sweep_begin", "t": 0.0, "jobs": 2, "runs": 3},
+        {"event": "dispatch", "t": 0.0, "run": "a", "idx": 0},
+        {"event": "start", "t": 0.1, "run": "a", "idx": 0, "worker": 0},
+        {"event": "dispatch", "t": 0.1, "run": "b", "idx": 1},
+        {"event": "start", "t": 0.2, "run": "b", "idx": 1, "worker": 1},
+        {"event": "finish", "t": 2.0, "run": "a", "idx": 0, "worker": 0},
+        {"event": "retire", "t": 2.1, "run": "a", "idx": 0, "worker": 0,
+         "status": "ok", "elapsed": 2.0},
+        {"event": "dispatch", "t": 2.1, "run": "c", "idx": 2},
+        {"event": "start", "t": 2.2, "run": "c", "idx": 2, "worker": 0},
+        {"event": "finish", "t": 3.0, "run": "b", "idx": 1, "worker": 1},
+        {"event": "retire", "t": 3.0, "run": "b", "idx": 1, "worker": 1,
+         "status": "ok", "elapsed": 2.8},
+        {"event": "finish", "t": 4.0, "run": "c", "idx": 2, "worker": 0},
+        {"event": "retire", "t": 4.0, "run": "c", "idx": 2, "worker": 0,
+         "status": "ok", "elapsed": 1.8},
+        {"event": "sweep_end", "t": 4.0, "runs": 3},
+    ]
+
+
+def test_validate_accepts_synthetic_log():
+    assert validate_events(_synthetic_events()) == []
+
+
+def test_validate_flags_broken_logs():
+    events = _synthetic_events()
+    assert any("unknown kind" in p for p in validate_events(
+        events + [{"event": "bogus", "t": 1.0}]))
+    assert any("bad timestamp" in p for p in validate_events(
+        events + [{"event": "dispatch", "t": -1.0, "run": "z"}]))
+    # Drop one retire: count no longer matches the announcement.
+    short = [e for e in events
+             if not (e["event"] == "retire" and e["run"] == "c")]
+    assert any("retire count 2 != announced run count 3" in p
+               for p in validate_events(short))
+    # Same worker, overlapping runs.
+    overlap = [
+        {"event": "sweep_begin", "t": 0.0, "jobs": 1, "runs": 2},
+        {"event": "dispatch", "t": 0.0, "run": "a", "idx": 0},
+        {"event": "start", "t": 0.0, "run": "a", "idx": 0, "worker": 0},
+        {"event": "dispatch", "t": 0.1, "run": "b", "idx": 1},
+        {"event": "start", "t": 0.5, "run": "b", "idx": 1, "worker": 0},
+        {"event": "finish", "t": 1.0, "run": "a", "idx": 0, "worker": 0},
+        {"event": "retire", "t": 1.0, "run": "a", "idx": 0, "worker": 0,
+         "status": "ok"},
+        {"event": "finish", "t": 1.5, "run": "b", "idx": 1, "worker": 0},
+        {"event": "retire", "t": 1.5, "run": "b", "idx": 1, "worker": 0,
+         "status": "ok"},
+    ]
+    assert any("overlapping runs" in p for p in validate_events(overlap))
+
+
+def test_utilization_table_numbers():
+    text = utilization_table(_synthetic_events())
+    assert "makespan 4.000 s" in text
+    assert "3 runs on 2 worker slot(s)" in text
+    assert "mean dispatch->start lag 0.100 s" in text
+
+
+def test_worker_timeline_and_queue_depth():
+    events = _synthetic_events()
+    timeline = worker_timeline_text(events, width=40)
+    assert "w0" in timeline and "w1" in timeline
+    assert "=a" in timeline  # glyph legend
+    points = queue_depth_points(events)
+    assert points[0] == {"t": 0.0, "queued": 3, "running": 0, "done": 0}
+    assert points[-1]["done"] == 3
+    assert makespan(events) == 4.0
+    report = telemetry_report(events)
+    assert "per-worker timeline" in report
+    assert "queued" in report
+
+
+def test_analyzers_handle_empty_logs():
+    assert "(no completed runs" in utilization_table([])
+    assert "(no completed runs" in worker_timeline_text([])
+    assert "(no queue transitions" in telemetry_report([])
+
+
+def test_load_events_rejects_bad_lines(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"event": "sweep_begin", "t": 0.0}\nnot json\n')
+    with pytest.raises(ValueError, match="bad.jsonl:2"):
+        load_events(path)
+
+
+# --------------------------------------------------------------------- #
+# Satellite 1: single-writer per-worker progress renderer
+# --------------------------------------------------------------------- #
+
+def test_text_progress_worker_labels_and_eta(tmp_path):
+    buf = io.StringIO()
+    specs = grid_specs(["astro"], ["sparse"],
+                       ["static", "ondemand", "hybrid"], [4], scale=0.02)
+    sink = JsonlTelemetry(tmp_path / "events.jsonl")
+    with sink:
+        outcomes = SweepExecutor(jobs=2, telemetry=sink,
+                                 progress=text_progress(buf)).run(specs)
+    assert all(o.ok for o in outcomes)
+    lines = buf.getvalue().splitlines()
+    # One start + one done line per run, each a complete line.
+    starts = [ln for ln in lines if ": start (" in ln]
+    dones = [ln for ln in lines if "s real" in ln]
+    assert len(starts) == 3 and len(dones) == 3
+    assert all(ln.startswith("  [w") for ln in starts)
+    # Worker labels stay within the pool width and match the event log.
+    events = load_events(sink.path)
+    used = {e["worker"] for e in events if e["event"] == "start"}
+    assert used <= {0, 1}
+    for ln in starts:
+        assert ln.split("]")[0].strip("  [w") in {"0", "1"}
+    # ETA appears while runs remain, never on the last done line.
+    assert any("ETA ~" in ln for ln in dones[:-1])
+    assert "ETA ~" not in dones[-1]
