@@ -13,14 +13,20 @@ that ``repro diff`` can gate against:
         BENCH_new.json
 
 Every run in the matrix is independent, so ``--jobs N`` fans them out
-over a process pool (``repro.exec.SweepExecutor``); results are merged
-in spec order, so the snapshot is **byte-identical for any job count**
-(CI ``cmp``s a ``--jobs 2`` run against a serial one).  ``--timeout``
-bounds each run in real seconds; a crashed or timed-out run is recorded
-as a status-only entry and the harness exits 1 without losing the rest
-of the sweep.  The thermal OOM probe always executes in an isolated
-child process: a *real* MemoryError kills the child and is reported as
-the same gated ``oom`` status the simulated probe commits.
+over a persistent pool of worker processes (``repro.exec.SweepExecutor``);
+results are merged in spec order, so the snapshot is **byte-identical
+for any job count and any ``--schedule`` policy** (CI ``cmp``s an
+``--schedule lpt --jobs 2`` run against a serial FIFO one).
+``--schedule lpt`` dispatches the expected-longest runs first (from
+recorded runtime history, falling back to a static cost model) to
+shrink the sweep's makespan; ``--dry-run`` prints the planned order
+with estimates and exits; ``--telemetry DIR`` captures the executor's
+host-side event log and reports.  ``--timeout`` bounds each run in real
+seconds; a crashed or timed-out run is recorded as a status-only entry
+and the harness exits 1 without losing the rest of the sweep.  The
+thermal OOM probe always executes in an isolated one-shot child
+process: a *real* MemoryError kills the child and is reported as the
+same gated ``oom`` status the simulated probe commits.
 
 The simulation is deterministic and the JSON is emitted with sorted keys
 and no wall-time stamps (the ``generated`` field comes from ``--date``),
@@ -143,10 +149,37 @@ def parse_rank_scaling(text: str) -> List[int]:
 
 def build_doc(args: argparse.Namespace) -> tuple:
     """Run the matrix and merge the snapshot; returns (doc, outcomes)."""
+    from repro.exec import RuntimeEstimator
+
     specs = build_specs(args)
+    telemetry_dir = Path(args.telemetry) if args.telemetry else None
+    prior_logs = []
+    if telemetry_dir is not None:
+        prior = telemetry_dir / "events.jsonl"
+        if prior.is_file():  # read history before the sink truncates it
+            prior_logs.append(prior)
+    estimator = RuntimeEstimator.from_history(event_logs=prior_logs)
+    sink = None
+    if telemetry_dir is not None:
+        from repro.exec import JsonlTelemetry
+
+        telemetry_dir.mkdir(parents=True, exist_ok=True)
+        sink = JsonlTelemetry(telemetry_dir / "events.jsonl")
     executor = SweepExecutor(jobs=args.jobs, timeout=args.timeout or None,
-                             progress=text_progress())
-    outcomes = executor.run(specs)
+                             progress=text_progress(),
+                             telemetry=sink, schedule=args.schedule,
+                             estimator=estimator)
+    try:
+        outcomes = executor.run(specs)
+    finally:
+        if sink is not None:
+            sink.close()
+    if telemetry_dir is not None:
+        from repro.exec import load_events, telemetry_report
+
+        events = load_events(telemetry_dir / "events.jsonl")
+        (telemetry_dir / "utilization.txt").write_text(
+            telemetry_report(events) + "\n", encoding="utf-8")
     doc = {
         "schema": BENCH_SCHEMA,
         "generated": args.date,
@@ -195,6 +228,21 @@ def main(argv=None) -> int:
     parser.add_argument("--timeout", type=float, default=0.0,
                         help="per-run limit in real seconds "
                              "(0 = unlimited)")
+    parser.add_argument("--schedule", default="fifo",
+                        choices=("fifo", "lpt", "auto"),
+                        help="dispatch order: fifo = spec order, lpt = "
+                             "longest expected first, auto = lpt once "
+                             "enough runtime history exists; the "
+                             "snapshot is byte-identical for any policy")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="print the planned dispatch order with "
+                             "runtime estimates and exit without "
+                             "running anything")
+    parser.add_argument("--telemetry", default=None, metavar="DIR",
+                        help="capture the executor's host-side event "
+                             "log (events.jsonl) and utilization/"
+                             "schedule-accuracy report into DIR; never "
+                             "affects the snapshot bytes")
     parser.add_argument("--date", default="unversioned",
                         help="YYYYMMDD stamp for the filename and the "
                              "'generated' field (explicit, so reruns are "
@@ -202,6 +250,17 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default="benchmarks",
                         help="output directory (default: benchmarks/)")
     args = parser.parse_args(argv)
+
+    if args.dry_run:
+        from repro.exec import (RuntimeEstimator, default_jobs,
+                                dry_run_table, plan_schedule)
+
+        estimator = RuntimeEstimator.from_history()
+        plan = plan_schedule(build_specs(args), policy=args.schedule,
+                             estimator=estimator)
+        jobs = args.jobs if args.jobs > 0 else default_jobs()
+        print(dry_run_table(plan, jobs=jobs))
+        return 0
 
     doc, outcomes = build_doc(args)
     out_dir = Path(args.out)

@@ -3,9 +3,11 @@
 anything.
 
 Unlike generate_experiments_md.py (which completes missing cells by
-simulating them), this exporter uses only `benchmarks/.sweep_cache.json`
-and renders cells that have not been swept yet as `-`.  Useful to snapshot
-partial progress of a long sweep.
+simulating them), this exporter reads only the cached runs — the
+per-key atomic entry directory ``benchmarks/.sweep_cache/`` (plus a
+legacy whole-file ``.sweep_cache.json``, if one survives from before
+the per-key layout) — and renders cells that have not been swept yet as
+`-`.  Useful to snapshot partial progress of a long sweep.
 
 Usage:  python benchmarks/export_experiments_from_cache.py [output.md]
 """
@@ -15,12 +17,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 
-from repro.analysis.experiments import (
-    ExperimentKey,
-    RunSummary,
-    _load_disk_cache,
-    _CACHE,
-)
+from repro.analysis.experiments import cached_summaries
 from repro.analysis.report import FIGURE_NUMBERS, METRIC_INFO, figure_table
 from repro.analysis.scenarios import RANK_COUNTS
 from benchmarks.generate_experiments_md import HEADER, PAPER_FINDINGS
@@ -31,9 +28,9 @@ SCALE = 1.0
 
 def main() -> None:
     out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("EXPERIMENTS.md")
-    _load_disk_cache()
+    cached = cached_summaries()
     by_dataset = {}
-    for key, summary in _CACHE.items():
+    for key, summary in cached.items():
         if key.scale == SCALE and key.n_ranks in RANK_COUNTS:
             by_dataset.setdefault(key.dataset, []).append(summary)
 
@@ -71,7 +68,7 @@ def main() -> None:
             "re-run `python benchmarks/generate_experiments_md.py` to "
             "fill them in.*\n")
     out.write_text("\n".join(parts))
-    print(f"wrote {out} ({len(_CACHE)} cached runs)")
+    print(f"wrote {out} ({len(cached)} cached runs)")
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ import contextlib
 import dataclasses
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -201,11 +202,19 @@ def _load_disk_cache() -> None:
             _CACHE[key] = summary
 
 
-def _save_entry(key: ExperimentKey, summary: RunSummary) -> None:
+def _save_entry(key: ExperimentKey, summary: RunSummary,
+                elapsed: Optional[float] = None) -> None:
     """Persist one run atomically: write a private tmp file, then
     ``os.replace`` it over the entry — a reader (or a crash, or a
     concurrent worker) can observe the old entry or the new one, never
-    a torn write."""
+    a torn write.
+
+    ``elapsed`` (measured *real* seconds for the uncached run) rides
+    along as a top-level key; the scheduler's
+    :class:`~repro.exec.estimate.RuntimeEstimator` reads it as runtime
+    history.  Decoders ignore unknown top-level keys, so entries with
+    and without it interoperate at the same ``CACHE_VERSION``.
+    """
     path = _entry_path(key)
     if path is None:
         return
@@ -213,6 +222,8 @@ def _save_entry(key: ExperimentKey, summary: RunSummary) -> None:
     d.pop("key")
     blob = {"version": CACHE_VERSION,
             "key": dataclasses.asdict(key), "summary": d}
+    if elapsed is not None and elapsed > 0.0:
+        blob["elapsed"] = round(float(elapsed), 6)
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         with _cache_lock(path.parent):
@@ -274,6 +285,7 @@ def run_experiment(dataset: str, seeding: str, algorithm: str,
         cached = _CACHE.get(key)
         if cached is not None:
             return cached
+    t0 = time.monotonic()
     problem = make_problem(dataset, seeding, scale=scale)
     result = run_streamlines(problem, algorithm=algorithm,
                              machine=scenario_machine(n_ranks),
@@ -281,8 +293,20 @@ def run_experiment(dataset: str, seeding: str, algorithm: str,
     summary = summarize(key, result)
     if hybrid is None:
         _CACHE[key] = summary
-        _save_entry(key, summary)
+        _save_entry(key, summary, elapsed=time.monotonic() - t0)
     return summary
+
+
+def cached_summaries() -> Dict[ExperimentKey, RunSummary]:
+    """Every cached run (memory + disk), keyed by configuration.
+
+    The supported read API for exporters and offline tooling (e.g.
+    ``benchmarks/export_experiments_from_cache.py``): it loads the
+    per-key cache directory — plus the legacy whole-file cache, if one
+    still exists — and returns a snapshot dict the caller owns.
+    """
+    _load_disk_cache()
+    return dict(_CACHE)
 
 
 def sweep_dataset(dataset: str, scale: float = 1.0,
@@ -291,13 +315,17 @@ def sweep_dataset(dataset: str, scale: float = 1.0,
                                                "hybrid"),
                   seedings: Sequence[str] = ("sparse", "dense"),
                   jobs: int = 1, timeout: Optional[float] = None,
-                  progress=None) -> List[RunSummary]:
+                  progress=None, schedule: str = "fifo",
+                  estimator=None) -> List[RunSummary]:
     """Run the full grid for one dataset (all four figures' data).
 
     ``jobs > 1`` fans uncached cells out over a
     :class:`~repro.exec.executor.SweepExecutor` process pool; the
     returned list is in grid order either way (the executor merges in
-    spec order), so figure tables are identical for any job count.
+    spec order), so figure tables are identical for any job count —
+    and for any ``schedule`` policy (``fifo``/``lpt``/``auto``), which
+    only reorders dispatch.  Each uncached cell persists its measured
+    real runtime to the cache entry, feeding future LPT schedules.
     Raises ``RuntimeError`` with a failure report if any fanned-out run
     crashed or timed out (completed cells stay cached, so a retry only
     re-runs the failures).
@@ -319,7 +347,9 @@ def sweep_dataset(dataset: str, scale: float = 1.0,
                              algorithm=k.algorithm, n_ranks=k.n_ranks,
                              scale=k.scale) for k in missing]
             outcomes = SweepExecutor(jobs=jobs, timeout=timeout,
-                                     progress=progress).run(specs)
+                                     progress=progress,
+                                     schedule=schedule,
+                                     estimator=estimator).run(specs)
             if any(o.failed for o in outcomes):
                 raise RuntimeError(failure_report(outcomes))
             for k, o in zip(missing, outcomes):
@@ -330,6 +360,6 @@ def sweep_dataset(dataset: str, scale: float = 1.0,
                     _CACHE[k] = RunSummary(key=k, status=STATUS_OOM)
                 else:
                     _CACHE[k] = o.payload
-                    _save_entry(k, o.payload)
+                    _save_entry(k, o.payload, elapsed=o.elapsed)
     return [run_experiment(k.dataset, k.seeding, k.algorithm, k.n_ranks,
                            scale=k.scale) for k in keys]

@@ -8,9 +8,14 @@ Commands
                fans uncached runs over a process pool
 ``sweep``      run a full evaluation grid with the parallel sweep
                executor (``--jobs N``) and write a deterministic
-               summary JSON — byte-identical for any job count;
+               summary JSON — byte-identical for any job count and any
+               ``--schedule`` policy (fifo/lpt/auto; lpt dispatches
+               the expected-longest runs first using recorded runtime
+               history); ``--dry-run`` prints the planned dispatch
+               order with per-run estimates without executing;
                ``--telemetry DIR`` additionally captures the executor's
-               host-side event log and utilization report
+               host-side event log, utilization report, and
+               schedule-accuracy (predicted vs actual, MAPE) table
 ``profile``    run one scenario under the host-side profiler: real
                wall/CPU/RSS/GC cost per phase plus a sampled
                collapsed-stack file for flamegraph.pl / speedscope
@@ -226,17 +231,40 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     specs = grid_specs(datasets, seedings, algorithms, rank_counts,
                        scale=args.scale)
+
+    # Runtime history for the scheduler: the sweep cache's measured
+    # per-entry `elapsed` plus any prior telemetry event log.  The
+    # prior events.jsonl MUST be read before JsonlTelemetry opens
+    # (and truncates) the same path below.
+    from repro.exec import RuntimeEstimator
+
+    telemetry_dir = Path(args.telemetry) if args.telemetry else None
+    prior_logs = []
+    if telemetry_dir is not None:
+        prior = telemetry_dir / "events.jsonl"
+        if prior.is_file():
+            prior_logs.append(prior)
+    estimator = RuntimeEstimator.from_history(event_logs=prior_logs)
+
+    if args.dry_run:
+        from repro.exec import default_jobs, dry_run_table, plan_schedule
+
+        plan = plan_schedule(specs, policy=args.schedule,
+                             estimator=estimator)
+        jobs = args.jobs if args.jobs > 0 else default_jobs()
+        print(dry_run_table(plan, jobs=jobs))
+        return 0
+
     sink = None
-    telemetry_dir = None
-    if args.telemetry:
+    if telemetry_dir is not None:
         from repro.exec import JsonlTelemetry
 
-        telemetry_dir = Path(args.telemetry)
         telemetry_dir.mkdir(parents=True, exist_ok=True)
         sink = JsonlTelemetry(telemetry_dir / "events.jsonl")
     executor = SweepExecutor(jobs=args.jobs, timeout=args.timeout or None,
                              progress=text_progress(sys.stderr),
-                             telemetry=sink)
+                             telemetry=sink, schedule=args.schedule,
+                             estimator=estimator)
     outcomes = executor.run(specs)
     if sink is not None:
         sink.close()
@@ -585,6 +613,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--timeout", type=float, default=0.0,
                       help="per-run limit in real seconds "
                            "(0 = unlimited)")
+    p_sw.add_argument("--schedule", default="fifo",
+                      choices=("fifo", "lpt", "auto"),
+                      help="dispatch order: fifo = spec order, lpt = "
+                           "longest expected first (from recorded "
+                           "runtime history + a static cost model), "
+                           "auto = lpt once enough history exists; "
+                           "merged outputs are byte-identical for any "
+                           "policy")
+    p_sw.add_argument("--dry-run", action="store_true",
+                      help="print the planned dispatch order with "
+                           "per-run runtime estimates and exit "
+                           "without executing")
     p_sw.add_argument("--out", default=None,
                       help="write a deterministic summary JSON here")
     p_sw.add_argument("--telemetry", default=None, metavar="DIR",

@@ -35,6 +35,28 @@ from repro.sim.memory import SimOutOfMemory
 from repro.sim.trace import Trace
 from repro.storage.store import BlockStore
 
+#: Default-store memo: ``(id(field), blocks, cells) -> (field, store)``.
+#: A :class:`BlockStore` over an analytic field memoizes *immutable*
+#: sampled blocks, so two runs over the same field and decomposition can
+#: share one store exactly — which lets a persistent sweep worker keep
+#: decoded blocks warm across runs instead of re-sampling per run.  The
+#: entry holds a strong reference to the field so its ``id`` can never
+#: be recycled while the memo is alive (fields are process-lifetime
+#: singletons in practice via the scenario memo).
+_STORE_MEMO: Dict[Tuple[int, Tuple[int, int, int], Tuple[int, int, int]],
+                  Tuple[Any, BlockStore]] = {}
+
+
+def _default_store(problem: ProblemSpec) -> BlockStore:
+    key = (id(problem.field), tuple(problem.blocks_per_axis),
+           tuple(problem.cells_per_block))
+    hit = _STORE_MEMO.get(key)
+    if hit is not None and hit[0] is problem.field:
+        return hit[1]
+    store = BlockStore(problem.field, problem.decomposition)
+    _STORE_MEMO[key] = (problem.field, store)
+    return store
+
 
 def _finishing(worker_ctx, program: Generator[Request, Any, None]
                ) -> Generator[Request, Any, None]:
@@ -171,7 +193,7 @@ def run_streamlines(problem: ProblemSpec, algorithm: str = "hybrid",
     hybrid = hybrid or HybridConfig()
     cluster = Cluster(machine, trace=trace, obs=obs)
     if store is None:
-        store = BlockStore(problem.field, problem.decomposition)
+        store = _default_store(problem)
 
     masters: List[HybridMaster] = []
     if reseed is not None and algorithm != "hybrid":

@@ -15,16 +15,26 @@ Layers
     :class:`RunSpec` / :class:`RunOutcome` — picklable run identities
     and their results; :func:`grid_specs` for the canonical sweep order.
 :mod:`repro.exec.worker`
-    The child-side task implementations (one per spec ``mode``) plus
-    the real-``MemoryError`` -> ``oom`` containment.
+    The child-side task implementations (one per spec ``mode``), the
+    persistent-pool worker loop (:func:`pool_main`), and the
+    real-``MemoryError`` -> ``oom`` containment.
+:mod:`repro.exec.estimate`
+    :class:`RuntimeEstimator` — per-spec runtime predictions from the
+    sweep cache's measured ``elapsed`` history and prior telemetry
+    logs, with a static feature-based cost model as fallback.
+:mod:`repro.exec.schedule`
+    :func:`plan_schedule` — dispatch-order policies (``fifo`` /
+    ``lpt`` / ``auto``) over the estimator's predictions; ordering
+    never changes merged artifacts.
 :mod:`repro.exec.executor`
-    :class:`SweepExecutor` — the bounded scheduler with per-run
-    timeout, crash containment, and OOM-probe isolation.
+    :class:`SweepExecutor` — the scheduled dispatcher over a
+    persistent warm worker pool, with per-run timeout, crash
+    containment, and OOM-probe isolation.
 :mod:`repro.exec.telemetry`
     Host-side executor telemetry: the JSONL event log
     (:class:`JsonlTelemetry`), its schema validator, and the
-    utilization / timeline / queue-depth analyzers.  Telemetry never
-    perturbs deterministic artifacts.
+    utilization / timeline / queue-depth / schedule-accuracy
+    analyzers.  Telemetry never perturbs deterministic artifacts.
 
 ``repro.exec`` sits *above* ``repro.analysis`` (tasks import it
 lazily), so nothing in the simulator depends on multiprocessing.
@@ -36,9 +46,25 @@ from repro.exec.executor import (
     merge_run_entries,
     text_progress,
 )
+from repro.exec.estimate import (
+    Estimate,
+    RuntimeEstimator,
+    model_estimate,
+)
+from repro.exec.schedule import (
+    SCHEDULE_AUTO,
+    SCHEDULE_FIFO,
+    SCHEDULE_LPT,
+    SCHEDULE_POLICIES,
+    SchedulePlan,
+    dry_run_table,
+    plan_schedule,
+)
 from repro.exec.telemetry import (
     JsonlTelemetry,
     load_events,
+    makespan,
+    schedule_table,
     telemetry_report,
     utilization_table,
     validate_events,
@@ -58,9 +84,10 @@ from repro.exec.spec import (
     failure_report,
     grid_specs,
 )
-from repro.exec.worker import run_spec, run_spec_with_host
+from repro.exec.worker import pool_main, run_spec, run_spec_with_host
 
 __all__ = [
+    "Estimate",
     "JsonlTelemetry",
     "MODE_BENCH",
     "MODE_SUMMARY",
@@ -71,14 +98,26 @@ __all__ = [
     "OUTCOME_TIMEOUT",
     "RunOutcome",
     "RunSpec",
+    "RuntimeEstimator",
+    "SCHEDULE_AUTO",
+    "SCHEDULE_FIFO",
+    "SCHEDULE_LPT",
+    "SCHEDULE_POLICIES",
+    "SchedulePlan",
     "SweepExecutor",
     "default_jobs",
+    "dry_run_table",
     "failure_report",
     "grid_specs",
     "load_events",
+    "makespan",
     "merge_run_entries",
+    "model_estimate",
+    "plan_schedule",
+    "pool_main",
     "run_spec",
     "run_spec_with_host",
+    "schedule_table",
     "telemetry_report",
     "text_progress",
     "utilization_table",

@@ -1,29 +1,50 @@
-"""Bounded multi-process sweep execution with deterministic merge order.
+"""Scheduled multi-process sweep execution over a persistent worker
+pool, with deterministic spec-order merge.
 
 Every run of the evaluation matrix is independent and deterministic, so
 a sweep is embarrassingly parallel: :class:`SweepExecutor` fans specs
 out over at most ``jobs`` OS processes and returns outcomes **in spec
-order**, regardless of completion order — callers merge artifacts from
-that list, which is what makes ``--jobs N`` output byte-identical to
-serial output.
+order**, regardless of dispatch or completion order — callers merge
+artifacts from that list, which is what makes ``--jobs N`` (and any
+``--schedule`` policy) output byte-identical to serial output.
+
+Two layers sit between the spec list and the workers:
+
+* **Scheduling** (:mod:`repro.exec.schedule`): the dispatch order is a
+  :class:`~repro.exec.schedule.SchedulePlan` — FIFO (spec order) or
+  LPT (longest expected first, from the
+  :class:`~repro.exec.estimate.RuntimeEstimator`).  LPT keeps the long
+  tail runs off the end of the sweep, which is where FIFO loses its
+  makespan (the paper's load-balance lesson, applied to the harness).
+* **A persistent worker pool**: instead of forking one child per run,
+  each worker slot holds a long-lived child running
+  :func:`~repro.exec.worker.pool_main`; specs travel to it over a
+  duplex pipe and outcomes travel back.  A warm worker amortizes
+  interpreter/NumPy start-up and keeps process-level caches (dataset
+  fields, the shared block store, the in-memory sweep cache) across
+  runs.
 
 Robustness guards, per run:
 
-* **timeout** — a child exceeding ``timeout`` real seconds is
-  terminated and reported as a ``timeout`` outcome;
-* **isolation** — ``spec.isolate`` forces child-process execution even
-  at ``jobs=1`` (the thermal OOM probe uses it: a real
-  :class:`MemoryError` kills the child, not the harness, and surfaces
-  as the gated ``oom`` status);
-* **crash containment** — a child that dies without reporting (segfault,
-  ``os._exit``, the kernel OOM killer) yields a ``crashed`` outcome
-  (``oom`` for probe specs); completed runs are never lost.
+* **timeout** — a run exceeding ``timeout`` real seconds has its
+  worker terminated and is reported as a ``timeout`` outcome; the slot
+  respawns for the next spec;
+* **isolation** — ``spec.isolate`` forces one-shot child execution
+  even from the pool (the thermal OOM probe uses it: a real
+  :class:`MemoryError` kills a process that owns nothing else and
+  surfaces as the gated ``oom`` status, never poisoning a warm
+  worker);
+* **crash containment** — a worker that dies without reporting
+  (segfault, ``os._exit``, the kernel OOM killer) yields a ``crashed``
+  outcome (``oom`` for probe specs), the slot respawns, and completed
+  runs are never lost.
 
-``jobs=1`` with no timeout runs specs inline in this process — the
-historical serial behavior, byte-for-byte.
+``jobs=1`` with no timeout runs non-isolated specs inline in this
+process — the historical serial behavior, byte-for-byte.
 
 Telemetry: pass a sink (:class:`repro.exec.telemetry.JsonlTelemetry`)
-and the executor logs ``dispatch`` / ``start`` / ``finish`` / ``retire``
+and the executor logs a ``schedule`` event (the plan with per-run
+predictions) plus ``dispatch`` / ``start`` / ``finish`` / ``retire``
 events per run — worker slot ids, real timestamps, and the child's
 host-metric dict piped back with the result (``RunOutcome.host``).
 Telemetry is host-side only: payloads, merge order, and every
@@ -32,16 +53,22 @@ deterministic artifact are byte-identical with it on or off.
 
 from __future__ import annotations
 
-import bisect
+import heapq
 import os
 import sys
 import time
 import traceback
 import multiprocessing
+from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.exec.schedule import (
+    SCHEDULE_FIFO,
+    SchedulePlan,
+    plan_schedule,
+)
 from repro.exec.spec import (
     OUTCOME_CRASHED,
     OUTCOME_ERROR,
@@ -54,6 +81,7 @@ from repro.exec.spec import (
 from repro.exec.worker import (
     child_main,
     oom_payload,
+    pool_main,
     run_spec,
     run_spec_with_host,
 )
@@ -66,6 +94,10 @@ START_METHOD_ENV = "REPRO_MP_START"
 
 #: Scheduler poll interval [real seconds].
 _POLL = 0.05
+
+#: How long to wait for a pool worker to exit after the shutdown
+#: sentinel before terminating it.
+_SHUTDOWN_GRACE = 5.0
 
 ProgressFn = Callable[[str, Any, int, int], None]
 
@@ -84,21 +116,32 @@ def _start_method() -> str:
 
 
 @dataclass
-class _Child:
-    """Book-keeping for one live worker process."""
+class _PoolWorker:
+    """One persistent worker process bound to a slot for its lifetime."""
+
+    slot: int
+    proc: Any
+    conn: Any  # duplex parent end; specs out, outcome messages in
+    runs: int = 0
+
+
+@dataclass
+class _Assigned:
+    """Book-keeping for one run currently executing on a slot."""
 
     idx: int
     spec: RunSpec
-    proc: Any
-    recv: Any
+    slot: int
+    conn: Any            # the connection to wait on for the result
+    proc: Any            # the process executing the run
     started: float
     deadline: Optional[float]
-    slot: int = 0
+    oneshot: bool        # dedicated child (isolate) vs pool worker
     msg: Optional[Tuple[Any, ...]] = None
 
 
 class SweepExecutor:
-    """Run a list of :class:`RunSpec` with bounded process fan-out.
+    """Run a list of :class:`RunSpec` with scheduled bounded fan-out.
 
     Parameters
     ----------
@@ -117,18 +160,32 @@ class SweepExecutor:
     telemetry:
         Optional event sink with an ``emit(dict)`` method (see
         :class:`repro.exec.telemetry.JsonlTelemetry`).  When set, the
-        executor logs per-run lifecycle events and collects host
-        metrics from every run (``RunOutcome.host``); deterministic
-        outputs are unaffected.
+        executor logs the schedule plan and per-run lifecycle events
+        and collects host metrics from every run (``RunOutcome.host``);
+        deterministic outputs are unaffected.
+    schedule:
+        Dispatch-order policy: ``"fifo"`` (default — spec order),
+        ``"lpt"`` (longest expected first), or ``"auto"`` (LPT once
+        enough history exists; see :mod:`repro.exec.schedule`).
+        Outcomes are always returned in spec order regardless.
+    estimator:
+        Optional :class:`~repro.exec.estimate.RuntimeEstimator`
+        supplying per-spec runtime predictions for LPT/auto.  ``None``
+        builds an empty one (static-model estimates only).
     """
 
     def __init__(self, jobs: int = 1, timeout: Optional[float] = None,
                  progress: Optional[ProgressFn] = None,
-                 telemetry: Optional[Any] = None):
+                 telemetry: Optional[Any] = None,
+                 schedule: str = SCHEDULE_FIFO,
+                 estimator: Optional[Any] = None):
         self.jobs = default_jobs() if jobs <= 0 else int(jobs)
         self.timeout = timeout if timeout and timeout > 0 else None
         self.progress = progress
         self.telemetry = telemetry
+        self.schedule = schedule
+        self.estimator = estimator
+        self.last_plan: Optional[SchedulePlan] = None
         self._t0 = 0.0
 
     def _emit_event(self, kind: str, **fields: Any) -> None:
@@ -145,14 +202,25 @@ class SweepExecutor:
     # Public API
     # ------------------------------------------------------------------ #
 
+    def plan(self, specs: Sequence[RunSpec]) -> SchedulePlan:
+        """The dispatch plan ``run`` would use for ``specs`` (also what
+        ``--dry-run`` prints)."""
+        return plan_schedule(list(specs), policy=self.schedule,
+                             estimator=self.estimator)
+
     def run(self, specs: Sequence[RunSpec]) -> List[RunOutcome]:
         """Execute every spec; outcomes are returned in spec order."""
         specs = list(specs)
         total = len(specs)
         results: List[Optional[RunOutcome]] = [None] * total
         done = {"n": 0}
+        plan = self.plan(specs)
+        self.last_plan = plan
         self._t0 = time.monotonic()
-        self._emit_event("sweep_begin", jobs=self.jobs, runs=total)
+        self._emit_event("sweep_begin", jobs=self.jobs, runs=total,
+                         schedule=plan.effective)
+        if total:
+            self._emit_event("schedule", **plan.event_fields())
 
         def emit(event: str, payload: Any) -> None:
             if event == "done":
@@ -160,13 +228,13 @@ class SweepExecutor:
             if self.progress is not None:
                 self.progress(event, payload, done["n"], total)
 
-        if self.jobs > 1:
-            self._run_children(list(enumerate(specs)), self.jobs,
-                               results, emit)
+        ordered = plan.ordered
+        if self.jobs > 1 or self.timeout is not None:
+            self._run_pool(ordered, self.jobs, results, emit)
         else:
-            for i, spec in enumerate(specs):
-                if spec.isolate or self.timeout is not None:
-                    self._run_children([(i, spec)], 1, results, emit)
+            for i, spec in ordered:
+                if spec.isolate:
+                    self._run_pool([(i, spec)], 1, results, emit)
                 else:
                     self._emit_event("dispatch", run=spec.name, idx=i)
                     self._emit_event("start", run=spec.name, idx=i,
@@ -216,127 +284,203 @@ class SweepExecutor:
                           elapsed=time.monotonic() - t0, host=host)
 
     # ------------------------------------------------------------------ #
-    # Child-process execution
+    # Persistent pool execution
     # ------------------------------------------------------------------ #
 
-    def _spawn(self, ctx, idx: int, spec: RunSpec, slot: int) -> _Child:
+    def _spawn_pool_worker(self, ctx, slot: int) -> _PoolWorker:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(target=pool_main,
+                           args=(child_conn,
+                                 self.telemetry is not None),
+                           daemon=True)
+        proc.start()
+        child_conn.close()  # child holds its end now
+        return _PoolWorker(slot=slot, proc=proc, conn=parent_conn)
+
+    def _spawn_oneshot(self, ctx, spec: RunSpec) -> Tuple[Any, Any]:
+        """Dedicated child for an isolated spec; returns (proc, recv)."""
         recv_conn, send_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(target=child_main,
                            args=(spec, send_conn,
                                  self.telemetry is not None),
                            daemon=True)
         proc.start()
-        send_conn.close()  # child holds the write end now
-        now = time.monotonic()
-        deadline = now + self.timeout if self.timeout else None
-        return _Child(idx=idx, spec=spec, proc=proc, recv=recv_conn,
-                      started=now, deadline=deadline, slot=slot)
+        send_conn.close()
+        return proc, recv_conn
 
-    def _finish(self, child: _Child, status: str, payload: Any = None,
-                error: str = "", host: Optional[dict] = None
-                ) -> RunOutcome:
+    def _discard_worker(self, workers: Dict[int, _PoolWorker],
+                        slot: int, terminate: bool = True) -> None:
+        """Drop a slot's persistent worker (died, timed out, or
+        memory-suspect); the slot respawns a fresh one on next use."""
+        worker = workers.pop(slot, None)
+        if worker is None:
+            return
+        if terminate and worker.proc.is_alive():
+            worker.proc.terminate()
+        worker.proc.join(timeout=_SHUTDOWN_GRACE)
+        if worker.proc.is_alive():  # pragma: no cover - stuck after kill
+            worker.proc.kill()
+            worker.proc.join()
         try:
-            child.recv.close()
+            worker.conn.close()
         except OSError:
             pass
-        return RunOutcome(spec=child.spec, status=status, payload=payload,
-                          error=error,
-                          elapsed=time.monotonic() - child.started,
-                          host=host)
 
-    def _reap(self, child: _Child) -> RunOutcome:
-        """Build the outcome for a child whose pipe closed."""
-        child.proc.join(timeout=10.0)
-        if child.proc.is_alive():  # sent its result but will not exit
-            child.proc.terminate()
-            child.proc.join()
-        if child.msg is not None:
-            # Current children send (status, payload, host); tolerate
-            # the historical 2-tuple for any out-of-tree callers.
-            if len(child.msg) == 3:
-                status, payload, host = child.msg
+    def _outcome_from_msg(self, a: _Assigned) -> RunOutcome:
+        """Build the outcome for an assignment whose message arrived
+        (or whose pipe closed: ``msg is None`` means a hard death)."""
+        elapsed = time.monotonic() - a.started
+        if a.msg is not None:
+            # Workers send (status, payload, host); tolerate the
+            # historical 2-tuple for any out-of-tree callers.
+            if len(a.msg) == 3:
+                status, payload, host = a.msg
             else:
-                (status, payload), host = child.msg, None
+                (status, payload), host = a.msg, None
             if status == OUTCOME_OK:
-                return self._finish(child, OUTCOME_OK, payload=payload,
-                                    host=host)
+                return RunOutcome(spec=a.spec, status=OUTCOME_OK,
+                                  payload=payload, elapsed=elapsed,
+                                  host=host)
             if status == OUTCOME_OOM:
-                return self._finish(child, OUTCOME_OOM, payload=payload,
-                                    host=host)
-            return self._finish(child, OUTCOME_ERROR,
-                                error=str(payload), host=host)
+                return RunOutcome(spec=a.spec, status=OUTCOME_OOM,
+                                  payload=payload, elapsed=elapsed,
+                                  host=host)
+            return RunOutcome(spec=a.spec, status=OUTCOME_ERROR,
+                              error=str(payload), elapsed=elapsed,
+                              host=host)
         # Died without reporting: hard crash, or the kernel's OOM
         # killer.  For the OOM probe that *is* the measured outcome.
-        code = child.proc.exitcode
-        if child.spec.oom_probe:
-            return self._finish(child, OUTCOME_OOM,
-                                payload=oom_payload(child.spec),
-                                error=f"child died (exit code {code})")
-        return self._finish(child, OUTCOME_CRASHED,
-                            error=f"child died without result "
-                                  f"(exit code {code})")
+        # Reap it first — the pipe hits EOF before the exit status is
+        # collectable, and an unjoined process reports exitcode None.
+        a.proc.join(timeout=_SHUTDOWN_GRACE)
+        code = a.proc.exitcode
+        if a.spec.oom_probe:
+            return RunOutcome(spec=a.spec, status=OUTCOME_OOM,
+                              payload=oom_payload(a.spec),
+                              error=f"child died (exit code {code})",
+                              elapsed=elapsed)
+        return RunOutcome(spec=a.spec, status=OUTCOME_CRASHED,
+                          error=f"child died without result "
+                                f"(exit code {code})",
+                          elapsed=elapsed)
 
-    def _run_children(self, items: List[Tuple[int, RunSpec]], jobs: int,
-                      results: List[Optional[RunOutcome]],
-                      emit: Callable[[str, Any], None]) -> None:
+    def _run_pool(self, items: Sequence[Tuple[int, RunSpec]], jobs: int,
+                  results: List[Optional[RunOutcome]],
+                  emit: Callable[[str, Any], None]) -> None:
+        """Dispatch ``items`` (already in schedule order) over a
+        persistent pool of at most ``jobs`` worker slots."""
         ctx = multiprocessing.get_context(_start_method())
-        pending = list(items)
-        active: Dict[Any, _Child] = {}
-        free_slots = list(range(jobs))
+        pending = deque(items)
+        workers: Dict[int, _PoolWorker] = {}     # slot -> live worker
+        running: Dict[Any, _Assigned] = {}       # conn -> assignment
+        free_slots: List[int] = list(range(jobs))
+        heapq.heapify(free_slots)
 
-        def retire(child: _Child, outcome: RunOutcome) -> None:
-            del active[child.recv]
-            results[child.idx] = outcome
-            self._emit_retire(outcome, child.idx, child.slot)
-            bisect.insort(free_slots, child.slot)
+        def dispatch() -> None:
+            while pending and free_slots:
+                idx, spec = pending.popleft()
+                slot = heapq.heappop(free_slots)
+                self._emit_event("dispatch", run=spec.name, idx=idx)
+                now = time.monotonic()
+                deadline = now + self.timeout if self.timeout else None
+                if spec.isolate:
+                    proc, conn = self._spawn_oneshot(ctx, spec)
+                    running[conn] = _Assigned(
+                        idx=idx, spec=spec, slot=slot, conn=conn,
+                        proc=proc, started=now, deadline=deadline,
+                        oneshot=True)
+                else:
+                    worker = workers.get(slot)
+                    if worker is None or not worker.proc.is_alive():
+                        self._discard_worker(workers, slot)
+                        worker = self._spawn_pool_worker(ctx, slot)
+                        workers[slot] = worker
+                    worker.conn.send(spec)
+                    worker.runs += 1
+                    running[worker.conn] = _Assigned(
+                        idx=idx, spec=spec, slot=slot, conn=worker.conn,
+                        proc=worker.proc, started=now, deadline=deadline,
+                        oneshot=False)
+                self._emit_event("start", run=spec.name, idx=idx,
+                                 worker=slot)
+                emit("start", spec)
+
+        def retire(a: _Assigned, outcome: RunOutcome) -> None:
+            del running[a.conn]
+            results[a.idx] = outcome
+            self._emit_retire(outcome, a.idx, a.slot)
+            heapq.heappush(free_slots, a.slot)
             emit("done", outcome)
 
         try:
-            while pending or active:
-                while pending and len(active) < jobs:
-                    idx, spec = pending.pop(0)
-                    slot = free_slots.pop(0)
-                    self._emit_event("dispatch", run=spec.name, idx=idx)
-                    child = self._spawn(ctx, idx, spec, slot)
-                    self._emit_event("start", run=spec.name, idx=idx,
-                                     worker=slot)
-                    active[child.recv] = child
-                    emit("start", spec)
-                ready = mp_connection.wait(list(active), timeout=_POLL)
-                finished: List[_Child] = []
+            while pending or running:
+                dispatch()
+                ready = mp_connection.wait(list(running), timeout=_POLL)
+                finished: List[_Assigned] = []
                 for conn in ready:
-                    child = active[conn]
+                    a = running[conn]
                     try:
-                        child.msg = conn.recv()
+                        a.msg = conn.recv()
                     except (EOFError, OSError):
-                        child.msg = None
-                    self._emit_event("finish", run=child.spec.name,
-                                     idx=child.idx, worker=child.slot)
-                    finished.append(child)
+                        a.msg = None  # the process died mid-run
+                    self._emit_event("finish", run=a.spec.name,
+                                     idx=a.idx, worker=a.slot)
+                    finished.append(a)
                 now = time.monotonic()
-                for child in list(active.values()):
-                    if (child not in finished and child.deadline
-                            and now > child.deadline):
-                        child.proc.terminate()
-                        child.proc.join()
-                        self._emit_event("finish", run=child.spec.name,
-                                         idx=child.idx,
-                                         worker=child.slot)
-                        outcome = self._finish(
-                            child, OUTCOME_TIMEOUT,
-                            error=f"exceeded {self.timeout:g}s limit")
-                        retire(child, outcome)
-                for child in finished:
-                    outcome = self._reap(child)
-                    retire(child, outcome)
+                for a in list(running.values()):
+                    if (a not in finished and a.deadline
+                            and now > a.deadline):
+                        a.proc.terminate()
+                        a.proc.join()
+                        if not a.oneshot:
+                            self._discard_worker(workers, a.slot,
+                                                 terminate=False)
+                        else:
+                            try:
+                                a.conn.close()
+                            except OSError:
+                                pass
+                        self._emit_event("finish", run=a.spec.name,
+                                         idx=a.idx, worker=a.slot)
+                        outcome = RunOutcome(
+                            spec=a.spec, status=OUTCOME_TIMEOUT,
+                            error=f"exceeded {self.timeout:g}s limit",
+                            elapsed=now - a.started)
+                        retire(a, outcome)
+                for a in finished:
+                    outcome = self._outcome_from_msg(a)
+                    if a.oneshot:
+                        a.proc.join(timeout=_SHUTDOWN_GRACE)
+                        if a.proc.is_alive():  # reported but won't exit
+                            a.proc.terminate()
+                            a.proc.join()
+                        try:
+                            a.conn.close()
+                        except OSError:
+                            pass
+                    elif a.msg is None:
+                        # Pool worker died mid-run; the slot respawns.
+                        self._discard_worker(workers, a.slot)
+                    elif outcome.status == OUTCOME_OOM:
+                        # The worker survived a MemoryError, but its
+                        # allocator state is suspect — recycle it.
+                        self._discard_worker(workers, a.slot)
+                    retire(a, outcome)
         finally:
-            for child in active.values():  # interrupt / error cleanup
-                child.proc.terminate()
-                child.proc.join()
+            for a in list(running.values()):  # interrupt / error cleanup
+                a.proc.terminate()
+                a.proc.join()
                 try:
-                    child.recv.close()
+                    a.conn.close()
                 except OSError:
                     pass
+            for worker in list(workers.values()):
+                try:
+                    worker.conn.send(None)  # polite shutdown sentinel
+                except (BrokenPipeError, OSError):
+                    pass
+                self._discard_worker(workers, worker.slot,
+                                     terminate=False)
 
 
 # ---------------------------------------------------------------------- #
@@ -380,7 +524,7 @@ def text_progress(stream=None) -> ProgressFn:
 
     running: Dict[str, float] = {}       # run name -> start monotonic
     slots: Dict[str, int] = {}           # run name -> worker label
-    free_slots: List[int] = []
+    free_slots: List[int] = []           # heap: lowest label pops first
     state = {"next_slot": 0, "max_active": 1, "elapsed_sum": 0.0,
              "elapsed_n": 0}
 
@@ -401,7 +545,7 @@ def text_progress(stream=None) -> ProgressFn:
     def progress(event: str, payload: Any, done: int, total: int) -> None:
         if event == "start":
             name = str(payload)
-            slot = (free_slots.pop(0) if free_slots
+            slot = (heapq.heappop(free_slots) if free_slots
                     else state["next_slot"])
             if slot == state["next_slot"]:
                 state["next_slot"] += 1
@@ -418,7 +562,7 @@ def text_progress(stream=None) -> ProgressFn:
         slot = slots.pop(name, None)
         running.pop(name, None)
         if slot is not None:
-            bisect.insort(free_slots, slot)
+            heapq.heappush(free_slots, slot)
         state["elapsed_sum"] += o.elapsed
         state["elapsed_n"] += 1
         tag = f"[{done}/{total}]"

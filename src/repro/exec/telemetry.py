@@ -6,8 +6,13 @@ the parent scheduler loop (a single writer, so the log needs no
 locking and lines never interleave):
 
 ``sweep_begin``
-    once per ``run()`` call — ``jobs`` (pool width) and ``runs``
-    (spec count);
+    once per ``run()`` call — ``jobs`` (pool width), ``runs``
+    (spec count), and the effective ``schedule`` policy;
+``schedule``
+    the resolved dispatch plan (policy, history coverage, per-run
+    predicted seconds + estimate source), emitted once right after
+    ``sweep_begin``; :func:`schedule_table` joins it with the
+    ``retire`` actuals for predicted-vs-actual accuracy (MAPE);
 ``dispatch``
     a spec was popped off the pending queue and assigned a worker slot;
 ``start``
@@ -44,8 +49,8 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 #: Recognized event kinds, in lifecycle order for per-run sequences.
-EVENT_KINDS = ("sweep_begin", "dispatch", "start", "finish", "retire",
-               "sweep_end")
+EVENT_KINDS = ("sweep_begin", "schedule", "dispatch", "start", "finish",
+               "retire", "sweep_end")
 
 _RUN_ORDER = ("dispatch", "start", "finish", "retire")
 
@@ -317,11 +322,72 @@ def queue_depth_table(events: Sequence[Mapping[str, Any]],
     return "\n".join(lines)
 
 
+def schedule_table(events: Sequence[Mapping[str, Any]]) -> str:
+    """Schedule-accuracy table: the ``schedule`` event's per-run
+    predictions joined with the ``retire`` actuals.
+
+    Rows are in dispatch order; the summary line reports the mean
+    absolute percentage error (MAPE) of the estimator over the runs
+    that actually retired — the feedback signal that tells you whether
+    LPT had a sane cost model to work with.
+    """
+    plan_event: Optional[Mapping[str, Any]] = None
+    for event in events:
+        if event.get("event") == "schedule":
+            plan_event = event
+    if plan_event is None or not plan_event.get("plan"):
+        return "(no schedule event in the event log)"
+    actual: Dict[str, float] = {}
+    for event in events:
+        if event.get("event") == "retire":
+            run = event.get("run")
+            elapsed = event.get("elapsed")
+            if isinstance(run, str) and isinstance(elapsed, (int, float)):
+                actual[run] = float(elapsed)
+    header = (f"{'#':>3}  {'run':<34} {'predicted':>10}  {'actual':>10}  "
+              f"{'err %':>7}  {'source':<8}")
+    lines = [
+        f"schedule {plan_event.get('policy', '?')}"
+        + (f" -> {plan_event.get('effective')}"
+           if plan_event.get("effective") != plan_event.get("policy")
+           else "")
+        + f" ({float(plan_event.get('coverage') or 0.0) * 100.0:.0f}% "
+        f"history coverage)",
+        header,
+        "-" * len(header),
+    ]
+    errors: List[float] = []
+    for pos, p in enumerate(plan_event["plan"]):
+        run = str(p.get("run", "?"))
+        predicted = float(p.get("predicted", 0.0))
+        got = actual.get(run)
+        if got is not None and got > 0.0:
+            err = abs(predicted - got) / got * 100.0
+            errors.append(err)
+            lines.append(f"{pos:>3}  {run:<34} {predicted:>9.2f}s  "
+                         f"{got:>9.2f}s  {err:>6.1f}%  "
+                         f"{p.get('source', '?'):<8}")
+        else:
+            lines.append(f"{pos:>3}  {run:<34} {predicted:>9.2f}s  "
+                         f"{'-':>10}  {'-':>7}  "
+                         f"{p.get('source', '?'):<8}")
+    lines.append("")
+    if errors:
+        lines.append(f"estimator MAPE {sum(errors) / len(errors):.1f}% "
+                     f"over {len(errors)} run(s)")
+    else:
+        lines.append("(no retired runs to score the estimator against)")
+    return "\n".join(lines)
+
+
 def telemetry_report(events: Sequence[Mapping[str, Any]],
                      width: int = 72) -> str:
-    """Utilization table + per-worker timeline + queue-depth curve."""
-    return "\n\n".join([
+    """Utilization table + timeline + queue depth + schedule accuracy."""
+    sections = [
         utilization_table(events),
         worker_timeline_text(events, width=width),
         queue_depth_table(events),
-    ])
+    ]
+    if any(e.get("event") == "schedule" for e in events):
+        sections.append(schedule_table(events))
+    return "\n\n".join(sections)

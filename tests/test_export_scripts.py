@@ -48,3 +48,36 @@ def test_cache_export_renders_partial_tables(tmp_path, monkeypatch):
     assert "12.500" in text            # the cached wall clock
     assert "not yet run" in text       # fusion/thermal missing
     assert "partially completed sweep" in text
+
+
+def test_cache_export_reads_per_key_entries(tmp_path, monkeypatch):
+    """The exporter reads the current per-key atomic cache directory,
+    not just the legacy whole-file layout."""
+    import os
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    import repro.analysis.experiments as exp
+    from repro.analysis.experiments import (ExperimentKey, RunSummary,
+                                            _save_entry, clear_cache)
+    exp._DISK_LOADED = False
+    clear_cache()
+    key = ExperimentKey(dataset="fusion", seeding="sparse",
+                        algorithm="hybrid", n_ranks=16, scale=1.0)
+    _save_entry(key, RunSummary(key=key, status="ok", wall_clock=42.125,
+                                io_time=1.0, comm_time=0.5,
+                                compute_time=40.0), elapsed=2.0)
+    clear_cache()
+    exp._DISK_LOADED = False
+    out = tmp_path / "EXP.md"
+    full_env = dict(os.environ)
+    full_env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    result = subprocess.run(
+        [sys.executable,
+         str(REPO / "benchmarks" / "export_experiments_from_cache.py"),
+         str(out)],
+        capture_output=True, text=True, env=full_env, cwd=REPO)
+    assert result.returncode == 0, result.stderr
+    text = out.read_text()
+    assert "42.125" in text            # the per-key cached wall clock
+    clear_cache()
+    exp._DISK_LOADED = False
