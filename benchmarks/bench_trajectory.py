@@ -147,11 +147,48 @@ def parse_rank_scaling(text: str) -> List[int]:
     return ranks
 
 
+def parse_jobs(text: str) -> int:
+    """``--jobs`` values: a non-negative int, or ``auto`` (= 0 = one
+    worker per CPU)."""
+    if text.strip().lower() == "auto":
+        return 0
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid jobs value {text!r}: expected an integer or 'auto'")
+    if value < 0:
+        raise argparse.ArgumentTypeError("jobs must be >= 0")
+    return value
+
+
+def build_nodes(args: argparse.Namespace):
+    """Node list from --nodes/--nodes-file, or None for local-only."""
+    if not (args.nodes or args.nodes_file):
+        return None
+    from repro.exec import parse_nodes, read_nodes_file
+
+    nodes = []
+    try:
+        if args.nodes:
+            nodes.extend(parse_nodes(args.nodes))
+        if args.nodes_file:
+            nodes.extend(read_nodes_file(Path(args.nodes_file)))
+    except (ValueError, OSError) as exc:
+        raise SystemExit(f"bench_trajectory: {exc}")
+    names = [n.name for n in nodes]
+    if len(set(names)) != len(names):
+        raise SystemExit("bench_trajectory: duplicate node name across "
+                         "--nodes/--nodes-file")
+    return nodes
+
+
 def build_doc(args: argparse.Namespace) -> tuple:
     """Run the matrix and merge the snapshot; returns (doc, outcomes)."""
     from repro.exec import RuntimeEstimator
 
     specs = build_specs(args)
+    nodes = build_nodes(args)
     telemetry_dir = Path(args.telemetry) if args.telemetry else None
     prior_logs = []
     if telemetry_dir is not None:
@@ -168,7 +205,8 @@ def build_doc(args: argparse.Namespace) -> tuple:
     executor = SweepExecutor(jobs=args.jobs, timeout=args.timeout or None,
                              progress=text_progress(),
                              telemetry=sink, schedule=args.schedule,
-                             estimator=estimator)
+                             estimator=estimator, nodes=nodes,
+                             remote_template=args.remote_template)
     try:
         outcomes = executor.run(specs)
     finally:
@@ -221,10 +259,25 @@ def main(argv=None) -> int:
                         help="comma-separated rank counts for an "
                              "astro/dense/hybrid scaling trajectory "
                              "(e.g. 4,8,16); off by default")
-    parser.add_argument("--jobs", type=int, default=1,
+    parser.add_argument("--jobs", type=parse_jobs, default=1,
+                        metavar="N",
                         help="worker processes for the run fan-out "
-                             "(default 1 = serial; 0 = one per CPU); "
-                             "output is byte-identical for any value")
+                             "(default 1 = serial; 0 or 'auto' = one "
+                             "per CPU); output is byte-identical for "
+                             "any value")
+    parser.add_argument("--nodes", default=None, metavar="SPEC",
+                        help="distribute runs over remote nodes: "
+                             "comma-separated host:slots (bare host = "
+                             "1 slot; 'local' = in-process slots); the "
+                             "snapshot stays byte-identical")
+    parser.add_argument("--nodes-file", default=None, metavar="PATH",
+                        help="read node specs from PATH (one per "
+                             "line; # comments); combined with --nodes")
+    parser.add_argument("--remote-template", default=None,
+                        metavar="TEMPLATE",
+                        help="command template launching the remote "
+                             "worker on {host} (default: ssh batch "
+                             "mode)")
     parser.add_argument("--timeout", type=float, default=0.0,
                         help="per-run limit in real seconds "
                              "(0 = unlimited)")

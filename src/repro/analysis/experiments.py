@@ -234,6 +234,88 @@ def _save_entry(key: ExperimentKey, summary: RunSummary,
         pass  # caching is best-effort
 
 
+@dataclass(frozen=True)
+class CacheEntry:
+    """One on-disk sweep-cache entry, as ``repro cache`` reports it."""
+
+    path: Path
+    name: str                      # run name (or the file stem)
+    scale: Optional[float]
+    elapsed: Optional[float]       # measured real seconds, if recorded
+    size: int                      # bytes on disk
+    age: float                     # seconds since last write
+    version: Optional[int]         # CACHE_VERSION of the entry
+    valid: bool                    # decodable at the current version
+
+
+def cache_entries(now: Optional[float] = None) -> List[CacheEntry]:
+    """List every per-key sweep-cache entry on disk (no cache needed
+    in memory; corrupt or stale-version entries are included, flagged
+    invalid, so ``repro cache`` can surface them for pruning)."""
+    root = _cache_dir()
+    if root is None or not root.is_dir():
+        return []
+    if now is None:
+        now = time.time()
+    entries: List[CacheEntry] = []
+    for path in sorted(root.glob("*.json")):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        name = path.stem
+        scale = elapsed = None
+        version = None
+        valid = False
+        try:
+            blob = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            blob = None
+        if isinstance(blob, dict):
+            version = blob.get("version")
+            valid = _decode_entry(blob) is not None
+            key = blob.get("key")
+            if isinstance(key, dict):
+                try:
+                    name = (f"{key['dataset']}-{key['seeding']}-"
+                            f"{key['algorithm']}-{key['n_ranks']}")
+                    scale = float(key.get("scale", 1.0))
+                except (KeyError, TypeError, ValueError):
+                    pass
+            raw = blob.get("elapsed")
+            if isinstance(raw, (int, float)):
+                elapsed = float(raw)
+        entries.append(CacheEntry(
+            path=path, name=name, scale=scale, elapsed=elapsed,
+            size=stat.st_size, age=max(0.0, now - stat.st_mtime),
+            version=version if isinstance(version, int) else None,
+            valid=valid))
+    return entries
+
+
+def prune_cache(older_than: Optional[float] = None,
+                now: Optional[float] = None) -> Tuple[int, int]:
+    """Delete sweep-cache entries older than ``older_than`` seconds
+    (``None`` = all of them); returns ``(files_removed,
+    bytes_removed)``.  Also drops matching keys from the in-memory
+    cache so the running process does not resurrect them."""
+    removed = freed = 0
+    for entry in cache_entries(now=now):
+        if older_than is not None and entry.age < older_than:
+            continue
+        with contextlib.suppress(OSError):
+            root = entry.path.parent
+            with _cache_lock(root):
+                entry.path.unlink()
+            removed += 1
+            freed += entry.size
+    if removed:
+        global _DISK_LOADED
+        _CACHE.clear()
+        _DISK_LOADED = False  # reload survivors lazily on next use
+    return removed, freed
+
+
 def clear_cache(disk: bool = False) -> None:
     """Drop all memoized runs (tests).  ``disk=True`` also removes the
     on-disk cache entries (and the legacy cache file)."""
@@ -336,6 +418,8 @@ def sweep_dataset(dataset: str, scale: float = 1.0,
             for seeding in seedings
             for algorithm in algorithms
             for n_ranks in rank_counts]
+    if jobs <= 0:  # 0 = "auto": one worker per CPU
+        jobs = os.cpu_count() or 1
     if jobs > 1:
         _load_disk_cache()
         missing = [k for k in keys if k not in _CACHE]

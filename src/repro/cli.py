@@ -15,7 +15,13 @@ Commands
                order with per-run estimates without executing;
                ``--telemetry DIR`` additionally captures the executor's
                host-side event log, utilization report, and
-               schedule-accuracy (predicted vs actual, MAPE) table
+               schedule-accuracy (predicted vs actual, MAPE) table;
+               ``--nodes host1:4,host2:8`` (or ``--nodes-file``)
+               dispatches runs to long-lived remote workers with
+               node-aware LPT and failover — still byte-identical
+``cache``      list the on-disk sweep cache (per-entry size, age,
+               measured elapsed) or prune it (``--prune
+               --older-than 2h`` / ``--prune --all``)
 ``profile``    run one scenario under the host-side profiler: real
                wall/CPU/RSS/GC cost per phase plus a sampled
                collapsed-stack file for flamegraph.pl / speedscope
@@ -229,6 +235,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     rank_counts = args.ranks or list(RANK_COUNTS)
 
+    # Multi-node dispatch: --nodes / --nodes-file describe remote slot
+    # counts; duplicates across the two sources are configuration
+    # errors, not merge candidates.
+    nodes = None
+    if args.nodes or args.nodes_file:
+        from repro.exec import parse_nodes, read_nodes_file
+
+        try:
+            nodes = []
+            if args.nodes:
+                nodes.extend(parse_nodes(args.nodes))
+            if args.nodes_file:
+                nodes.extend(read_nodes_file(Path(args.nodes_file)))
+            names = [n.name for n in nodes]
+            if len(set(names)) != len(names):
+                raise ValueError(
+                    "duplicate node name across --nodes/--nodes-file")
+        except (ValueError, OSError) as exc:
+            print(f"repro sweep: {exc}", file=sys.stderr)
+            return 2
+
     specs = grid_specs(datasets, seedings, algorithms, rank_counts,
                        scale=args.scale)
 
@@ -264,7 +291,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     executor = SweepExecutor(jobs=args.jobs, timeout=args.timeout or None,
                              progress=text_progress(sys.stderr),
                              telemetry=sink, schedule=args.schedule,
-                             estimator=estimator)
+                             estimator=estimator, nodes=nodes,
+                             remote_template=args.remote_template)
     outcomes = executor.run(specs)
     if sink is not None:
         sink.close()
@@ -562,6 +590,87 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fmt_age(seconds: float) -> str:
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 86400:
+        return f"{seconds / 3600:.1f}h"
+    return f"{seconds / 86400:.1f}d"
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import (_cache_dir, cache_entries,
+                                            prune_cache)
+
+    root = _cache_dir()
+    if root is None:
+        print('cache: disk caching is disabled (REPRO_CACHE_DIR="")')
+        return 0
+    if args.prune:
+        if args.older_than is None and not args.all:
+            print("repro cache: --prune needs --older-than AGE or --all",
+                  file=sys.stderr)
+            return 2
+        older = None if args.all else args.older_than
+        removed, freed = prune_cache(older_than=older)
+        noun = "entry" if removed == 1 else "entries"
+        print(f"pruned {removed} {noun} ({freed} bytes) from {root}")
+        return 0
+    entries = cache_entries()
+    if not entries:
+        print(f"cache: no entries in {root}")
+        return 0
+    print(f"{'entry':<36}{'scale':>7}{'elapsed':>10}{'size':>8}"
+          f"{'age':>8}")
+    print("-" * 69)
+    total = 0
+    for e in entries:
+        total += e.size
+        scale = f"{e.scale:g}" if e.scale is not None else "-"
+        elapsed = f"{e.elapsed:.3f}s" if e.elapsed is not None else "-"
+        name = e.name if e.valid else f"{e.name} (stale)"
+        print(f"{name:<36}{scale:>7}{elapsed:>10}{e.size:>8}"
+              f"{_fmt_age(e.age):>8}")
+    noun = "entry" if len(entries) == 1 else "entries"
+    print(f"\n{len(entries)} {noun}, {total} bytes in {root}")
+    return 0
+
+
+def _jobs_arg(text: str) -> int:
+    """``--jobs`` values: a non-negative int, or ``auto`` (= 0 = one
+    worker per CPU)."""
+    if text.strip().lower() == "auto":
+        return 0
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid jobs value {text!r}: expected an integer or 'auto'")
+    if value < 0:
+        raise argparse.ArgumentTypeError("jobs must be >= 0")
+    return value
+
+
+def _age_arg(text: str) -> float:
+    """``--older-than`` values: seconds, or ``NN[s|m|h|d]``."""
+    raw = text.strip().lower()
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    mult = 1.0
+    if raw and raw[-1] in units:
+        mult = units[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid age {text!r}: expected e.g. 90, 30m, 2h, 1d")
+    if value < 0:
+        raise argparse.ArgumentTypeError("age must be >= 0")
+    return value * mult
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -584,10 +693,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--dataset", choices=DATASETS, required=True)
     p_fig.add_argument("--scale", type=float, default=0.25)
     p_fig.add_argument("--ranks", type=int, nargs="*", default=None)
-    p_fig.add_argument("--jobs", type=int, default=1,
+    p_fig.add_argument("--jobs", type=_jobs_arg, default=1,
+                       metavar="N",
                        help="worker processes for uncached runs "
-                            "(default 1 = serial; 0 = one per CPU); "
-                            "the table is identical for any value")
+                            "(default 1 = serial; 0 or 'auto' = one "
+                            "per CPU); the table is identical for any "
+                            "value")
     p_fig.add_argument("--timeout", type=float, default=0.0,
                        help="per-run limit in real seconds "
                             "(0 = unlimited)")
@@ -606,10 +717,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--ranks", type=int, nargs="*", default=None,
                       help=f"rank counts (default {list(RANK_COUNTS)})")
     p_sw.add_argument("--scale", type=float, default=0.25)
-    p_sw.add_argument("--jobs", type=int, default=1,
-                      help="worker processes (default 1 = serial; "
-                           "0 = one per CPU); the merged output is "
-                           "byte-identical for any value")
+    p_sw.add_argument("--jobs", type=_jobs_arg, default=1,
+                      metavar="N",
+                      help="worker processes (default 1 = serial; 0 or "
+                           "'auto' = one per CPU); the merged output "
+                           "is byte-identical for any value")
+    p_sw.add_argument("--nodes", default=None, metavar="SPEC",
+                      help="distribute runs over remote nodes: "
+                           "comma-separated host:slots (e.g. "
+                           "host1:4,host2:8; bare host = 1 slot; "
+                           "the pseudo-host 'local' adds in-process "
+                           "slots); merged outputs stay byte-identical")
+    p_sw.add_argument("--nodes-file", default=None, metavar="PATH",
+                      help="read node specs from PATH (one 'host', "
+                           "'host:slots', or 'host slots' per line; "
+                           "# comments); combined with --nodes")
+    p_sw.add_argument("--remote-template", default=None,
+                      metavar="TEMPLATE",
+                      help="command template that launches the remote "
+                           "worker on {host} (default: ssh batch mode, "
+                           "cd {cwd}, python -m repro.exec."
+                           "remote_worker)")
     p_sw.add_argument("--timeout", type=float, default=0.0,
                       help="per-run limit in real seconds "
                            "(0 = unlimited)")
@@ -741,6 +869,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--uniform-flow", action="store_true",
                        default=None)
     p_rec.set_defaults(func=_cmd_recommend)
+
+    p_ca = sub.add_parser(
+        "cache",
+        help="inspect or prune the on-disk sweep cache")
+    p_ca.add_argument("--prune", action="store_true",
+                      help="delete entries instead of listing them "
+                           "(requires --older-than or --all)")
+    p_ca.add_argument("--older-than", type=_age_arg, default=None,
+                      metavar="AGE",
+                      help="with --prune: only delete entries last "
+                           "written more than AGE ago (e.g. 90, 45m, "
+                           "2h, 1d)")
+    p_ca.add_argument("--all", action="store_true",
+                      help="with --prune: delete every entry")
+    p_ca.set_defaults(func=_cmd_cache)
 
     p_sc = sub.add_parser("scenarios", help="list evaluation scenarios")
     p_sc.add_argument("--scale", type=float, default=1.0)

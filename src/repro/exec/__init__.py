@@ -26,15 +26,23 @@ Layers
     :func:`plan_schedule` — dispatch-order policies (``fifo`` /
     ``lpt`` / ``auto``) over the estimator's predictions; ordering
     never changes merged artifacts.
+:mod:`repro.exec.transport`
+    Worker transports: the local pipe-based pool and the framed-stdio
+    remote transport (:class:`RemoteTransport` + ``python -m
+    repro.exec.remote_worker``) behind one worker interface —
+    ``--nodes host1:4,host2:8`` distributed dispatch with a
+    calibration handshake and node-aware LPT.
 :mod:`repro.exec.executor`
-    :class:`SweepExecutor` — the scheduled dispatcher over a
-    persistent warm worker pool, with per-run timeout, crash
-    containment, and OOM-probe isolation.
+    :class:`SweepExecutor` — the scheduled dispatcher over persistent
+    worker slots (local and/or remote), with per-run timeout, crash
+    containment, OOM-probe isolation, and remote failover (requeue +
+    bounded retries + local fallback).
 :mod:`repro.exec.telemetry`
     Host-side executor telemetry: the JSONL event log
     (:class:`JsonlTelemetry`), its schema validator, and the
-    utilization / timeline / queue-depth / schedule-accuracy
-    analyzers.  Telemetry never perturbs deterministic artifacts.
+    utilization / timeline / queue-depth / per-node /
+    schedule-accuracy analyzers.  Telemetry never perturbs
+    deterministic artifacts.
 
 ``repro.exec`` sits *above* ``repro.analysis`` (tasks import it
 lazily), so nothing in the simulator depends on multiprocessing.
@@ -48,8 +56,21 @@ from repro.exec.executor import (
 )
 from repro.exec.estimate import (
     Estimate,
+    MIN_SAMPLE_SECONDS,
     RuntimeEstimator,
     model_estimate,
+)
+from repro.exec.transport import (
+    DEFAULT_REMOTE_TEMPLATE,
+    LOCAL_NODE,
+    PROTOCOL_VERSION,
+    LocalTransport,
+    NodeSpec,
+    RemoteTransport,
+    TransportError,
+    calibration_probe,
+    parse_nodes,
+    read_nodes_file,
 )
 from repro.exec.schedule import (
     SCHEDULE_AUTO,
@@ -64,6 +85,7 @@ from repro.exec.telemetry import (
     JsonlTelemetry,
     load_events,
     makespan,
+    node_table,
     schedule_table,
     telemetry_report,
     utilization_table,
@@ -87,15 +109,22 @@ from repro.exec.spec import (
 from repro.exec.worker import pool_main, run_spec, run_spec_with_host
 
 __all__ = [
+    "DEFAULT_REMOTE_TEMPLATE",
     "Estimate",
     "JsonlTelemetry",
+    "LOCAL_NODE",
+    "LocalTransport",
+    "MIN_SAMPLE_SECONDS",
     "MODE_BENCH",
     "MODE_SUMMARY",
     "OUTCOME_CRASHED",
     "OUTCOME_ERROR",
     "OUTCOME_OK",
     "OUTCOME_OOM",
+    "NodeSpec",
     "OUTCOME_TIMEOUT",
+    "PROTOCOL_VERSION",
+    "RemoteTransport",
     "RunOutcome",
     "RunSpec",
     "RuntimeEstimator",
@@ -105,6 +134,8 @@ __all__ = [
     "SCHEDULE_POLICIES",
     "SchedulePlan",
     "SweepExecutor",
+    "TransportError",
+    "calibration_probe",
     "default_jobs",
     "dry_run_table",
     "failure_report",
@@ -113,8 +144,11 @@ __all__ = [
     "makespan",
     "merge_run_entries",
     "model_estimate",
+    "node_table",
+    "parse_nodes",
     "plan_schedule",
     "pool_main",
+    "read_nodes_file",
     "run_spec",
     "run_spec_with_host",
     "schedule_table",

@@ -39,6 +39,13 @@ from repro.exec.spec import RunSpec
 SOURCE_HISTORY = "history"
 SOURCE_MODEL = "model"
 
+#: Samples shorter than this [real seconds] are discarded: they are
+#: sweep-cache hits (the memoized lookup returns in ~1 ms), not
+#: measurements of the run.  Letting them in poisons the history — a
+#: warm-cache sweep would teach the estimator that every run is
+#: "instant" and the next cold sweep's LPT order would be garbage.
+MIN_SAMPLE_SECONDS = 0.01
+
 # --------------------------------------------------------------------- #
 # Static cost model (the no-history fallback)
 # --------------------------------------------------------------------- #
@@ -110,6 +117,8 @@ class RuntimeEstimator:
     def __init__(self) -> None:
         #: run name -> [(scale or None, elapsed seconds)]
         self._samples: Dict[str, List[Tuple[Optional[float], float]]] = {}
+        #: node name -> [(run name, elapsed seconds)] from retire events
+        self._node_samples: Dict[str, List[Tuple[str, float]]] = {}
 
     # -- loading ------------------------------------------------------- #
 
@@ -129,10 +138,21 @@ class RuntimeEstimator:
         return est
 
     def record(self, name: str, elapsed: float,
-               scale: Optional[float] = None) -> None:
-        """Add one measured sample (used by loaders and live sweeps)."""
-        if elapsed > 0.0:
-            self._samples.setdefault(name, []).append((scale, elapsed))
+               scale: Optional[float] = None,
+               node: Optional[str] = None) -> bool:
+        """Add one measured sample (used by loaders and live sweeps).
+
+        Near-zero samples (< :data:`MIN_SAMPLE_SECONDS`) are rejected
+        (returns ``False``): they come from sweep-cache hits, not from
+        running anything.
+        """
+        if elapsed < MIN_SAMPLE_SECONDS:
+            return False
+        self._samples.setdefault(name, []).append((scale, elapsed))
+        if node:
+            self._node_samples.setdefault(node, []).append(
+                (name, elapsed))
+        return True
 
     def load_cache_dir(self, root: Optional[Path] = None) -> int:
         """Ingest ``elapsed`` from per-key sweep-cache entries; returns
@@ -162,8 +182,8 @@ class RuntimeEstimator:
                 scale = float(key.get("scale", 1.0))
             except (KeyError, TypeError, ValueError):
                 continue
-            self.record(name, float(elapsed), scale)
-            loaded += 1
+            if self.record(name, float(elapsed), scale):
+                loaded += 1
         return loaded
 
     def load_event_log(self, path: Path) -> int:
@@ -195,8 +215,11 @@ class RuntimeEstimator:
             if (isinstance(run, str) and run
                     and isinstance(elapsed, (int, float)) and elapsed > 0.0
                     and event.get("status") in ("ok", "oom")):
-                self.record(run, float(elapsed), None)
-                loaded += 1
+                node = event.get("node")
+                if self.record(run, float(elapsed), None,
+                               node=node if isinstance(node, str)
+                               else None):
+                    loaded += 1
         return loaded
 
     # -- querying ------------------------------------------------------ #
@@ -227,6 +250,32 @@ class RuntimeEstimator:
                 return Estimate(seconds=sum(usable) / len(usable),
                                 source=SOURCE_HISTORY)
         return Estimate(seconds=model_estimate(spec), source=SOURCE_MODEL)
+
+    def node_speed(self, node: str) -> Optional[float]:
+        """Relative speed factor of ``node`` from retire-event history
+        (``None`` when no samples name it).
+
+        For every run retired on the node, the ratio of the run's mean
+        elapsed (across all nodes/logs) to the node's elapsed says how
+        much faster (> 1) or slower (< 1) the node was than average;
+        the factor is the mean ratio.  Used by the executor as the
+        speed fallback when a worker's handshake carries no calibration
+        probe.
+        """
+        samples = self._node_samples.get(node)
+        if not samples:
+            return None
+        ratios: List[float] = []
+        for name, elapsed in samples:
+            peers = [e for _, e in self._samples.get(name, [])]
+            if not peers or elapsed <= 0.0:
+                continue
+            mean = sum(peers) / len(peers)
+            if mean > 0.0:
+                ratios.append(mean / elapsed)
+        if not ratios:
+            return None
+        return sum(ratios) / len(ratios)
 
     def to_mapping(self) -> Mapping[str, Any]:
         """Snapshot of the loaded samples (introspection/tests)."""

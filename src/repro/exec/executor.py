@@ -1,54 +1,63 @@
-"""Scheduled multi-process sweep execution over a persistent worker
-pool, with deterministic spec-order merge.
+"""Scheduled multi-process sweep execution over persistent worker
+pools — local or distributed — with deterministic spec-order merge.
 
 Every run of the evaluation matrix is independent and deterministic, so
 a sweep is embarrassingly parallel: :class:`SweepExecutor` fans specs
-out over at most ``jobs`` OS processes and returns outcomes **in spec
-order**, regardless of dispatch or completion order — callers merge
-artifacts from that list, which is what makes ``--jobs N`` (and any
-``--schedule`` policy) output byte-identical to serial output.
+out over worker *slots* and returns outcomes **in spec order**,
+regardless of dispatch or completion order — callers merge artifacts
+from that list, which is what makes ``--jobs N``, ``--nodes ...`` (and
+any ``--schedule`` policy) output byte-identical to serial output.
 
-Two layers sit between the spec list and the workers:
+Three layers sit between the spec list and the workers:
 
 * **Scheduling** (:mod:`repro.exec.schedule`): the dispatch order is a
   :class:`~repro.exec.schedule.SchedulePlan` — FIFO (spec order) or
   LPT (longest expected first, from the
-  :class:`~repro.exec.estimate.RuntimeEstimator`).  LPT keeps the long
-  tail runs off the end of the sweep, which is where FIFO loses its
-  makespan (the paper's load-balance lesson, applied to the harness).
-* **A persistent worker pool**: instead of forking one child per run,
-  each worker slot holds a long-lived child running
-  :func:`~repro.exec.worker.pool_main`; specs travel to it over a
-  duplex pipe and outcomes travel back.  A warm worker amortizes
-  interpreter/NumPy start-up and keeps process-level caches (dataset
-  fields, the shared block store, the in-memory sweep cache) across
-  runs.
+  :class:`~repro.exec.estimate.RuntimeEstimator`).
+* **Transports** (:mod:`repro.exec.transport`): each slot is backed by
+  a :class:`~repro.exec.transport.LocalTransport` pool worker (a
+  long-lived ``pool_main`` child on this machine) or a
+  :class:`~repro.exec.transport.RemoteTransport` worker launched on
+  another node from a command template and spoken to over a framed
+  stdio protocol.  ``nodes=[NodeSpec(...)]`` activates distributed
+  dispatch (``repro sweep --nodes host1:4,host2:8``).
+* **Node-aware dispatch**: free slots live in a heap keyed by
+  ``(-speed, slot)``, where a remote node's speed factor comes from its
+  handshake calibration probe (or retire-event history).  Combined with
+  LPT's longest-first pending order, the longest expected runs land on
+  the fastest free slots.
 
 Robustness guards, per run:
 
 * **timeout** — a run exceeding ``timeout`` real seconds has its
   worker terminated and is reported as a ``timeout`` outcome; the slot
   respawns for the next spec;
-* **isolation** — ``spec.isolate`` forces one-shot child execution
-  even from the pool (the thermal OOM probe uses it: a real
-  :class:`MemoryError` kills a process that owns nothing else and
-  surfaces as the gated ``oom`` status, never poisoning a warm
-  worker);
-* **crash containment** — a worker that dies without reporting
-  (segfault, ``os._exit``, the kernel OOM killer) yields a ``crashed``
-  outcome (``oom`` for probe specs), the slot respawns, and completed
-  runs are never lost.
+* **isolation** — ``spec.isolate`` forces one-shot *local* child
+  execution even from the pool (the thermal OOM probe uses it);
+* **crash containment** — a local worker that dies without reporting
+  yields a ``crashed`` outcome (``oom`` for probe specs) and the slot
+  respawns;
+* **failover** — a *remote* worker that dies mid-run gets its
+  in-flight spec **requeued** (a ``requeue`` telemetry event) at the
+  front of the pending queue; after ``_MAX_REMOTE_ATTEMPTS`` remote
+  deaths the spec falls back to a one-shot local child.  An
+  unreachable node at startup — or a node whose workers stop spawning
+  mid-sweep — degrades the sweep to the remaining slots with a warning
+  (``node_lost`` event); if every node is lost, an emergency local
+  pool finishes the sweep.  ``validate_events`` still proves
+  retire-count == runs.
 
-``jobs=1`` with no timeout runs non-isolated specs inline in this
-process — the historical serial behavior, byte-for-byte.
+``jobs=1`` with no timeout and no nodes runs non-isolated specs inline
+in this process — the historical serial behavior, byte-for-byte.
 
 Telemetry: pass a sink (:class:`repro.exec.telemetry.JsonlTelemetry`)
 and the executor logs a ``schedule`` event (the plan with per-run
-predictions) plus ``dispatch`` / ``start`` / ``finish`` / ``retire``
-events per run — worker slot ids, real timestamps, and the child's
-host-metric dict piped back with the result (``RunOutcome.host``).
-Telemetry is host-side only: payloads, merge order, and every
-deterministic artifact are byte-identical with it on or off.
+predictions and the resolved job count) plus ``dispatch`` / ``start``
+/ ``finish`` / ``retire`` (and ``requeue``) events per run — worker
+slot ids, node identity, real timestamps, and the child's host-metric
+dict piped back with the result (``RunOutcome.host``).  Telemetry is
+host-side only: payloads, merge order, and every deterministic
+artifact are byte-identical with it on or off.
 """
 
 from __future__ import annotations
@@ -60,9 +69,9 @@ import time
 import traceback
 import multiprocessing
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from multiprocessing import connection as mp_connection
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.exec.schedule import (
     SCHEDULE_FIFO,
@@ -78,10 +87,17 @@ from repro.exec.spec import (
     RunOutcome,
     RunSpec,
 )
+from repro.exec.transport import (
+    DEFAULT_REMOTE_TEMPLATE,
+    LOCAL_NODE,
+    LocalTransport,
+    NodeSpec,
+    RemoteTransport,
+    TransportError,
+)
 from repro.exec.worker import (
     child_main,
     oom_payload,
-    pool_main,
     run_spec,
     run_spec_with_host,
 )
@@ -99,11 +115,16 @@ _POLL = 0.05
 #: sentinel before terminating it.
 _SHUTDOWN_GRACE = 5.0
 
+#: Remote deaths tolerated per spec before it falls back to a one-shot
+#: local child (a spec that kills every remote worker it touches must
+#: not starve the sweep).
+_MAX_REMOTE_ATTEMPTS = 2
+
 ProgressFn = Callable[[str, Any, int, int], None]
 
 
 def default_jobs() -> int:
-    """``--jobs 0`` resolution: one worker per CPU."""
+    """``--jobs 0`` / ``--jobs auto`` resolution: one worker per CPU."""
     return os.cpu_count() or 1
 
 
@@ -116,13 +137,13 @@ def _start_method() -> str:
 
 
 @dataclass
-class _PoolWorker:
-    """One persistent worker process bound to a slot for its lifetime."""
+class _Slot:
+    """One dispatchable worker slot and the transport that backs it."""
 
     slot: int
-    proc: Any
-    conn: Any  # duplex parent end; specs out, outcome messages in
-    runs: int = 0
+    node: str
+    speed: float
+    transport: Any
 
 
 @dataclass
@@ -132,12 +153,20 @@ class _Assigned:
     idx: int
     spec: RunSpec
     slot: int
-    conn: Any            # the connection to wait on for the result
-    proc: Any            # the process executing the run
+    node: str
     started: float
     deadline: Optional[float]
-    oneshot: bool        # dedicated child (isolate) vs pool worker
+    oneshot: bool            # dedicated child (isolate/fallback)
+    remote: bool             # backed by a RemoteTransport worker
+    worker: Any = None       # transport worker handle (pool/remote)
+    conn: Any = None         # oneshot receive pipe
+    proc: Any = None         # oneshot child process
     msg: Optional[Tuple[Any, ...]] = None
+
+    @property
+    def key(self) -> Any:
+        """The waitable this assignment is registered under."""
+        return self.conn if self.oneshot else self.worker.waitable
 
 
 class SweepExecutor:
@@ -146,17 +175,20 @@ class SweepExecutor:
     Parameters
     ----------
     jobs:
-        Maximum concurrent worker processes.  ``1`` (default) is
-        serial; ``0`` or negative resolves to the CPU count.
+        Maximum concurrent *local* worker processes.  ``1`` (default)
+        is serial; ``0`` or negative resolves to the CPU count.  With
+        ``nodes`` set this also bounds the emergency local fallback
+        pool.
     timeout:
         Per-run wall-clock limit in *real* seconds (``None`` — the
         default — disables the guard).  Setting a timeout forces child
         execution even at ``jobs=1`` so the limit is enforceable.
     progress:
         Optional callback ``progress(event, payload, done, total)``
-        where ``event`` is ``"start"`` (payload: the spec) or
-        ``"done"`` (payload: the outcome).  Called from this process
-        only, as runs start and finish (completion order).
+        where ``event`` is ``"start"`` (payload: ``(spec, slot,
+        node)``), ``"requeue"`` (same payload shape), or ``"done"``
+        (payload: the outcome).  Called from this process only, as runs
+        start and finish (completion order).
     telemetry:
         Optional event sink with an ``emit(dict)`` method (see
         :class:`repro.exec.telemetry.JsonlTelemetry`).  When set, the
@@ -170,21 +202,37 @@ class SweepExecutor:
         Outcomes are always returned in spec order regardless.
     estimator:
         Optional :class:`~repro.exec.estimate.RuntimeEstimator`
-        supplying per-spec runtime predictions for LPT/auto.  ``None``
-        builds an empty one (static-model estimates only).
+        supplying per-spec runtime predictions for LPT/auto (and
+        historical node speed factors).  ``None`` builds an empty one
+        (static-model estimates only).
+    nodes:
+        Optional list of :class:`~repro.exec.transport.NodeSpec`
+        activating distributed dispatch: each node contributes
+        ``slots`` remote worker slots (the pseudo-node ``local`` adds
+        in-machine pool slots).  ``None`` (default) keeps the purely
+        local pool.
+    remote_template:
+        Command template for launching remote workers (``{host}`` and
+        ``{cwd}`` substituted; ``shlex``-split, no local shell).
+        Defaults to the ssh-based
+        :data:`~repro.exec.transport.DEFAULT_REMOTE_TEMPLATE`.
     """
 
     def __init__(self, jobs: int = 1, timeout: Optional[float] = None,
                  progress: Optional[ProgressFn] = None,
                  telemetry: Optional[Any] = None,
                  schedule: str = SCHEDULE_FIFO,
-                 estimator: Optional[Any] = None):
+                 estimator: Optional[Any] = None,
+                 nodes: Optional[Sequence[NodeSpec]] = None,
+                 remote_template: Optional[str] = None):
         self.jobs = default_jobs() if jobs <= 0 else int(jobs)
         self.timeout = timeout if timeout and timeout > 0 else None
         self.progress = progress
         self.telemetry = telemetry
         self.schedule = schedule
         self.estimator = estimator
+        self.nodes = list(nodes) if nodes else None
+        self.remote_template = remote_template or DEFAULT_REMOTE_TEMPLATE
         self.last_plan: Optional[SchedulePlan] = None
         self._t0 = 0.0
 
@@ -197,6 +245,9 @@ class SweepExecutor:
         }
         event.update(fields)
         self.telemetry.emit(event)
+
+    def _warn(self, message: str) -> None:
+        print(f"sweep: {message}", file=sys.stderr)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -217,10 +268,21 @@ class SweepExecutor:
         plan = self.plan(specs)
         self.last_plan = plan
         self._t0 = time.monotonic()
-        self._emit_event("sweep_begin", jobs=self.jobs, runs=total,
-                         schedule=plan.effective)
+        use_pool = (self.nodes is not None or self.jobs > 1
+                    or self.timeout is not None)
+        ctx = table = workers = None
+        if use_pool and total:
+            ctx = multiprocessing.get_context(_start_method())
+            table, workers = self._build_slots(ctx)
+        slots_n = len(table) if table is not None else self.jobs
+        begin: Dict[str, Any] = {"jobs": slots_n, "runs": total,
+                                 "schedule": plan.effective}
+        if self.nodes is not None and table is not None:
+            begin["nodes"] = self._node_summary(table)
+        self._emit_event("sweep_begin", **begin)
         if total:
-            self._emit_event("schedule", **plan.event_fields())
+            self._emit_event("schedule", jobs=slots_n,
+                             **plan.event_fields())
 
         def emit(event: str, payload: Any) -> None:
             if event == "done":
@@ -229,31 +291,38 @@ class SweepExecutor:
                 self.progress(event, payload, done["n"], total)
 
         ordered = plan.ordered
-        if self.jobs > 1 or self.timeout is not None:
-            self._run_pool(ordered, self.jobs, results, emit)
+        if use_pool and total:
+            self._run_pool(ordered, ctx, table, workers, results, emit)
         else:
             for i, spec in ordered:
                 if spec.isolate:
-                    self._run_pool([(i, spec)], 1, results, emit)
+                    ctx = multiprocessing.get_context(_start_method())
+                    iso_table = {0: _Slot(slot=0, node=LOCAL_NODE,
+                                          speed=1.0,
+                                          transport=self._local_transport(
+                                              ctx))}
+                    self._run_pool([(i, spec)], ctx, iso_table, {},
+                                   results, emit)
                 else:
-                    self._emit_event("dispatch", run=spec.name, idx=i)
+                    self._emit_event("dispatch", run=spec.name, idx=i,
+                                     worker=0, node=LOCAL_NODE)
                     self._emit_event("start", run=spec.name, idx=i,
-                                     worker=0)
-                    emit("start", spec)
+                                     worker=0, node=LOCAL_NODE)
+                    emit("start", (spec, 0, LOCAL_NODE))
                     outcome = self._run_inline(spec)
                     self._emit_event("finish", run=spec.name, idx=i,
-                                     worker=0)
+                                     worker=0, node=LOCAL_NODE)
                     results[i] = outcome
-                    self._emit_retire(outcome, i, 0)
+                    self._emit_retire(outcome, i, 0, LOCAL_NODE)
                     emit("done", outcome)
         self._emit_event("sweep_end", runs=done["n"])
         return [r for r in results if r is not None]
 
-    def _emit_retire(self, outcome: RunOutcome, idx: int,
-                     slot: int) -> None:
+    def _emit_retire(self, outcome: RunOutcome, idx: int, slot: int,
+                     node: str) -> None:
         fields: Dict[str, Any] = {
             "run": outcome.spec.name, "idx": idx, "worker": slot,
-            "status": outcome.status,
+            "node": node, "status": outcome.status,
             "elapsed": round(outcome.elapsed, 6),
         }
         if outcome.host is not None:
@@ -284,18 +353,90 @@ class SweepExecutor:
                           elapsed=time.monotonic() - t0, host=host)
 
     # ------------------------------------------------------------------ #
-    # Persistent pool execution
+    # Slot-table construction (transports)
     # ------------------------------------------------------------------ #
 
-    def _spawn_pool_worker(self, ctx, slot: int) -> _PoolWorker:
-        parent_conn, child_conn = ctx.Pipe(duplex=True)
-        proc = ctx.Process(target=pool_main,
-                           args=(child_conn,
-                                 self.telemetry is not None),
-                           daemon=True)
-        proc.start()
-        child_conn.close()  # child holds its end now
-        return _PoolWorker(slot=slot, proc=proc, conn=parent_conn)
+    def _local_transport(self, ctx) -> LocalTransport:
+        return LocalTransport(ctx, collect_host=self.telemetry is not None)
+
+    def _build_slots(self, ctx) -> Tuple[Dict[int, _Slot],
+                                         Dict[int, Any]]:
+        """Materialize the slot table for this sweep.
+
+        Without ``nodes``: ``jobs`` local pool slots.  With ``nodes``:
+        each node's slots backed by its transport, with one **probe
+        worker** spawned eagerly per remote node — that both detects an
+        unreachable node before any spec is dispatched (the sweep
+        degrades to the remaining slots with a warning) and yields the
+        node's calibration speed factor for node-aware LPT.
+        """
+        table: Dict[int, _Slot] = {}
+        workers: Dict[int, Any] = {}
+        if self.nodes is None:
+            local = self._local_transport(ctx)
+            for s in range(self.jobs):
+                table[s] = _Slot(slot=s, node=LOCAL_NODE, speed=1.0,
+                                 transport=local)
+            return table, workers
+        slot = 0
+        local: Optional[LocalTransport] = None
+        for node in self.nodes:
+            if node.is_local:
+                if local is None:
+                    local = self._local_transport(ctx)
+                for _ in range(node.slots):
+                    table[slot] = _Slot(slot=slot, node=LOCAL_NODE,
+                                        speed=1.0, transport=local)
+                    slot += 1
+                continue
+            transport = RemoteTransport(
+                node, template=self.remote_template,
+                collect_host=self.telemetry is not None)
+            try:
+                probe = transport.spawn(slot)
+            except TransportError as exc:
+                self._warn(f"node {node.name} unreachable "
+                           f"({exc}); degrading to remaining slots")
+                self._emit_event("node_lost", node=node.name,
+                                 slots=node.slots, reason=str(exc),
+                                 phase="startup")
+                continue
+            speed = probe.speed
+            calib = probe.hello.get("calib")
+            if not isinstance(calib, (int, float)) or calib <= 0:
+                # No calibration in the handshake (older worker):
+                # fall back to speed inferred from retire history.
+                historic = getattr(self.estimator, "node_speed",
+                                   lambda _n: None)(node.name)
+                if historic:
+                    speed = historic
+            workers[slot] = probe
+            for _ in range(node.slots):
+                table[slot] = _Slot(slot=slot, node=node.name,
+                                    speed=speed, transport=transport)
+                slot += 1
+        if not table:
+            self._warn(f"no nodes reachable; running on a local "
+                       f"fallback pool ({self.jobs} slot(s))")
+            local = self._local_transport(ctx)
+            for s in range(self.jobs):
+                table[s] = _Slot(slot=s, node=LOCAL_NODE, speed=1.0,
+                                 transport=local)
+        return table, workers
+
+    @staticmethod
+    def _node_summary(table: Dict[int, _Slot]) -> List[Dict[str, Any]]:
+        summary: Dict[str, Dict[str, Any]] = {}
+        for info in table.values():
+            entry = summary.setdefault(
+                info.node, {"node": info.node, "slots": 0,
+                            "speed": round(info.speed, 4)})
+            entry["slots"] += 1
+        return sorted(summary.values(), key=lambda e: e["node"])
+
+    # ------------------------------------------------------------------ #
+    # Persistent pool execution
+    # ------------------------------------------------------------------ #
 
     def _spawn_oneshot(self, ctx, spec: RunSpec) -> Tuple[Any, Any]:
         """Dedicated child for an isolated spec; returns (proc, recv)."""
@@ -308,23 +449,20 @@ class SweepExecutor:
         send_conn.close()
         return proc, recv_conn
 
-    def _discard_worker(self, workers: Dict[int, _PoolWorker],
-                        slot: int, terminate: bool = True) -> None:
+    def _discard_worker(self, workers: Dict[int, Any], slot: int,
+                        terminate: bool = True) -> None:
         """Drop a slot's persistent worker (died, timed out, or
         memory-suspect); the slot respawns a fresh one on next use."""
         worker = workers.pop(slot, None)
         if worker is None:
             return
-        if terminate and worker.proc.is_alive():
-            worker.proc.terminate()
-        worker.proc.join(timeout=_SHUTDOWN_GRACE)
-        if worker.proc.is_alive():  # pragma: no cover - stuck after kill
-            worker.proc.kill()
-            worker.proc.join()
-        try:
-            worker.conn.close()
-        except OSError:
-            pass
+        if terminate and worker.alive:
+            worker.terminate()
+        worker.reap(_SHUTDOWN_GRACE)
+        if worker.alive:  # pragma: no cover - stuck after terminate
+            worker.kill()
+            worker.reap(None)
+        worker.close()
 
     def _outcome_from_msg(self, a: _Assigned) -> RunOutcome:
         """Build the outcome for an assignment whose message arrived
@@ -351,9 +489,12 @@ class SweepExecutor:
         # Died without reporting: hard crash, or the kernel's OOM
         # killer.  For the OOM probe that *is* the measured outcome.
         # Reap it first — the pipe hits EOF before the exit status is
-        # collectable, and an unjoined process reports exitcode None.
-        a.proc.join(timeout=_SHUTDOWN_GRACE)
-        code = a.proc.exitcode
+        # collectable, and an unreaped process reports no exit code.
+        if a.oneshot:
+            a.proc.join(timeout=_SHUTDOWN_GRACE)
+            code = a.proc.exitcode
+        else:
+            code = a.worker.reap(_SHUTDOWN_GRACE)
         if a.spec.oom_probe:
             return RunOutcome(spec=a.spec, status=OUTCOME_OOM,
                               payload=oom_payload(a.spec),
@@ -364,90 +505,180 @@ class SweepExecutor:
                                 f"(exit code {code})",
                           elapsed=elapsed)
 
-    def _run_pool(self, items: Sequence[Tuple[int, RunSpec]], jobs: int,
+    def _run_pool(self, items: Sequence[Tuple[int, RunSpec]], ctx,
+                  table: Dict[int, _Slot], workers: Dict[int, Any],
                   results: List[Optional[RunOutcome]],
                   emit: Callable[[str, Any], None]) -> None:
-        """Dispatch ``items`` (already in schedule order) over a
-        persistent pool of at most ``jobs`` worker slots."""
-        ctx = multiprocessing.get_context(_start_method())
+        """Dispatch ``items`` (already in schedule order) over the slot
+        table, multiplexing local pipe connections and remote stdio
+        streams through one ``connection.wait`` loop."""
         pending = deque(items)
-        workers: Dict[int, _PoolWorker] = {}     # slot -> live worker
-        running: Dict[Any, _Assigned] = {}       # conn -> assignment
-        free_slots: List[int] = list(range(jobs))
-        heapq.heapify(free_slots)
+        running: Dict[Any, _Assigned] = {}       # waitable -> assignment
+        attempts: Dict[int, int] = {}            # idx -> remote deaths
+        local_only: Set[int] = set()             # retry-exhausted specs
+        # Free slots keyed (-speed, slot): fastest node first, then
+        # lowest slot — with LPT's longest-first pending order this is
+        # exactly "longest run to fastest free slot".
+        free: List[Tuple[float, int]] = [
+            (-info.speed, s) for s, info in table.items()]
+        heapq.heapify(free)
+        counters = {"next_slot": (max(table) + 1) if table else 0}
+
+        def ensure_capacity() -> None:
+            # Every slot gone (all nodes lost) with work left and no
+            # in-flight runs that could still succeed: conjure an
+            # emergency local pool so the sweep always completes.
+            if pending and not table and not running:
+                self._warn("all nodes lost; finishing the sweep on an "
+                           f"emergency local pool ({self.jobs} slot(s))")
+                self._emit_event("node_lost", node=LOCAL_NODE,
+                                 slots=self.jobs,
+                                 reason="emergency local fallback")
+                local = self._local_transport(ctx)
+                for _ in range(self.jobs):
+                    s = counters["next_slot"]
+                    counters["next_slot"] += 1
+                    table[s] = _Slot(slot=s, node=LOCAL_NODE, speed=1.0,
+                                     transport=local)
+                    heapq.heappush(free, (-1.0, s))
+
+        def drop_node(transport: Any, reason: Any) -> None:
+            name = transport.node.name
+            busy = {a.slot for a in running.values()}
+            lost = sorted(s for s, info in table.items()
+                          if info.transport is transport)
+            for s in lost:
+                del table[s]
+                if s not in busy:  # in-flight runs may still report
+                    self._discard_worker(workers, s)
+            self._warn(f"node {name} lost ({reason}); dropping "
+                       f"{len(lost)} slot(s)")
+            self._emit_event("node_lost", node=name, slots=len(lost),
+                             reason=str(reason))
 
         def dispatch() -> None:
-            while pending and free_slots:
+            ensure_capacity()
+            while pending and free:
+                neg_speed, slot = heapq.heappop(free)
+                info = table.get(slot)
+                if info is None:
+                    continue  # stale heap entry from a dropped node
                 idx, spec = pending.popleft()
-                slot = heapq.heappop(free_slots)
-                self._emit_event("dispatch", run=spec.name, idx=idx)
                 now = time.monotonic()
                 deadline = now + self.timeout if self.timeout else None
-                if spec.isolate:
+                if spec.isolate or idx in local_only:
                     proc, conn = self._spawn_oneshot(ctx, spec)
-                    running[conn] = _Assigned(
-                        idx=idx, spec=spec, slot=slot, conn=conn,
-                        proc=proc, started=now, deadline=deadline,
-                        oneshot=True)
+                    a = _Assigned(idx=idx, spec=spec, slot=slot,
+                                  node=LOCAL_NODE, started=now,
+                                  deadline=deadline, oneshot=True,
+                                  remote=False, conn=conn, proc=proc)
                 else:
                     worker = workers.get(slot)
-                    if worker is None or not worker.proc.is_alive():
+                    if worker is None or not worker.alive:
                         self._discard_worker(workers, slot)
-                        worker = self._spawn_pool_worker(ctx, slot)
+                        try:
+                            worker = info.transport.spawn(slot)
+                        except TransportError as exc:
+                            drop_node(info.transport, exc)
+                            pending.appendleft((idx, spec))
+                            ensure_capacity()
+                            continue
                         workers[slot] = worker
-                    worker.conn.send(spec)
-                    worker.runs += 1
-                    running[worker.conn] = _Assigned(
-                        idx=idx, spec=spec, slot=slot, conn=worker.conn,
-                        proc=worker.proc, started=now, deadline=deadline,
-                        oneshot=False)
+                    try:
+                        worker.send(spec)
+                    except (EOFError, OSError):
+                        # Died between spawn and send; retry the spec
+                        # on a fresh worker.
+                        self._discard_worker(workers, slot)
+                        heapq.heappush(free, (neg_speed, slot))
+                        pending.appendleft((idx, spec))
+                        continue
+                    a = _Assigned(idx=idx, spec=spec, slot=slot,
+                                  node=info.node, started=now,
+                                  deadline=deadline, oneshot=False,
+                                  remote=info.node != LOCAL_NODE,
+                                  worker=worker)
+                running[a.key] = a
+                self._emit_event("dispatch", run=spec.name, idx=idx,
+                                 worker=slot, node=a.node)
                 self._emit_event("start", run=spec.name, idx=idx,
-                                 worker=slot)
-                emit("start", spec)
+                                 worker=slot, node=a.node)
+                emit("start", (spec, slot, a.node))
+
+        def release_slot(slot: int) -> None:
+            if slot in table:  # dropped nodes release nothing
+                heapq.heappush(free, (-table[slot].speed, slot))
 
         def retire(a: _Assigned, outcome: RunOutcome) -> None:
-            del running[a.conn]
+            del running[a.key]
             results[a.idx] = outcome
-            self._emit_retire(outcome, a.idx, a.slot)
-            heapq.heappush(free_slots, a.slot)
+            self._emit_retire(outcome, a.idx, a.slot, a.node)
+            release_slot(a.slot)
             emit("done", outcome)
+
+        def requeue(a: _Assigned) -> None:
+            """A remote worker died mid-run: put the spec back at the
+            front of the queue instead of failing it."""
+            del running[a.key]
+            self._discard_worker(workers, a.slot)
+            n = attempts.get(a.idx, 0) + 1
+            attempts[a.idx] = n
+            to_local = n >= _MAX_REMOTE_ATTEMPTS
+            if to_local:
+                local_only.add(a.idx)
+            self._emit_event("requeue", run=a.spec.name, idx=a.idx,
+                             worker=a.slot, node=a.node, attempt=n,
+                             target=LOCAL_NODE if to_local else "remote")
+            release_slot(a.slot)
+            pending.appendleft((a.idx, a.spec))
+            emit("requeue", (a.spec, a.slot, a.node))
+
+        def stop_assigned(a: _Assigned) -> None:
+            if a.oneshot:
+                a.proc.terminate()
+                a.proc.join()
+                try:
+                    a.conn.close()
+                except OSError:
+                    pass
+            else:
+                self._discard_worker(workers, a.slot)
 
         try:
             while pending or running:
                 dispatch()
+                if not running:
+                    continue
                 ready = mp_connection.wait(list(running), timeout=_POLL)
                 finished: List[_Assigned] = []
-                for conn in ready:
-                    a = running[conn]
+                for key in ready:
+                    a = running[key]
                     try:
-                        a.msg = conn.recv()
+                        a.msg = (a.conn.recv() if a.oneshot
+                                 else a.worker.recv())
                     except (EOFError, OSError):
                         a.msg = None  # the process died mid-run
-                    self._emit_event("finish", run=a.spec.name,
-                                     idx=a.idx, worker=a.slot)
                     finished.append(a)
                 now = time.monotonic()
                 for a in list(running.values()):
                     if (a not in finished and a.deadline
                             and now > a.deadline):
-                        a.proc.terminate()
-                        a.proc.join()
-                        if not a.oneshot:
-                            self._discard_worker(workers, a.slot,
-                                                 terminate=False)
-                        else:
-                            try:
-                                a.conn.close()
-                            except OSError:
-                                pass
+                        stop_assigned(a)
                         self._emit_event("finish", run=a.spec.name,
-                                         idx=a.idx, worker=a.slot)
+                                         idx=a.idx, worker=a.slot,
+                                         node=a.node)
                         outcome = RunOutcome(
                             spec=a.spec, status=OUTCOME_TIMEOUT,
                             error=f"exceeded {self.timeout:g}s limit",
                             elapsed=now - a.started)
                         retire(a, outcome)
                 for a in finished:
+                    if a.msg is None and a.remote:
+                        requeue(a)
+                        continue
+                    self._emit_event("finish", run=a.spec.name,
+                                     idx=a.idx, worker=a.slot,
+                                     node=a.node)
                     outcome = self._outcome_from_msg(a)
                     if a.oneshot:
                         a.proc.join(timeout=_SHUTDOWN_GRACE)
@@ -459,7 +690,10 @@ class SweepExecutor:
                         except OSError:
                             pass
                     elif a.msg is None:
-                        # Pool worker died mid-run; the slot respawns.
+                        # Local pool worker died mid-run; the slot
+                        # respawns (the outcome stays ``crashed`` —
+                        # local deaths are deterministic, retrying
+                        # would loop).
                         self._discard_worker(workers, a.slot)
                     elif outcome.status == OUTCOME_OOM:
                         # The worker survived a MemoryError, but its
@@ -468,19 +702,15 @@ class SweepExecutor:
                     retire(a, outcome)
         finally:
             for a in list(running.values()):  # interrupt / error cleanup
-                a.proc.terminate()
-                a.proc.join()
-                try:
-                    a.conn.close()
-                except OSError:
-                    pass
-            for worker in list(workers.values()):
-                try:
-                    worker.conn.send(None)  # polite shutdown sentinel
-                except (BrokenPipeError, OSError):
-                    pass
-                self._discard_worker(workers, worker.slot,
-                                     terminate=False)
+                stop_assigned(a)
+            for slot in list(workers):
+                worker = workers.get(slot)
+                if worker is not None:
+                    try:
+                        worker.shutdown()  # polite sentinel / frame
+                    except (BrokenPipeError, OSError, EOFError):
+                        pass
+                self._discard_worker(workers, slot, terminate=False)
 
 
 # ---------------------------------------------------------------------- #
@@ -513,20 +743,21 @@ def text_progress(stream=None) -> ProgressFn:
     Works for both task modes: bench payloads are entry dicts, summary
     payloads are ``RunSummary`` objects.
 
-    The renderer assigns worker labels lowest-free-first — the same
-    policy the executor uses for its telemetry slots, and events arrive
-    in the same order, so the labels match the event log.  Every event
-    is rendered into **one** ``write()`` call on one writer: the old
-    multi-``print`` renderer could interleave partial lines when
-    several runs finished in the same scheduler poll.
+    Worker labels are the executor's own slot ids (the ``start``
+    payload carries ``(spec, slot, node)``), so they match the
+    telemetry event log exactly; remote slots render as
+    ``[wN@node]``.  A ``requeue`` event prints the node loss and
+    returns the run to the queue.  Every event is rendered into **one**
+    ``write()`` call on one writer: a multi-``print`` renderer could
+    interleave partial lines when several runs finish in the same
+    scheduler poll.
     """
     out = stream if stream is not None else sys.stdout
 
     running: Dict[str, float] = {}       # run name -> start monotonic
-    slots: Dict[str, int] = {}           # run name -> worker label
-    free_slots: List[int] = []           # heap: lowest label pops first
-    state = {"next_slot": 0, "max_active": 1, "elapsed_sum": 0.0,
-             "elapsed_n": 0}
+    labels: Dict[str, str] = {}          # run name -> rendered label
+    state = {"max_active": 1, "elapsed_sum": 0.0, "elapsed_n": 0,
+             "next_slot": 0}
 
     def _metric(payload: Any, name: str) -> Optional[float]:
         if isinstance(payload, dict):
@@ -542,31 +773,44 @@ def text_progress(stream=None) -> ProgressFn:
         eta = mean * remaining / max(1, state["max_active"])
         return f" ETA ~{eta:.0f}s"
 
+    def _unpack(payload: Any) -> Tuple[str, str]:
+        """(run name, worker label) from a start/requeue payload."""
+        if isinstance(payload, tuple) and len(payload) == 3:
+            spec, slot, node = payload
+            suffix = "" if node in (None, LOCAL_NODE) else f"@{node}"
+            return str(spec), f"w{slot}{suffix}"
+        # Legacy payload: a bare spec; synthesize sequential labels.
+        label = f"w{state['next_slot']}"
+        state["next_slot"] += 1
+        return str(payload), label
+
     def progress(event: str, payload: Any, done: int, total: int) -> None:
         if event == "start":
-            name = str(payload)
-            slot = (heapq.heappop(free_slots) if free_slots
-                    else state["next_slot"])
-            if slot == state["next_slot"]:
-                state["next_slot"] += 1
-            slots[name] = slot
+            name, label = _unpack(payload)
+            labels[name] = label
             running[name] = time.monotonic()
             state["max_active"] = max(state["max_active"], len(running))
             queued = max(0, total - done - len(running))
-            out.write(f"  [w{slot}] {name}: start "
+            out.write(f"  [{label}] {name}: start "
                       f"({len(running)} running, {queued} queued)\n")
+            out.flush()
+            return
+        if event == "requeue":
+            name, label = _unpack(payload)
+            running.pop(name, None)
+            labels.pop(name, None)
+            out.write(f"  [{label}] {name}: REQUEUED (worker died; "
+                      f"retrying)\n")
             out.flush()
             return
         o: RunOutcome = payload
         name = o.spec.name
-        slot = slots.pop(name, None)
+        label = labels.pop(name, None)
         running.pop(name, None)
-        if slot is not None:
-            heapq.heappush(free_slots, slot)
         state["elapsed_sum"] += o.elapsed
         state["elapsed_n"] += 1
         tag = f"[{done}/{total}]"
-        wtag = "" if slot is None else f" [w{slot}]"
+        wtag = "" if label is None else f" [{label}]"
         if o.failed:
             detail = f" ({o.error.splitlines()[-1]})" if o.error else ""
             out.write(f"    {tag}{wtag} {name}: "

@@ -24,14 +24,29 @@ locking and lines never interleave):
     ``elapsed`` (real seconds), and, when available, the child's
     ``host`` metric dict (:mod:`repro.obs.host`) piped back with the
     result;
+``requeue``
+    a *remote* worker died mid-run and the spec went back to the front
+    of the pending queue (``attempt`` counts remote deaths so far;
+    ``target`` says whether the retry stays remote or falls back to a
+    local one-shot child);
+``node_lost``
+    a node became unreachable (at startup or mid-sweep) and its slots
+    were dropped;
 ``sweep_end``
     the sweep drained.
 
 All timestamps ``t`` are real seconds relative to ``sweep_begin``.
-Worker slots are assigned lowest-free-first and released at ``retire``,
-so per-worker ``[start, retire]`` intervals never overlap — the
-invariant :func:`validate_events` checks, together with
-retire-count == run count and per-run event ordering.
+Distributed sweeps tag run events with a ``node`` identity (the
+pseudo-node ``local`` for in-machine slots) and ``sweep_begin`` with
+the per-node slot/speed summary.
+
+A run's lifecycle is one or more **episodes**: every failed attempt is
+``dispatch -> start -> requeue`` and the final one is ``dispatch ->
+start -> finish -> retire`` — exactly one ``retire`` per run, so
+retire-count == run count holds even under failover.  Worker slots are
+released at ``retire``/``requeue``, so per-worker busy intervals never
+overlap — the invariants :func:`validate_events` checks, together with
+per-episode event ordering and worker consistency.
 
 The analyzers turn an event list into the scheduling views the
 ROADMAP's longest-run-first heuristic needs as input: a per-worker
@@ -48,11 +63,16 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-#: Recognized event kinds, in lifecycle order for per-run sequences.
+#: Recognized event kinds.
 EVENT_KINDS = ("sweep_begin", "schedule", "dispatch", "start", "finish",
-               "retire", "sweep_end")
+               "retire", "requeue", "node_lost", "sweep_end")
 
-_RUN_ORDER = ("dispatch", "start", "finish", "retire")
+#: Per-run lifecycle kinds grouped for validation.
+_RUN_KINDS = ("dispatch", "start", "finish", "retire", "requeue")
+
+#: A completed (final) episode; earlier episodes end in ``requeue``.
+_FINAL_EPISODE = ("dispatch", "start", "finish", "retire")
+_REQUEUED_EPISODE = ("dispatch", "start", "requeue")
 
 
 class JsonlTelemetry:
@@ -104,14 +124,33 @@ def load_events(path) -> List[Dict[str, Any]]:
     return events
 
 
+def _split_episodes(seq: Sequence[Mapping[str, Any]]
+                    ) -> List[List[Mapping[str, Any]]]:
+    """Split one run's events at each ``dispatch`` (one episode per
+    dispatch attempt)."""
+    episodes: List[List[Mapping[str, Any]]] = []
+    current: List[Mapping[str, Any]] = []
+    for event in seq:
+        if event["event"] == "dispatch" and current:
+            episodes.append(current)
+            current = []
+        current.append(event)
+    if current:
+        episodes.append(current)
+    return episodes
+
+
 def validate_events(events: Sequence[Mapping[str, Any]]) -> List[str]:
     """Schema and invariant checks; returns problems (empty == valid).
 
     Checked: known event kinds with numeric non-negative ``t``; per-run
-    ``dispatch -> start -> finish -> retire`` ordering with
-    non-decreasing timestamps; retire count equals the announced run
-    count; every retire carries a ``status``; per-worker
-    ``[start, retire]`` intervals do not overlap.
+    episode structure — every non-final episode is ``dispatch -> start
+    -> requeue`` (a remote worker death) and the final one ``dispatch
+    -> start -> finish -> retire`` — with non-decreasing timestamps and
+    a consistent worker id within each episode; retire count equals the
+    announced run count (failover never loses or double-counts a run);
+    every retire carries a ``status``; per-worker busy intervals do not
+    overlap.
     """
     problems: List[str] = []
     announced: Optional[int] = None
@@ -127,7 +166,7 @@ def validate_events(events: Sequence[Mapping[str, Any]]) -> List[str]:
             continue
         if kind == "sweep_begin":
             announced = event.get("runs")
-        if kind in _RUN_ORDER:
+        if kind in _RUN_KINDS:
             run = event.get("run")
             if not isinstance(run, str) or not run:
                 problems.append(f"event {i} ({kind}): missing run name")
@@ -137,21 +176,42 @@ def validate_events(events: Sequence[Mapping[str, Any]]) -> List[str]:
     retired = 0
     for run, seq in per_run.items():
         kinds = [e["event"] for e in seq]
-        expected = list(_RUN_ORDER[:len(kinds)])
-        if kinds != expected:
-            problems.append(f"run {run}: lifecycle {kinds} != {expected}")
+        if kinds[0] != "dispatch":
+            problems.append(f"run {run}: lifecycle starts with "
+                            f"{kinds[0]!r}, not 'dispatch'")
+            continue
+        episodes = _split_episodes(seq)
+        bad = False
+        for n, episode in enumerate(episodes):
+            final = n == len(episodes) - 1
+            ep_kinds = tuple(e["event"] for e in episode)
+            if final:
+                # A truncated log (sweep interrupted mid-run) is a
+                # valid prefix of the final episode.
+                ok = ep_kinds == _FINAL_EPISODE[:len(ep_kinds)]
+            else:
+                ok = ep_kinds == _REQUEUED_EPISODE
+            if not ok:
+                expected = (_FINAL_EPISODE if final
+                            else _REQUEUED_EPISODE)
+                problems.append(f"run {run}: episode {n} lifecycle "
+                                f"{list(ep_kinds)} != {list(expected)}")
+                bad = True
+                continue
+            workers = {e.get("worker") for e in episode
+                       if "worker" in e}
+            if len(workers) > 1:
+                problems.append(f"run {run}: episode {n} inconsistent "
+                                f"worker ids {sorted(workers, key=str)}")
+        if bad:
             continue
         times = [e["t"] for e in seq]
         if times != sorted(times):
             problems.append(f"run {run}: timestamps regress: {times}")
-        if kinds and kinds[-1] == "retire":
+        if kinds[-1] == "retire":
             retired += 1
             if "status" not in seq[-1]:
                 problems.append(f"run {run}: retire carries no status")
-            workers = {e.get("worker") for e in seq[1:]}
-            if len(workers) != 1 or None in workers:
-                problems.append(f"run {run}: inconsistent worker ids "
-                                f"{sorted(workers, key=str)}")
     if announced is not None and retired != announced:
         problems.append(f"retire count {retired} != announced run count "
                         f"{announced}")
@@ -173,18 +233,22 @@ def validate_events(events: Sequence[Mapping[str, Any]]) -> List[str]:
 
 @dataclass(frozen=True)
 class WorkerInterval:
-    """One run's occupancy of one worker slot (start -> retire)."""
+    """One run attempt's occupancy of one worker slot (start ->
+    retire, or start -> requeue for a failed-over attempt)."""
 
     worker: int
     run: str
     start: float
     end: float
     status: str
+    node: Optional[str] = None
 
 
 def worker_intervals(events: Sequence[Mapping[str, Any]]
                      ) -> Dict[int, List[WorkerInterval]]:
-    """``worker -> [interval]`` busy intervals, from start/retire pairs."""
+    """``worker -> [interval]`` busy intervals.  An interval closes at
+    the run's ``retire`` — or at a ``requeue``, which releases the slot
+    of a died remote attempt (status ``requeue``)."""
     starts: Dict[str, Mapping[str, Any]] = {}
     out: Dict[int, List[WorkerInterval]] = {}
     for event in events:
@@ -192,13 +256,15 @@ def worker_intervals(events: Sequence[Mapping[str, Any]]
         run = event.get("run")
         if kind == "start":
             starts[run] = event
-        elif kind == "retire" and run in starts:
+        elif kind in ("retire", "requeue") and run in starts:
             begin = starts.pop(run)
             worker = begin.get("worker", -1)
+            status = ("requeue" if kind == "requeue"
+                      else str(event.get("status", "?")))
             out.setdefault(worker, []).append(WorkerInterval(
                 worker=worker, run=run, start=float(begin["t"]),
-                end=float(event["t"]),
-                status=str(event.get("status", "?"))))
+                end=float(event["t"]), status=status,
+                node=begin.get("node")))
     return out
 
 
@@ -322,6 +388,69 @@ def queue_depth_table(events: Sequence[Mapping[str, Any]],
     return "\n".join(lines)
 
 
+def node_table(events: Sequence[Mapping[str, Any]]) -> str:
+    """Per-node slot/speed/runs/requeue/busy/utilization table for a
+    distributed sweep (``--nodes``).
+
+    Slots come from the ``sweep_begin`` node summary when present (so
+    idle slots still count against utilization), else from the distinct
+    workers observed per node.  Requeues are charged to the node whose
+    worker died.
+    """
+    span = makespan(events)
+    declared: Dict[str, Dict[str, Any]] = {}
+    for event in events:
+        if event.get("event") == "sweep_begin":
+            for entry in event.get("nodes") or []:
+                if isinstance(entry, dict) and entry.get("node"):
+                    declared[str(entry["node"])] = entry
+    stats: Dict[str, Dict[str, Any]] = {}
+
+    def bucket(node: str) -> Dict[str, Any]:
+        return stats.setdefault(node, {"workers": set(), "runs": 0,
+                                       "requeues": 0, "busy": 0.0})
+
+    for intervals in worker_intervals(events).values():
+        for iv in intervals:
+            node = iv.node or "local"
+            b = bucket(node)
+            b["workers"].add(iv.worker)
+            b["busy"] += iv.end - iv.start
+            if iv.status == "requeue":
+                b["requeues"] += 1
+            else:
+                b["runs"] += 1
+    for event in events:
+        if event.get("event") == "node_lost" and event.get("node"):
+            bucket(str(event["node"]))  # show fully-lost nodes too
+    if not stats or span <= 0.0:
+        return "(no per-node activity in the event log)"
+    header = (f"{'node':<12} {'slots':>5}  {'speed':>6}  {'runs':>5}  "
+              f"{'requeues':>8}  {'busy [s]':>10}  {'util %':>7}")
+    lines = ["per-node utilization", header, "-" * len(header)]
+    for node in sorted(set(stats) | set(declared)):
+        b = stats.get(node, {"workers": set(), "runs": 0,
+                             "requeues": 0, "busy": 0.0})
+        entry = declared.get(node, {})
+        slots = int(entry.get("slots") or 0) or len(b["workers"]) or 1
+        speed = entry.get("speed")
+        speed_text = (f"{float(speed):.2f}"
+                      if isinstance(speed, (int, float)) else "-")
+        util = b["busy"] / (span * slots) * 100.0
+        lines.append(f"{node:<12} {slots:>5d}  {speed_text:>6}  "
+                     f"{b['runs']:>5d}  {b['requeues']:>8d}  "
+                     f"{b['busy']:>10.3f}  {util:>6.1f}%")
+    requeues = sum(b["requeues"] for b in stats.values())
+    lost = [str(e.get("node")) for e in events
+            if e.get("event") == "node_lost"]
+    lines.append("")
+    summary = (f"{len(stats)} node(s), {requeues} requeue(s)")
+    if lost:
+        summary += f"; lost: {', '.join(sorted(set(lost)))}"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
 def schedule_table(events: Sequence[Mapping[str, Any]]) -> str:
     """Schedule-accuracy table: the ``schedule`` event's per-run
     predictions joined with the ``retire`` actuals.
@@ -382,12 +511,20 @@ def schedule_table(events: Sequence[Mapping[str, Any]]) -> str:
 
 def telemetry_report(events: Sequence[Mapping[str, Any]],
                      width: int = 72) -> str:
-    """Utilization table + timeline + queue depth + schedule accuracy."""
+    """Utilization table + timeline + queue depth + schedule accuracy
+    (+ the per-node table when the sweep ran distributed)."""
     sections = [
         utilization_table(events),
         worker_timeline_text(events, width=width),
         queue_depth_table(events),
     ]
+    distributed = any(
+        (e.get("node") not in (None, "local"))
+        or e.get("event") in ("requeue", "node_lost")
+        or e.get("nodes")
+        for e in events)
+    if distributed:
+        sections.append(node_table(events))
     if any(e.get("event") == "schedule" for e in events):
         sections.append(schedule_table(events))
     return "\n\n".join(sections)

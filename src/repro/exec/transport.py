@@ -1,0 +1,564 @@
+"""Worker transports: where a sweep's worker processes live.
+
+The executor (:mod:`repro.exec.executor`) schedules :class:`RunSpec`
+dispatch onto *slots*; a transport owns the worker process behind a
+slot.  Two backends implement the same small worker interface:
+
+:class:`LocalTransport`
+    The historical in-machine pool: a ``multiprocessing`` child running
+    :func:`repro.exec.worker.pool_main`, specs and outcomes travelling
+    over a duplex pipe.
+
+:class:`RemoteTransport`
+    A long-lived worker on another machine, launched from a pluggable
+    **command template** (``ssh {host} ... python -m
+    repro.exec.remote_worker`` in production; a plain ``sh -c``
+    loopback template in tests and CI, so no real ssh is ever needed)
+    and spoken to over its stdio with a length-prefixed JSON frame
+    protocol.  The first frame is a version/feature **handshake**: the
+    worker announces its protocol version, feature list, hostname, and
+    a calibration-probe timing; the parent rejects incompatible
+    protocols and derives a per-node **speed factor** (parent probe
+    seconds / worker probe seconds) that node-aware LPT uses to steer
+    the longest runs onto the fastest slots.
+
+Both worker flavors expose the interface the executor multiplexes on:
+``send(spec)`` / ``recv()`` (one ``(status, payload, host)`` message
+per spec), a ``waitable`` for :func:`multiprocessing.connection.wait`,
+``alive`` / ``terminate`` / ``reap`` / ``kill`` lifecycle, and a polite
+``shutdown``.
+
+Determinism: transports move *where* a run executes, never what it
+produces.  Remote payloads cross the wire as JSON — Python's ``json``
+round-trips floats exactly (shortest-repr), so a merged artifact built
+from remote outcomes is byte-identical to a serial one (test- and
+CI-``cmp``-gated).
+
+Failure semantics (the executor enforces these, the transport reports
+them): a node whose workers cannot be launched or fail the handshake
+is **unreachable** — the sweep degrades to the remaining slots with a
+warning; a remote worker that dies mid-run surfaces as ``EOFError``
+from ``recv`` and the executor requeues the in-flight spec (bounded
+retries, then a one-shot local fallback child).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shlex
+import struct
+import subprocess
+import time
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.spec import RunSpec
+from repro.exec.worker import FAULT_ENV
+
+#: Framed-protocol version.  Bump on incompatible message changes; the
+#: handshake rejects a mismatch before any spec is dispatched.
+PROTOCOL_VERSION = 1
+
+#: Features this side of the protocol understands (advertised in the
+#: handshake; the parent gates optional behavior on the intersection).
+PROTOCOL_FEATURES = ("calibration", "host-metrics", "shutdown")
+
+#: Default command template for remote workers.  ``{host}`` and
+#: ``{cwd}`` are substituted; the template is ``shlex``-split and
+#: executed without a local shell.  Override per sweep with
+#: ``--remote-template`` (tests/CI use an ssh-free ``sh -c`` loopback).
+DEFAULT_REMOTE_TEMPLATE = (
+    "ssh -o BatchMode=yes {host} "
+    "cd {cwd} && PYTHONPATH=src python -m repro.exec.remote_worker")
+
+#: Handshake wait limit [real seconds] (override via environment for
+#: slow links).
+HANDSHAKE_TIMEOUT_ENV = "REPRO_REMOTE_HANDSHAKE_TIMEOUT"
+DEFAULT_HANDSHAKE_TIMEOUT = 30.0
+
+#: Environment variable arming the transport-level fault hook (see
+#: :mod:`repro.exec.remote_worker`): ``die:<substring>[:<tokenfile>]``
+#: hard-exits a remote worker when it receives a matching spec — with a
+#: token file, exactly once across all workers (the file is claimed
+#: ``O_CREAT | O_EXCL``), which is how tests and CI simulate a node
+#: dying mid-sweep without killing anything by hand.
+REMOTE_FAULT_ENV = "REPRO_REMOTE_FAULT"
+
+#: Upper bound on a single frame; a corrupt length prefix must not ask
+#: the parent to allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+#: Name of the pseudo-node whose slots run in the local pool (usable
+#: inside ``--nodes`` to mix local and remote capacity).
+LOCAL_NODE = "local"
+
+
+class TransportError(RuntimeError):
+    """A worker could not be launched or handshaken (node unreachable,
+    protocol mismatch, template failure)."""
+
+
+# --------------------------------------------------------------------- #
+# Node descriptions
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One machine's worth of worker slots in a distributed sweep."""
+
+    name: str
+    slots: int
+
+    @property
+    def is_local(self) -> bool:
+        return self.name == LOCAL_NODE
+
+
+def parse_nodes(text: str) -> List[NodeSpec]:
+    """Parse ``--nodes host1:4,host2:8`` (bare ``host`` means 1 slot).
+
+    ``local:N`` names the in-machine pool, so local and remote capacity
+    can be mixed in one sweep.
+    """
+    nodes: List[NodeSpec] = []
+    seen: Dict[str, int] = {}
+    for item in (x.strip() for x in text.split(",")):
+        if not item:
+            continue
+        name, sep, count = item.partition(":")
+        if not name:
+            raise ValueError(f"empty node name in --nodes entry {item!r}")
+        if sep:
+            try:
+                slots = int(count)
+            except ValueError:
+                raise ValueError(
+                    f"--nodes entry {item!r}: slot count {count!r} is "
+                    "not an integer")
+        else:
+            slots = 1
+        if slots <= 0:
+            raise ValueError(f"--nodes entry {item!r}: slot count must "
+                             "be positive")
+        if name in seen:
+            raise ValueError(f"node {name!r} listed twice")
+        seen[name] = slots
+        nodes.append(NodeSpec(name=name, slots=slots))
+    if not nodes:
+        raise ValueError("no nodes specified")
+    return nodes
+
+
+def read_nodes_file(path) -> List[NodeSpec]:
+    """Parse a nodes file: one ``host:slots`` (or ``host slots``, or
+    bare ``host``) per line; ``#`` comments and blank lines ignored."""
+    path = Path(path)
+    entries: List[str] = []
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8")
+                                 .splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) == 1:
+            entries.append(parts[0])
+        elif len(parts) == 2:
+            entries.append(f"{parts[0]}:{parts[1]}")
+        else:
+            raise ValueError(f"{path}:{lineno}: expected 'host[:slots]' "
+                             f"or 'host slots', got {raw!r}")
+    if not entries:
+        raise ValueError(f"{path}: no nodes listed")
+    return parse_nodes(",".join(entries))
+
+
+# --------------------------------------------------------------------- #
+# Frame protocol (length-prefixed JSON over byte streams)
+# --------------------------------------------------------------------- #
+
+def write_frame(fh, obj: Any) -> None:
+    """Write one length-prefixed JSON frame (handles partial writes)."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ValueError(f"frame of {len(payload)} bytes exceeds the "
+                         f"{MAX_FRAME_BYTES}-byte protocol limit")
+    data = memoryview(_HEADER.pack(len(payload)) + payload)
+    while data:
+        n = fh.write(data)
+        if n is None:  # buffered writer: everything was accepted
+            break
+        data = data[n:]
+    flush = getattr(fh, "flush", None)
+    if flush is not None:
+        flush()
+
+
+def _read_exact(fh, n: int) -> bytes:
+    chunks: List[bytes] = []
+    got = 0
+    while got < n:
+        chunk = fh.read(n - got)
+        if not chunk:
+            raise EOFError("connection closed"
+                           + (" mid-frame" if chunks else ""))
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(fh) -> Any:
+    """Read one frame; raises ``EOFError`` on closed/garbled streams."""
+    (length,) = _HEADER.unpack(_read_exact(fh, _HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise EOFError(f"frame length {length} exceeds the protocol "
+                       "limit (corrupt stream?)")
+    data = _read_exact(fh, length)
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise EOFError(f"undecodable frame ({exc})")
+
+
+# --------------------------------------------------------------------- #
+# Payload wire encoding
+# --------------------------------------------------------------------- #
+
+def spec_to_wire(spec: RunSpec) -> Dict[str, Any]:
+    import dataclasses
+    return dataclasses.asdict(spec)
+
+
+def spec_from_wire(d: Dict[str, Any]) -> RunSpec:
+    return RunSpec(**d)
+
+
+def payload_to_wire(payload: Any) -> Dict[str, Any]:
+    """Encode a task payload for the frame protocol.
+
+    ``RunSummary`` (the figure-pipeline payload) gets a typed tag so the
+    parent can reconstruct the dataclass; everything else (bench entry
+    dicts, error strings) ships as plain JSON via
+    :func:`repro.obs.export.jsonable`.  JSON round-trips floats exactly,
+    which is what keeps remote merges byte-identical to serial ones.
+    """
+    import dataclasses
+
+    from repro.analysis.experiments import RunSummary
+
+    if isinstance(payload, RunSummary):
+        return {"kind": "summary", "value": dataclasses.asdict(payload)}
+    from repro.obs.export import jsonable
+    return {"kind": "json", "value": jsonable(payload)}
+
+
+def payload_from_wire(obj: Any) -> Any:
+    if not isinstance(obj, dict) or "kind" not in obj:
+        return obj
+    if obj["kind"] == "summary":
+        from repro.analysis.experiments import ExperimentKey, RunSummary
+
+        value = dict(obj["value"])
+        key = ExperimentKey(**value.pop("key"))
+        return RunSummary(key=key, **value)
+    return obj["value"]
+
+
+# --------------------------------------------------------------------- #
+# Calibration
+# --------------------------------------------------------------------- #
+
+#: Iterations of the calibration loop (fixed, so every node times the
+#: same work).
+_CALIB_ITERS = 120_000
+
+_REF_CALIB: Optional[float] = None
+
+
+def calibration_probe(repeats: int = 3) -> float:
+    """Time a tiny fixed pure-Python workload [best-of-N seconds].
+
+    Both ends of the handshake run the identical probe; the ratio
+    (parent seconds / worker seconds) is the node's relative speed
+    factor.  Deliberately interpreter-bound — it measures the machine,
+    not NumPy's BLAS."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        acc = 0.0
+        for i in range(_CALIB_ITERS):
+            acc += (i & 7) * 0.5
+        best = min(best, time.perf_counter() - t0)
+    # acc is unused; keep the loop honest against optimizers.
+    return max(best, 1e-9) + (0.0 * acc)
+
+
+def reference_calibration() -> float:
+    """The parent-side probe timing (measured once per process)."""
+    global _REF_CALIB
+    if _REF_CALIB is None:
+        _REF_CALIB = calibration_probe()
+    return _REF_CALIB
+
+
+def _handshake_timeout() -> float:
+    raw = os.environ.get(HANDSHAKE_TIMEOUT_ENV, "")
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_HANDSHAKE_TIMEOUT
+    return value if value > 0 else DEFAULT_HANDSHAKE_TIMEOUT
+
+
+# --------------------------------------------------------------------- #
+# Worker handles
+# --------------------------------------------------------------------- #
+
+class LocalPoolWorker:
+    """One persistent in-machine pool worker (``pool_main`` child)."""
+
+    node = LOCAL_NODE
+    speed = 1.0
+
+    def __init__(self, proc: Any, conn: Any, slot: int) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.slot = slot
+
+    @property
+    def waitable(self) -> Any:
+        return self.conn
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def send(self, spec: RunSpec) -> None:
+        self.conn.send(spec)
+
+    def recv(self) -> Tuple[Any, ...]:
+        msg = self.conn.recv()
+        # Workers send (status, payload, host); tolerate the historical
+        # 2-tuple for any out-of-tree pool_main callers.
+        if isinstance(msg, tuple) and len(msg) == 2:
+            return (msg[0], msg[1], None)
+        return msg
+
+    def terminate(self) -> None:
+        if self.proc.is_alive():
+            self.proc.terminate()
+
+    def reap(self, timeout: Optional[float] = None) -> Optional[int]:
+        self.proc.join(timeout)
+        return self.proc.exitcode
+
+    def kill(self) -> None:
+        self.proc.kill()
+
+    def shutdown(self) -> None:
+        self.conn.send(None)  # the pool loop's polite sentinel
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class RemoteWorkerClient:
+    """Parent-side handle for one framed-protocol remote worker."""
+
+    def __init__(self, node: str, slot: int, proc: subprocess.Popen,
+                 hello: Dict[str, Any]) -> None:
+        self.node = node
+        self.slot = slot
+        self.proc = proc
+        self.hello = hello
+        calib = hello.get("calib")
+        if isinstance(calib, (int, float)) and calib > 0:
+            self.speed = reference_calibration() / float(calib)
+        else:
+            self.speed = 1.0
+
+    @property
+    def waitable(self) -> Any:
+        return self.proc.stdout
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def send(self, spec: RunSpec) -> None:
+        try:
+            write_frame(self.proc.stdin,
+                        {"type": "run", "spec": spec_to_wire(spec)})
+        except (BrokenPipeError, OSError) as exc:
+            raise EOFError(f"remote worker on {self.node} is gone "
+                           f"({exc})")
+
+    def recv(self) -> Tuple[str, Any, Any]:
+        msg = read_frame(self.proc.stdout)
+        if not isinstance(msg, dict) or msg.get("type") != "result":
+            raise EOFError(f"remote worker on {self.node} sent an "
+                           f"unexpected frame: {msg!r}")
+        return (str(msg.get("status")),
+                payload_from_wire(msg.get("payload")),
+                msg.get("host"))
+
+    def terminate(self) -> None:
+        if self.alive:
+            self.proc.terminate()
+
+    def reap(self, timeout: Optional[float] = None) -> Optional[int]:
+        try:
+            return self.proc.wait(timeout)
+        except subprocess.TimeoutExpired:
+            return None
+
+    def kill(self) -> None:
+        self.proc.kill()
+
+    def shutdown(self) -> None:
+        write_frame(self.proc.stdin, {"type": "shutdown"})
+
+    def close(self) -> None:
+        for fh in (self.proc.stdin, self.proc.stdout):
+            if fh is not None:
+                try:
+                    fh.close()
+                except OSError:
+                    pass
+
+
+# --------------------------------------------------------------------- #
+# Transports
+# --------------------------------------------------------------------- #
+
+class LocalTransport:
+    """Slot provider for the in-machine persistent pool."""
+
+    def __init__(self, ctx: Any, collect_host: bool = False) -> None:
+        self.ctx = ctx
+        self.collect_host = collect_host
+        self.node = NodeSpec(name=LOCAL_NODE, slots=0)
+        self.failed = False
+
+    def spawn(self, slot: int) -> LocalPoolWorker:
+        from repro.exec.worker import pool_main
+
+        parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+        proc = self.ctx.Process(target=pool_main,
+                                args=(child_conn, self.collect_host),
+                                daemon=True)
+        proc.start()
+        child_conn.close()  # the child holds its end now
+        return LocalPoolWorker(proc=proc, conn=parent_conn, slot=slot)
+
+
+class RemoteTransport:
+    """Slot provider launching framed-protocol workers on one node.
+
+    ``spawn`` raises :class:`TransportError` when the node cannot be
+    reached (template launch failure, handshake timeout/EOF, protocol
+    mismatch); after a spawn failure the node is marked ``failed`` and
+    every later spawn fails fast, which is how the executor decides to
+    drop the node's remaining slots.
+    """
+
+    def __init__(self, node: NodeSpec,
+                 template: str = DEFAULT_REMOTE_TEMPLATE,
+                 collect_host: bool = False) -> None:
+        self.node = node
+        self.template = template
+        self.collect_host = collect_host
+        self.failed = False
+
+    def command(self) -> List[str]:
+        text = (self.template
+                .replace("{host}", self.node.name)
+                .replace("{cwd}", os.getcwd()))
+        argv = shlex.split(text)
+        if not argv:
+            raise TransportError(
+                f"remote template for {self.node.name} is empty")
+        return argv
+
+    def spawn(self, slot: int) -> RemoteWorkerClient:
+        if self.failed:
+            raise TransportError(
+                f"node {self.node.name} was marked unreachable")
+        try:
+            proc = subprocess.Popen(
+                self.command(), stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE, stderr=None, bufsize=0)
+        except OSError as exc:
+            self.failed = True
+            raise TransportError(
+                f"cannot launch worker on {self.node.name}: {exc}")
+        try:
+            hello = self._handshake(proc)
+        except TransportError:
+            self.failed = True
+            self._reap(proc)
+            raise
+        return RemoteWorkerClient(node=self.node.name, slot=slot,
+                                  proc=proc, hello=hello)
+
+    def _handshake(self, proc: subprocess.Popen) -> Dict[str, Any]:
+        deadline = time.monotonic() + _handshake_timeout()
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TransportError(
+                    f"node {self.node.name}: handshake timed out after "
+                    f"{_handshake_timeout():g}s")
+            if mp_connection.wait([proc.stdout], timeout=remaining):
+                break
+        try:
+            hello = read_frame(proc.stdout)
+        except EOFError as exc:
+            raise TransportError(
+                f"node {self.node.name}: worker exited before the "
+                f"handshake ({exc})")
+        if (not isinstance(hello, dict)
+                or hello.get("type") != "hello"):
+            raise TransportError(
+                f"node {self.node.name}: expected a hello frame, got "
+                f"{hello!r}")
+        if hello.get("protocol") != PROTOCOL_VERSION:
+            raise TransportError(
+                f"node {self.node.name}: protocol "
+                f"{hello.get('protocol')!r} != {PROTOCOL_VERSION} "
+                "(mismatched repro versions?)")
+        try:
+            write_frame(proc.stdin, {
+                "type": "config",
+                "collect_host": self.collect_host,
+                "fault": os.environ.get(FAULT_ENV, ""),
+                "remote_fault": os.environ.get(REMOTE_FAULT_ENV, ""),
+            })
+        except (BrokenPipeError, OSError) as exc:
+            raise TransportError(
+                f"node {self.node.name}: worker died during config "
+                f"({exc})")
+        return hello
+
+    @staticmethod
+    def _reap(proc: subprocess.Popen) -> None:
+        if proc.poll() is None:
+            proc.terminate()
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+                proc.wait()
+        for fh in (proc.stdin, proc.stdout):
+            if fh is not None:
+                try:
+                    fh.close()
+                except OSError:
+                    pass

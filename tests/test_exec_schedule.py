@@ -210,6 +210,55 @@ def test_auto_resolves_on_history_coverage():
     assert warm.coverage == pytest.approx(0.5)
 
 
+def test_auto_stays_fifo_just_below_threshold():
+    specs = [_spec(algorithm=a)
+             for a in ("static", "ondemand", "hybrid")]
+    est = RuntimeEstimator()
+    est.record(specs[0].name, 4.0)  # 1/3 coverage, under the 50% bar
+    plan = plan_schedule(specs, policy=SCHEDULE_AUTO, estimator=est)
+    assert plan.effective == SCHEDULE_FIFO
+    assert plan.coverage == pytest.approx(1 / 3)
+
+
+def test_estimator_zero_scale_sample_falls_back_to_model():
+    """A degenerate prior (scale recorded as 0) must not divide by
+    zero when rescaling to the requested scale — the static model
+    takes over instead."""
+    spec = _spec(scale=0.1)
+    est = RuntimeEstimator()
+    est.record(spec.name, 5.0, scale=0.0)
+    e = est.estimate(spec)
+    assert e.source == SOURCE_MODEL
+    assert e.seconds == pytest.approx(model_estimate(spec))
+
+
+def test_estimator_ignores_cache_hit_samples():
+    """Near-zero elapsed values are sweep-cache hits, not runtimes;
+    recording them would teach LPT that everything is instant."""
+    spec = _spec()
+    est = RuntimeEstimator()
+    assert est.record(spec.name, 0.001) is False
+    assert not est.has_history(spec)
+    assert est.record(spec.name, 0.5) is True
+    assert est.estimate(spec).source == SOURCE_HISTORY
+
+
+def test_schedule_event_logs_resolved_jobs(tmp_path):
+    """--jobs auto resolves to a concrete worker count before the
+    schedule event is emitted, so the log names the real pool size."""
+    import os as _os
+
+    assert SweepExecutor(jobs=0).jobs == (_os.cpu_count() or 1)
+    sink = JsonlTelemetry(tmp_path / "events.jsonl")
+    SweepExecutor(jobs=2, telemetry=sink).run([_spec()])
+    sink.close()
+    events = load_events(tmp_path / "events.jsonl")
+    assert next(e for e in events
+                if e["event"] == "schedule")["jobs"] == 2
+    assert next(e for e in events
+                if e["event"] == "sweep_begin")["jobs"] == 2
+
+
 def test_unknown_policy_rejected():
     with pytest.raises(ValueError, match="unknown schedule policy"):
         plan_schedule([_spec()], policy="random")

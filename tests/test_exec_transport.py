@@ -1,0 +1,371 @@
+"""Distributed sweep transport: framing, node specs, loopback remotes,
+failover, and the byte-identity contract across transports."""
+
+import dataclasses
+import io
+import json
+import os
+import struct
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentKey,
+    RunSummary,
+    clear_cache,
+    run_experiment,
+)
+from repro.exec import (
+    LOCAL_NODE,
+    OUTCOME_OK,
+    JsonlTelemetry,
+    NodeSpec,
+    RemoteTransport,
+    RunSpec,
+    RuntimeEstimator,
+    SweepExecutor,
+    TransportError,
+    calibration_probe,
+    grid_specs,
+    load_events,
+    parse_nodes,
+    read_nodes_file,
+    validate_events,
+)
+from repro.exec.transport import (
+    MAX_FRAME_BYTES,
+    payload_from_wire,
+    payload_to_wire,
+    read_frame,
+    spec_from_wire,
+    spec_to_wire,
+    write_frame,
+)
+from repro.exec.worker import FAULT_ENV
+from repro.exec.transport import REMOTE_FAULT_ENV
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Loopback "remote": the worker protocol over a plain subprocess on
+#: this machine — same framing, handshake, and failover paths as ssh,
+#: no network needed.
+LOOPBACK = f"{sys.executable} -m repro.exec.remote_worker"
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Temp sweep cache + a PYTHONPATH the loopback workers inherit
+    (they are plain subprocesses, not multiprocessing children)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    src = str(REPO / "src")
+    existing = os.environ.get("PYTHONPATH", "")
+    if src not in existing.split(os.pathsep):
+        monkeypatch.setenv(
+            "PYTHONPATH", src + (os.pathsep + existing if existing
+                                 else ""))
+    import repro.analysis.experiments as exp
+    exp._DISK_LOADED = False
+    clear_cache()
+    yield
+    clear_cache()
+    exp._DISK_LOADED = False
+
+
+def _spec(dataset="astro", seeding="sparse", algorithm="ondemand",
+          n_ranks=4, **kw):
+    return RunSpec(dataset=dataset, seeding=seeding, algorithm=algorithm,
+                   n_ranks=n_ranks, scale=kw.pop("scale", 0.02), **kw)
+
+
+def _summary_doc(outcomes):
+    runs = {}
+    for o in outcomes:
+        entry = dataclasses.asdict(o.payload)
+        entry.pop("key")
+        runs[o.spec.name] = entry
+    return json.dumps(runs, sort_keys=True).encode()
+
+
+# --------------------------------------------------------------------- #
+# Node specs
+# --------------------------------------------------------------------- #
+
+def test_parse_nodes_basic():
+    nodes = parse_nodes("host1:4,host2:8")
+    assert nodes == [NodeSpec("host1", 4), NodeSpec("host2", 8)]
+    assert parse_nodes("host1") == [NodeSpec("host1", 1)]
+    local, = parse_nodes("local:2")
+    assert local.is_local and local.slots == 2
+
+
+def test_parse_nodes_rejects_bad_specs():
+    with pytest.raises(ValueError, match="listed twice"):
+        parse_nodes("a:1,a:2")
+    with pytest.raises(ValueError, match="not an integer"):
+        parse_nodes("a:lots")
+    with pytest.raises(ValueError, match="must be positive"):
+        parse_nodes("a:0")
+    with pytest.raises(ValueError, match="no nodes"):
+        parse_nodes(",,")
+    with pytest.raises(ValueError, match="empty node name"):
+        parse_nodes(":4")
+
+
+def test_read_nodes_file(tmp_path):
+    path = tmp_path / "nodes"
+    path.write_text("# fleet\nbig:8\nsmall 2   # spaced form\n"
+                    "\nbare\n")
+    assert read_nodes_file(path) == [NodeSpec("big", 8),
+                                     NodeSpec("small", 2),
+                                     NodeSpec("bare", 1)]
+    path.write_text("a b c\n")
+    with pytest.raises(ValueError, match="expected 'host"):
+        read_nodes_file(path)
+    path.write_text("# nothing\n")
+    with pytest.raises(ValueError, match="no nodes listed"):
+        read_nodes_file(path)
+
+
+# --------------------------------------------------------------------- #
+# Frame protocol
+# --------------------------------------------------------------------- #
+
+def test_frame_roundtrip_preserves_floats_exactly():
+    buf = io.BytesIO()
+    obj = {"x": 0.1 + 0.2, "names": ["a", "b"], "n": 7}
+    write_frame(buf, obj)
+    buf.seek(0)
+    back = read_frame(buf)
+    assert back == obj
+    assert back["x"].hex() == obj["x"].hex()  # bit-exact
+
+
+def test_read_frame_raises_eoferror_on_bad_streams():
+    with pytest.raises(EOFError, match="closed"):
+        read_frame(io.BytesIO(b""))
+    buf = io.BytesIO()
+    write_frame(buf, {"k": 1})
+    with pytest.raises(EOFError, match="mid-frame"):
+        read_frame(io.BytesIO(buf.getvalue()[:-1]))
+    huge = struct.pack(">I", MAX_FRAME_BYTES + 1)
+    with pytest.raises(EOFError, match="exceeds"):
+        read_frame(io.BytesIO(huge))
+    garbled = struct.pack(">I", 4) + b"\xff\xfe\x00\x01"
+    with pytest.raises(EOFError, match="undecodable"):
+        read_frame(io.BytesIO(garbled))
+
+
+def test_spec_and_payload_wire_roundtrip():
+    spec = _spec(algorithm="hybrid")
+    assert spec_from_wire(spec_to_wire(spec)) == spec
+    summary = run_experiment("astro", "sparse", "ondemand", 4, scale=0.02)
+    wire = payload_to_wire(summary)
+    back = payload_from_wire(json.loads(json.dumps(wire)))
+    assert isinstance(back, RunSummary)
+    assert back == summary  # frozen dataclasses: exact float equality
+    entry = {"status": "ok", "wall_clock": 1.25}
+    assert payload_from_wire(json.loads(
+        json.dumps(payload_to_wire(entry)))) == entry
+
+
+def test_calibration_probe_is_positive_and_reproducible():
+    a = calibration_probe(repeats=1)
+    assert a > 0.0
+
+
+# --------------------------------------------------------------------- #
+# Estimator node speed
+# --------------------------------------------------------------------- #
+
+def test_estimator_node_speed_from_retire_history(tmp_path):
+    log = tmp_path / "events.jsonl"
+    rows = [
+        {"event": "retire", "run": "r1", "elapsed": 2.0, "status": "ok",
+         "node": "slowbox"},
+        {"event": "retire", "run": "r1", "elapsed": 1.0, "status": "ok",
+         "node": "fastbox"},
+    ]
+    log.write_text("\n".join(json.dumps(r) for r in rows) + "\n")
+    est = RuntimeEstimator()
+    assert est.load_event_log(log) == 2
+    assert est.node_speed("fastbox") > 1.0 > est.node_speed("slowbox")
+    assert est.node_speed("unknown") is None
+
+
+def test_estimator_rejects_near_zero_samples():
+    est = RuntimeEstimator()
+    spec = _spec()
+    assert est.record(spec.name, 0.001) is False  # a cache hit, not a run
+    assert not est.has_history(spec)
+    assert est.record(spec.name, 0.5) is True
+
+
+# --------------------------------------------------------------------- #
+# Loopback remote transport
+# --------------------------------------------------------------------- #
+
+def test_remote_transport_handshake_and_single_run():
+    transport = RemoteTransport(NodeSpec("loop", 1), template=LOOPBACK)
+    worker = transport.spawn(0)
+    try:
+        assert worker.hello["protocol"] == 1
+        assert worker.speed > 0.0
+        worker.send(_spec())
+        status, payload, _host = worker.recv()
+        assert status == OUTCOME_OK
+        assert isinstance(payload, RunSummary)
+    finally:
+        worker.shutdown()
+        assert worker.reap(10.0) == 0
+        worker.close()
+
+
+def test_unreachable_node_spawn_raises_and_marks_failed():
+    transport = RemoteTransport(NodeSpec("ghost", 1),
+                                template="sh -c 'exit 7'")
+    with pytest.raises(TransportError):
+        transport.spawn(0)
+    assert transport.failed
+    with pytest.raises(TransportError, match="unreachable"):
+        transport.spawn(1)  # fails fast, no second launch attempt
+
+
+def test_nodes_sweep_byte_identical_to_serial(tmp_path):
+    """The acceptance contract: a 2-node loopback LPT sweep merges
+    byte-identically to the serial FIFO sweep."""
+    specs = grid_specs(["astro"], ["sparse", "dense"],
+                       ["ondemand", "static"], [4], scale=0.02)
+    serial = SweepExecutor(jobs=1).run(specs)
+    clear_cache(disk=True)  # force the remote workers to really run
+    sink = JsonlTelemetry(tmp_path / "events.jsonl")
+    distributed = SweepExecutor(
+        nodes=parse_nodes("n1:1,n2:1"), remote_template=LOOPBACK,
+        schedule="lpt", telemetry=sink).run(specs)
+    sink.close()
+    assert [o.status for o in distributed] == [OUTCOME_OK] * len(specs)
+    assert _summary_doc(serial) == _summary_doc(distributed)
+    events = load_events(tmp_path / "events.jsonl")
+    assert validate_events(events) == []
+    begin = next(e for e in events if e["event"] == "sweep_begin")
+    assert [n["node"] for n in begin["nodes"]] == ["n1", "n2"]
+    assert {e["node"] for e in events if e["event"] == "retire"} \
+        <= {"n1", "n2"}
+
+
+def test_mixed_local_and_remote_slots():
+    specs = grid_specs(["astro"], ["sparse", "dense"], ["ondemand"],
+                       [4], scale=0.02)
+    serial = SweepExecutor(jobs=1).run(specs)
+    clear_cache(disk=True)
+    mixed = SweepExecutor(nodes=parse_nodes("local:1,n1:1"),
+                          remote_template=LOOPBACK).run(specs)
+    assert [o.status for o in mixed] == [OUTCOME_OK] * len(specs)
+    assert _summary_doc(serial) == _summary_doc(mixed)
+
+
+# --------------------------------------------------------------------- #
+# Failover
+# --------------------------------------------------------------------- #
+
+def test_worker_death_requeues_and_completes(tmp_path, monkeypatch):
+    """A remote worker dying mid-run: the run requeues (die-once token
+    lets the retry succeed) and the sweep still retires every run."""
+    token = tmp_path / "die.tok"
+    monkeypatch.setenv(REMOTE_FAULT_ENV,
+                       f"die:astro-sparse-static:{token}")
+    specs = grid_specs(["astro"], ["sparse"], ["ondemand", "static"],
+                       [4], scale=0.02)
+    sink = JsonlTelemetry(tmp_path / "events.jsonl")
+    outcomes = SweepExecutor(nodes=parse_nodes("n1:1,n2:1"),
+                             remote_template=LOOPBACK,
+                             telemetry=sink).run(specs)
+    sink.close()
+    assert [o.status for o in outcomes] == [OUTCOME_OK] * 2
+    assert token.exists()
+    events = load_events(tmp_path / "events.jsonl")
+    assert validate_events(events) == []
+    requeues = [e for e in events if e["event"] == "requeue"]
+    assert len(requeues) == 1
+    assert requeues[0]["run"] == "astro-sparse-static-4"
+    assert requeues[0]["target"] == "remote"
+    # Exactly one retire per announced run even with the failover.
+    assert sum(e["event"] == "retire" for e in events) == len(specs)
+
+
+def test_retry_exhaustion_falls_back_to_local(tmp_path, monkeypatch):
+    """No die-once token: the node kills the run on every attempt, so
+    after the retry budget the run finishes on a local fallback."""
+    monkeypatch.setenv(REMOTE_FAULT_ENV, "die:astro-sparse-ondemand")
+    spec = _spec(algorithm="ondemand")
+    sink = JsonlTelemetry(tmp_path / "events.jsonl")
+    outcomes = SweepExecutor(nodes=parse_nodes("n1:1"),
+                             remote_template=LOOPBACK,
+                             telemetry=sink).run([spec])
+    sink.close()
+    assert outcomes[0].status == OUTCOME_OK
+    events = load_events(tmp_path / "events.jsonl")
+    assert validate_events(events) == []
+    requeues = [e for e in events if e["event"] == "requeue"]
+    assert len(requeues) == 2
+    assert requeues[-1]["target"] == "local"
+    retire, = (e for e in events if e["event"] == "retire")
+    assert retire["node"] == LOCAL_NODE
+
+
+def test_unreachable_node_degrades_to_remaining_nodes(capsys):
+    """One dead host in --nodes: warn, drop it, finish on the rest."""
+    template = (f"sh -c 'test {{host}} = good && exec {sys.executable}"
+                " -m repro.exec.remote_worker || exit 7'")
+    specs = grid_specs(["astro"], ["sparse"], ["ondemand", "static"],
+                       [4], scale=0.02)
+    outcomes = SweepExecutor(nodes=parse_nodes("bad:2,good:1"),
+                             remote_template=template).run(specs)
+    assert [o.status for o in outcomes] == [OUTCOME_OK] * 2
+    assert "bad" in capsys.readouterr().err
+
+
+def test_all_nodes_unreachable_falls_back_to_local(capsys):
+    outcomes = SweepExecutor(nodes=parse_nodes("bad:2"),
+                             remote_template="sh -c 'exit 7'",
+                             jobs=2).run([_spec()])
+    assert outcomes[0].status == OUTCOME_OK
+    assert "no nodes reachable" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# CLI integration
+# --------------------------------------------------------------------- #
+
+def test_cli_sweep_nodes_loopback(tmp_path, capsys):
+    from repro.cli import main
+
+    out_a = tmp_path / "serial.json"
+    out_b = tmp_path / "nodes.json"
+    base = ["sweep", "--dataset", "astro", "--seeding", "sparse",
+            "--algorithm", "ondemand,static", "--ranks", "4",
+            "--scale", "0.02"]
+    assert main(base + ["--out", str(out_a)]) == 0
+    clear_cache(disk=True)
+    nodes_file = tmp_path / "nodes.txt"
+    nodes_file.write_text("n2:1  # second loopback worker\n")
+    code = main(base + ["--out", str(out_b), "--nodes", "n1:1",
+                        "--nodes-file", str(nodes_file),
+                        "--remote-template", LOOPBACK,
+                        "--schedule", "lpt",
+                        "--telemetry", str(tmp_path / "telem")])
+    assert code == 0
+    assert out_a.read_bytes() == out_b.read_bytes()
+    report = (tmp_path / "telem" / "utilization.txt").read_text()
+    assert "per-node" in report
+    assert "n1" in report and "n2" in report
+
+
+def test_cli_sweep_rejects_bad_nodes(capsys):
+    from repro.cli import main
+
+    assert main(["sweep", "--nodes", "a:1,a:2", "--dry-run"]) == 2
+    assert "listed twice" in capsys.readouterr().err
+    assert main(["sweep", "--nodes-file", "/nonexistent/nodes",
+                 "--dry-run"]) == 2
