@@ -183,12 +183,34 @@ def build_nodes(args: argparse.Namespace):
     return nodes
 
 
+def build_queues(args: argparse.Namespace):
+    """Queue list from --queue, or None for no batch acquisition."""
+    if not args.queue:
+        return None
+    from repro.exec import parse_queues, resolve_queue_template
+
+    try:
+        queues = parse_queues(args.queue)
+        for q in queues:
+            resolve_queue_template(q.name, args.queue_template)
+    except ValueError as exc:
+        raise SystemExit(f"bench_trajectory: {exc}")
+    return queues
+
+
 def build_doc(args: argparse.Namespace) -> tuple:
     """Run the matrix and merge the snapshot; returns (doc, outcomes)."""
     from repro.exec import RuntimeEstimator
 
     specs = build_specs(args)
     nodes = build_nodes(args)
+    queues = build_queues(args)
+    if nodes and queues:
+        overlap = ({n.name for n in nodes} & {q.name for q in queues})
+        if overlap:
+            raise SystemExit(
+                f"bench_trajectory: {', '.join(sorted(overlap))} "
+                "listed in both --nodes and --queue")
     telemetry_dir = Path(args.telemetry) if args.telemetry else None
     prior_logs = []
     if telemetry_dir is not None:
@@ -206,7 +228,9 @@ def build_doc(args: argparse.Namespace) -> tuple:
                              progress=text_progress(),
                              telemetry=sink, schedule=args.schedule,
                              estimator=estimator, nodes=nodes,
-                             remote_template=args.remote_template)
+                             remote_template=args.remote_template,
+                             queues=queues,
+                             queue_template=args.queue_template)
     try:
         outcomes = executor.run(specs)
     finally:
@@ -278,6 +302,17 @@ def main(argv=None) -> int:
                         help="command template launching the remote "
                              "worker on {host} (default: ssh batch "
                              "mode)")
+    parser.add_argument("--queue", default=None, metavar="SPEC",
+                        help="acquire workers through a batch "
+                             "scheduler: comma-separated name:slots "
+                             "(slurm:16, pbs:8, loopback:2); the name "
+                             "selects a submit preset unless "
+                             "--queue-template overrides; the snapshot "
+                             "stays byte-identical")
+    parser.add_argument("--queue-template", default=None,
+                        metavar="TEMPLATE",
+                        help="submit-command template overriding the "
+                             "per-queue preset")
     parser.add_argument("--timeout", type=float, default=0.0,
                         help="per-run limit in real seconds "
                              "(0 = unlimited)")

@@ -18,7 +18,13 @@ Commands
                schedule-accuracy (predicted vs actual, MAPE) table;
                ``--nodes host1:4,host2:8`` (or ``--nodes-file``)
                dispatches runs to long-lived remote workers with
-               node-aware LPT and failover — still byte-identical
+               node-aware LPT and failover — still byte-identical;
+               ``--queue slurm:16`` acquires workers through a batch
+               scheduler (submit presets + TCP dial-back) behind the
+               same transport seam
+``fleet``      ``fleet check`` probes every configured node/queue,
+               runs the calibration handshake, and prints a readiness
+               report (non-zero exit iff any target fails)
 ``cache``      list the on-disk sweep cache (per-entry size, age,
                measured elapsed) or prune it (``--prune
                --older-than 2h`` / ``--prune --all``)
@@ -256,6 +262,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"repro sweep: {exc}", file=sys.stderr)
             return 2
 
+    # Batch-scheduler acquisition: --queue name:slots selects a submit
+    # preset per queue name (--queue-template overrides).  Unknown
+    # presets and node/queue name collisions are configuration errors.
+    queues = None
+    if args.queue:
+        from repro.exec import parse_queues, resolve_queue_template
+
+        try:
+            queues = parse_queues(args.queue)
+            for q in queues:
+                resolve_queue_template(q.name, args.queue_template)
+            overlap = ({n.name for n in nodes or []}
+                       & {q.name for q in queues})
+            if overlap:
+                raise ValueError(
+                    f"{', '.join(sorted(overlap))} listed in both "
+                    "--nodes and --queue")
+        except ValueError as exc:
+            print(f"repro sweep: {exc}", file=sys.stderr)
+            return 2
+
     specs = grid_specs(datasets, seedings, algorithms, rank_counts,
                        scale=args.scale)
 
@@ -292,7 +319,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                              progress=text_progress(sys.stderr),
                              telemetry=sink, schedule=args.schedule,
                              estimator=estimator, nodes=nodes,
-                             remote_template=args.remote_template)
+                             remote_template=args.remote_template,
+                             queues=queues,
+                             queue_template=args.queue_template)
     outcomes = executor.run(specs)
     if sink is not None:
         sink.close()
@@ -376,6 +405,53 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(report, file=sys.stderr)
         return 1
     return 0 if telemetry_ok else 1
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """``repro fleet check``: probe every configured node/queue, run
+    the calibration handshake, and print a readiness report.
+
+    Exit codes: 0 = every target ready; 1 = at least one probe or
+    handshake failed; 2 = configuration error (nothing to probe,
+    unparsable specs, unknown queue preset).
+    """
+    from repro.exec import (
+        fleet_ok,
+        fleet_report,
+        parse_nodes,
+        parse_queues,
+        probe_fleet,
+        read_nodes_file,
+        resolve_queue_template,
+    )
+
+    nodes, queues = [], []
+    try:
+        if args.nodes:
+            nodes.extend(parse_nodes(args.nodes))
+        if args.nodes_file:
+            nodes.extend(read_nodes_file(Path(args.nodes_file)))
+        if args.queue:
+            queues.extend(parse_queues(args.queue))
+        names = [n.name for n in nodes] + [q.name for q in queues]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate target name across "
+                             "--nodes/--nodes-file/--queue")
+        for q in queues:
+            resolve_queue_template(q.name, args.queue_template)
+    except (ValueError, OSError) as exc:
+        print(f"repro fleet check: {exc}", file=sys.stderr)
+        return 2
+    if not nodes and not queues:
+        print("repro fleet check: nothing to probe — pass --nodes, "
+              "--nodes-file, and/or --queue", file=sys.stderr)
+        return 2
+    results = probe_fleet(nodes, queues,
+                          remote_template=args.remote_template,
+                          queue_template=args.queue_template,
+                          acquire_timeout=args.acquire_timeout or None)
+    print(fleet_report(results))
+    return 0 if fleet_ok(results) else 1
 
 
 def _cmd_trend(args: argparse.Namespace) -> int:
@@ -738,6 +814,18 @@ def build_parser() -> argparse.ArgumentParser:
                            "worker on {host} (default: ssh batch mode, "
                            "cd {cwd}, python -m repro.exec."
                            "remote_worker)")
+    p_sw.add_argument("--queue", default=None, metavar="SPEC",
+                      help="acquire workers through a batch scheduler: "
+                           "comma-separated name:slots (e.g. slurm:16, "
+                           "pbs:8, loopback:2); the name selects a "
+                           "submit preset unless --queue-template "
+                           "overrides it; workers dial back over TCP "
+                           "and merged outputs stay byte-identical")
+    p_sw.add_argument("--queue-template", default=None,
+                      metavar="TEMPLATE",
+                      help="submit-command template overriding the "
+                           "per-queue preset ({worker}, {cwd}, {queue},"
+                           " {job}, {connect} substituted)")
     p_sw.add_argument("--timeout", type=float, default=0.0,
                       help="per-run limit in real seconds "
                            "(0 = unlimited)")
@@ -761,6 +849,39 @@ def build_parser() -> argparse.ArgumentParser:
                            "DIR; never affects the deterministic "
                            "outputs")
     p_sw.set_defaults(func=_cmd_sweep)
+
+    p_fl = sub.add_parser(
+        "fleet",
+        help="validate distributed sweep capacity (nodes and queues)")
+    fl_sub = p_fl.add_subparsers(dest="fleet_command", required=True)
+    p_flc = fl_sub.add_parser(
+        "check",
+        help="probe every configured node/queue, run the calibration "
+             "handshake, and print a readiness report (non-zero exit "
+             "iff any target fails)")
+    p_flc.add_argument("--nodes", default=None, metavar="SPEC",
+                       help="comma-separated host:slots to probe over "
+                            "the remote template ('local' reports the "
+                            "in-machine pool)")
+    p_flc.add_argument("--nodes-file", default=None, metavar="PATH",
+                       help="read node specs from PATH (same format as "
+                            "repro sweep --nodes-file)")
+    p_flc.add_argument("--remote-template", default=None,
+                       metavar="TEMPLATE",
+                       help="command template for node probes (default:"
+                            " the ssh template)")
+    p_flc.add_argument("--queue", default=None, metavar="SPEC",
+                       help="comma-separated name:slots batch queues "
+                            "to probe (one probe job each)")
+    p_flc.add_argument("--queue-template", default=None,
+                       metavar="TEMPLATE",
+                       help="submit-command template overriding the "
+                            "per-queue preset")
+    p_flc.add_argument("--acquire-timeout", type=float, default=0.0,
+                       help="seconds to wait for a queue probe job to "
+                            "dial back (0 = the default acquisition "
+                            "timeout)")
+    p_flc.set_defaults(func=_cmd_fleet)
 
     p_pr = sub.add_parser(
         "profile",

@@ -27,11 +27,16 @@ Layers
     ``lpt`` / ``auto``) over the estimator's predictions; ordering
     never changes merged artifacts.
 :mod:`repro.exec.transport`
-    Worker transports: the local pipe-based pool and the framed-stdio
-    remote transport (:class:`RemoteTransport` + ``python -m
-    repro.exec.remote_worker``) behind one worker interface —
-    ``--nodes host1:4,host2:8`` distributed dispatch with a
-    calibration handshake and node-aware LPT.
+    Worker transports behind the :class:`WorkerTransport` seam: the
+    local pipe-based pool, the framed-stdio remote transport
+    (:class:`RemoteTransport` + ``python -m repro.exec.remote_worker``)
+    for ``--nodes host1:4,host2:8`` dispatch, and the batch-scheduler
+    :class:`QueueTransport` (``--queue slurm:16``) whose detached jobs
+    dial back over TCP — all with the same calibration handshake and
+    node-aware LPT.
+:mod:`repro.exec.fleet`
+    Fleet validation (``repro fleet check``): probe every configured
+    node/queue, run the handshake, and report readiness.
 :mod:`repro.exec.executor`
     :class:`SweepExecutor` — the scheduled dispatcher over persistent
     worker slots (local and/or remote), with per-run timeout, crash
@@ -64,13 +69,25 @@ from repro.exec.transport import (
     DEFAULT_REMOTE_TEMPLATE,
     LOCAL_NODE,
     PROTOCOL_VERSION,
+    QUEUE_PRESETS,
     LocalTransport,
     NodeSpec,
+    QueueSpec,
+    QueueTransport,
     RemoteTransport,
     TransportError,
+    WorkerTransport,
     calibration_probe,
     parse_nodes,
+    parse_queues,
     read_nodes_file,
+    resolve_queue_template,
+)
+from repro.exec.fleet import (
+    ProbeResult,
+    fleet_ok,
+    fleet_report,
+    probe_fleet,
 )
 from repro.exec.schedule import (
     SCHEDULE_AUTO,
@@ -86,6 +103,7 @@ from repro.exec.telemetry import (
     load_events,
     makespan,
     node_table,
+    queue_table,
     schedule_table,
     telemetry_report,
     utilization_table,
@@ -124,6 +142,10 @@ __all__ = [
     "NodeSpec",
     "OUTCOME_TIMEOUT",
     "PROTOCOL_VERSION",
+    "ProbeResult",
+    "QUEUE_PRESETS",
+    "QueueSpec",
+    "QueueTransport",
     "RemoteTransport",
     "RunOutcome",
     "RunSpec",
@@ -135,10 +157,13 @@ __all__ = [
     "SchedulePlan",
     "SweepExecutor",
     "TransportError",
+    "WorkerTransport",
     "calibration_probe",
     "default_jobs",
     "dry_run_table",
     "failure_report",
+    "fleet_ok",
+    "fleet_report",
     "grid_specs",
     "load_events",
     "makespan",
@@ -146,9 +171,13 @@ __all__ = [
     "model_estimate",
     "node_table",
     "parse_nodes",
+    "parse_queues",
     "plan_schedule",
     "pool_main",
+    "probe_fleet",
+    "queue_table",
     "read_nodes_file",
+    "resolve_queue_template",
     "run_spec",
     "run_spec_with_host",
     "schedule_table",

@@ -16,11 +16,15 @@ Three layers sit between the spec list and the workers:
   :class:`~repro.exec.estimate.RuntimeEstimator`).
 * **Transports** (:mod:`repro.exec.transport`): each slot is backed by
   a :class:`~repro.exec.transport.LocalTransport` pool worker (a
-  long-lived ``pool_main`` child on this machine) or a
+  long-lived ``pool_main`` child on this machine), a
   :class:`~repro.exec.transport.RemoteTransport` worker launched on
   another node from a command template and spoken to over a framed
-  stdio protocol.  ``nodes=[NodeSpec(...)]`` activates distributed
-  dispatch (``repro sweep --nodes host1:4,host2:8``).
+  stdio protocol, or a :class:`~repro.exec.transport.QueueTransport`
+  worker acquired through a batch scheduler that dials back over TCP.
+  ``nodes=[NodeSpec(...)]`` activates distributed dispatch
+  (``repro sweep --nodes host1:4,host2:8``);
+  ``queues=[QueueSpec(...)]`` activates batch acquisition
+  (``repro sweep --queue slurm:16``); both can be mixed.
 * **Node-aware dispatch**: free slots live in a heap keyed by
   ``(-speed, slot)``, where a remote node's speed factor comes from its
   handshake calibration probe (or retire-event history).  Combined with
@@ -92,6 +96,8 @@ from repro.exec.transport import (
     LOCAL_NODE,
     LocalTransport,
     NodeSpec,
+    QueueSpec,
+    QueueTransport,
     RemoteTransport,
     TransportError,
 )
@@ -216,6 +222,15 @@ class SweepExecutor:
         ``{cwd}`` substituted; ``shlex``-split, no local shell).
         Defaults to the ssh-based
         :data:`~repro.exec.transport.DEFAULT_REMOTE_TEMPLATE`.
+    queues:
+        Optional list of :class:`~repro.exec.transport.QueueSpec`
+        activating batch-scheduler acquisition: each queue contributes
+        up to ``slots`` dial-back worker slots, acquired eagerly before
+        dispatch (bounded by the acquisition timeout).  Slots that
+        never connect degrade exactly like an unreachable node.
+    queue_template:
+        Submit-command template overriding the per-queue preset (see
+        :data:`~repro.exec.transport.QUEUE_PRESETS`).
     """
 
     def __init__(self, jobs: int = 1, timeout: Optional[float] = None,
@@ -224,7 +239,9 @@ class SweepExecutor:
                  schedule: str = SCHEDULE_FIFO,
                  estimator: Optional[Any] = None,
                  nodes: Optional[Sequence[NodeSpec]] = None,
-                 remote_template: Optional[str] = None):
+                 remote_template: Optional[str] = None,
+                 queues: Optional[Sequence[QueueSpec]] = None,
+                 queue_template: Optional[str] = None):
         self.jobs = default_jobs() if jobs <= 0 else int(jobs)
         self.timeout = timeout if timeout and timeout > 0 else None
         self.progress = progress
@@ -233,7 +250,10 @@ class SweepExecutor:
         self.estimator = estimator
         self.nodes = list(nodes) if nodes else None
         self.remote_template = remote_template or DEFAULT_REMOTE_TEMPLATE
+        self.queues = list(queues) if queues else None
+        self.queue_template = queue_template
         self.last_plan: Optional[SchedulePlan] = None
+        self._transports: List[Any] = []
         self._t0 = 0.0
 
     def _emit_event(self, kind: str, **fields: Any) -> None:
@@ -268,8 +288,9 @@ class SweepExecutor:
         plan = self.plan(specs)
         self.last_plan = plan
         self._t0 = time.monotonic()
-        use_pool = (self.nodes is not None or self.jobs > 1
-                    or self.timeout is not None)
+        self._transports = []
+        use_pool = (self.nodes is not None or self.queues is not None
+                    or self.jobs > 1 or self.timeout is not None)
         ctx = table = workers = None
         if use_pool and total:
             ctx = multiprocessing.get_context(_start_method())
@@ -277,7 +298,8 @@ class SweepExecutor:
         slots_n = len(table) if table is not None else self.jobs
         begin: Dict[str, Any] = {"jobs": slots_n, "runs": total,
                                  "schedule": plan.effective}
-        if self.nodes is not None and table is not None:
+        if ((self.nodes is not None or self.queues is not None)
+                and table is not None):
             begin["nodes"] = self._node_summary(table)
         self._emit_event("sweep_begin", **begin)
         if total:
@@ -291,30 +313,40 @@ class SweepExecutor:
                 self.progress(event, payload, done["n"], total)
 
         ordered = plan.ordered
-        if use_pool and total:
-            self._run_pool(ordered, ctx, table, workers, results, emit)
-        else:
-            for i, spec in ordered:
-                if spec.isolate:
-                    ctx = multiprocessing.get_context(_start_method())
-                    iso_table = {0: _Slot(slot=0, node=LOCAL_NODE,
-                                          speed=1.0,
-                                          transport=self._local_transport(
-                                              ctx))}
-                    self._run_pool([(i, spec)], ctx, iso_table, {},
-                                   results, emit)
-                else:
-                    self._emit_event("dispatch", run=spec.name, idx=i,
-                                     worker=0, node=LOCAL_NODE)
-                    self._emit_event("start", run=spec.name, idx=i,
-                                     worker=0, node=LOCAL_NODE)
-                    emit("start", (spec, 0, LOCAL_NODE))
-                    outcome = self._run_inline(spec)
-                    self._emit_event("finish", run=spec.name, idx=i,
-                                     worker=0, node=LOCAL_NODE)
-                    results[i] = outcome
-                    self._emit_retire(outcome, i, 0, LOCAL_NODE)
-                    emit("done", outcome)
+        try:
+            if use_pool and total:
+                self._run_pool(ordered, ctx, table, workers, results,
+                               emit)
+            else:
+                for i, spec in ordered:
+                    if spec.isolate:
+                        ctx = multiprocessing.get_context(
+                            _start_method())
+                        iso_table = {0: _Slot(
+                            slot=0, node=LOCAL_NODE, speed=1.0,
+                            transport=self._local_transport(ctx))}
+                        self._run_pool([(i, spec)], ctx, iso_table, {},
+                                       results, emit)
+                    else:
+                        self._emit_event("dispatch", run=spec.name,
+                                         idx=i, worker=0,
+                                         node=LOCAL_NODE)
+                        self._emit_event("start", run=spec.name, idx=i,
+                                         worker=0, node=LOCAL_NODE)
+                        emit("start", (spec, 0, LOCAL_NODE))
+                        outcome = self._run_inline(spec)
+                        self._emit_event("finish", run=spec.name, idx=i,
+                                         worker=0, node=LOCAL_NODE)
+                        results[i] = outcome
+                        self._emit_retire(outcome, i, 0, LOCAL_NODE)
+                        emit("done", outcome)
+        finally:
+            transports, self._transports = self._transports, []
+            for transport in transports:
+                try:
+                    transport.close()
+                except OSError:  # pragma: no cover
+                    pass
         self._emit_event("sweep_end", runs=done["n"])
         return [r for r in results if r is not None]
 
@@ -363,16 +395,21 @@ class SweepExecutor:
                                          Dict[int, Any]]:
         """Materialize the slot table for this sweep.
 
-        Without ``nodes``: ``jobs`` local pool slots.  With ``nodes``:
-        each node's slots backed by its transport, with one **probe
-        worker** spawned eagerly per remote node — that both detects an
-        unreachable node before any spec is dispatched (the sweep
-        degrades to the remaining slots with a warning) and yields the
-        node's calibration speed factor for node-aware LPT.
+        Without ``nodes``/``queues``: ``jobs`` local pool slots.  With
+        ``nodes``: each node's slots backed by its transport, with one
+        **probe worker** spawned eagerly per remote node — that both
+        detects an unreachable node before any spec is dispatched (the
+        sweep degrades to the remaining slots with a warning) and
+        yields the node's calibration speed factor for node-aware LPT.
+        With ``queues``: every slot's worker is acquired eagerly
+        through the batch scheduler (bounded by the acquisition
+        timeout); slots that never connect degrade like an unreachable
+        node's, and a queue whose submit command fails is dropped
+        whole.
         """
         table: Dict[int, _Slot] = {}
         workers: Dict[int, Any] = {}
-        if self.nodes is None:
+        if self.nodes is None and self.queues is None:
             local = self._local_transport(ctx)
             for s in range(self.jobs):
                 table[s] = _Slot(slot=s, node=LOCAL_NODE, speed=1.0,
@@ -380,7 +417,7 @@ class SweepExecutor:
             return table, workers
         slot = 0
         local: Optional[LocalTransport] = None
-        for node in self.nodes:
+        for node in self.nodes or []:
             if node.is_local:
                 if local is None:
                     local = self._local_transport(ctx)
@@ -414,6 +451,40 @@ class SweepExecutor:
             for _ in range(node.slots):
                 table[slot] = _Slot(slot=slot, node=node.name,
                                     speed=speed, transport=transport)
+                slot += 1
+        for queue in self.queues or []:
+            transport = QueueTransport(
+                queue, template=self.queue_template,
+                collect_host=self.telemetry is not None,
+                emit=self._emit_event)
+            self._transports.append(transport)
+            try:
+                clients = transport.acquire()
+            except TransportError as exc:
+                self._warn(f"queue {queue.name} unavailable ({exc}); "
+                           f"degrading to remaining slots")
+                self._emit_event("node_lost", node=queue.name,
+                                 slots=queue.slots, reason=str(exc),
+                                 phase="startup")
+                continue
+            missing = queue.slots - len(clients)
+            if missing:
+                for problem in transport.problems:
+                    self._warn(problem)
+                self._warn(
+                    f"queue {queue.name}: {len(clients)}/{queue.slots} "
+                    f"worker(s) connected before the acquisition "
+                    f"timeout; degrading to the connected slots")
+                self._emit_event("node_lost", node=queue.name,
+                                 slots=missing,
+                                 reason="acquisition timeout",
+                                 phase="startup")
+            for client in clients:
+                client.slot = slot
+                workers[slot] = client
+                table[slot] = _Slot(slot=slot, node=queue.name,
+                                    speed=client.speed,
+                                    transport=transport)
                 slot += 1
         if not table:
             self._warn(f"no nodes reachable; running on a local "

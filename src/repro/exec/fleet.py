@@ -1,0 +1,180 @@
+"""Fleet validation: probe every configured node and queue before
+trusting them with a sweep (``repro fleet check``).
+
+A distributed sweep degrades gracefully when capacity is missing — the
+wrong time to discover a dead ssh key or a rejected ``sbatch`` is
+twenty minutes into a measurement run.  :func:`probe_fleet` performs
+the same acquisition the executor would — launch (or submit) one
+worker per target, run the full version/calibration handshake, then
+shut the worker down politely — and reports per-target readiness:
+acquisition latency, the handshake's protocol/feature announcement,
+the worker's hostname, and its calibration speed factor.
+
+This is the tool the ROADMAP's "validate on a real fleet, record a
+genuine ≥ 2× two-node makespan" item needs: run ``repro fleet check
+--nodes host1:4,host2:8`` until every row reads ``ok``, then run the
+measurement sweep (see docs/distributed.md).
+
+Exit-code contract (enforced by the CLI): 0 when every probe passed,
+1 when any configured node or queue failed its probe or handshake,
+2 for configuration errors (no targets, unparsable specs).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.exec.transport import (
+    DEFAULT_REMOTE_TEMPLATE,
+    NodeSpec,
+    QueueSpec,
+    QueueTransport,
+    RemoteTransport,
+    TransportError,
+    queue_acquire_timeout,
+)
+
+#: Grace period for a probed worker to exit after shutdown [seconds].
+_PROBE_REAP = 5.0
+
+
+@dataclass
+class ProbeResult:
+    """Readiness of one fleet target (a node or a queue)."""
+
+    target: str
+    kind: str                      # "local" | "ssh" | "queue"
+    slots: int
+    ok: bool
+    latency: Optional[float] = None   # acquisition seconds
+    speed: Optional[float] = None     # calibration speed factor
+    host: str = ""                    # worker-announced hostname
+    detail: str = ""                  # features / external id / error
+
+
+def _hello_detail(hello) -> str:
+    features = hello.get("features")
+    text = f"protocol {hello.get('protocol')}"
+    if isinstance(features, (list, tuple)) and features:
+        text += f", features {','.join(str(f) for f in features)}"
+    return text
+
+
+def probe_node(node: NodeSpec,
+               template: Optional[str] = None) -> ProbeResult:
+    """Launch one worker on *node* through the remote template, run the
+    handshake, and shut it down."""
+    if node.is_local:
+        return ProbeResult(target=node.name, kind="local",
+                           slots=node.slots, ok=True, latency=0.0,
+                           speed=1.0, host="(in-process)",
+                           detail="in-machine pool")
+    transport = RemoteTransport(
+        node, template=template or DEFAULT_REMOTE_TEMPLATE)
+    t0 = time.monotonic()
+    try:
+        worker = transport.spawn(0)
+    except TransportError as exc:
+        return ProbeResult(target=node.name, kind="ssh",
+                           slots=node.slots, ok=False, detail=str(exc))
+    latency = time.monotonic() - t0
+    hello = worker.hello
+    try:
+        worker.shutdown()
+    except (BrokenPipeError, OSError, EOFError):
+        pass
+    worker.reap(_PROBE_REAP)
+    if worker.alive:  # pragma: no cover - worker ignoring shutdown
+        worker.kill()
+        worker.reap(None)
+    worker.close()
+    return ProbeResult(target=node.name, kind="ssh", slots=node.slots,
+                       ok=True, latency=latency, speed=worker.speed,
+                       host=str(hello.get("host") or ""),
+                       detail=_hello_detail(hello))
+
+
+def probe_queue(queue: QueueSpec, template: Optional[str] = None,
+                acquire_timeout: Optional[float] = None) -> ProbeResult:
+    """Submit one probe job to *queue*, wait for its dial-back, run the
+    handshake, and shut it down.  Reports the declared slot count but
+    only consumes one job's worth of queue time."""
+    transport = QueueTransport(QueueSpec(name=queue.name, slots=1),
+                               template=template,
+                               acquire_timeout=acquire_timeout)
+    try:
+        try:
+            clients = transport.acquire()
+        except TransportError as exc:
+            return ProbeResult(target=queue.name, kind="queue",
+                               slots=queue.slots, ok=False,
+                               detail=str(exc))
+        if not clients:
+            timeout = (acquire_timeout if acquire_timeout
+                       else queue_acquire_timeout())
+            detail = (transport.problems[-1] if transport.problems else
+                      f"no worker dialed back within {timeout:g}s")
+            return ProbeResult(target=queue.name, kind="queue",
+                               slots=queue.slots, ok=False,
+                               detail=detail)
+        client = clients[0]
+        detail = _hello_detail(client.hello)
+        if client.external_id:
+            detail += f", job id {client.external_id}"
+        client.shutdown()
+        client.close()
+        return ProbeResult(target=queue.name, kind="queue",
+                           slots=queue.slots, ok=True,
+                           latency=client.latency, speed=client.speed,
+                           host=str(client.hello.get("host") or ""),
+                           detail=detail)
+    finally:
+        transport.close()
+
+
+def probe_fleet(nodes: Sequence[NodeSpec] = (),
+                queues: Sequence[QueueSpec] = (),
+                remote_template: Optional[str] = None,
+                queue_template: Optional[str] = None,
+                acquire_timeout: Optional[float] = None
+                ) -> List[ProbeResult]:
+    """Probe every configured node and queue, in listed order."""
+    results: List[ProbeResult] = []
+    for node in nodes:
+        results.append(probe_node(node, template=remote_template))
+    for queue in queues:
+        results.append(probe_queue(queue, template=queue_template,
+                                   acquire_timeout=acquire_timeout))
+    return results
+
+
+def fleet_ok(results: Sequence[ProbeResult]) -> bool:
+    return all(r.ok for r in results)
+
+
+def fleet_report(results: Sequence[ProbeResult]) -> str:
+    """Readiness table + one-line verdict."""
+    if not results:
+        return "(no fleet targets configured)"
+    header = (f"{'target':<16} {'kind':<6} {'slots':>5}  {'status':<6} "
+              f"{'latency':>8}  {'speed':>6}  {'host':<14} detail")
+    lines = ["fleet readiness", header, "-" * len(header)]
+    for r in results:
+        latency = f"{r.latency:.2f}s" if r.latency is not None else "-"
+        speed = f"{r.speed:.2f}" if r.speed is not None else "-"
+        status = "ok" if r.ok else "FAIL"
+        lines.append(f"{r.target:<16} {r.kind:<6} {r.slots:>5d}  "
+                     f"{status:<6} {latency:>8}  {speed:>6}  "
+                     f"{(r.host or '-'):<14} {r.detail}")
+    good = sum(1 for r in results if r.ok)
+    slots_ok = sum(r.slots for r in results if r.ok)
+    lines.append("")
+    verdict = (f"{good}/{len(results)} target(s) ready "
+               f"({slots_ok} slot(s))")
+    if good < len(results):
+        bad = ", ".join(r.target for r in results if not r.ok)
+        verdict += f"; FAILED: {bad}"
+    lines.append(verdict)
+    return "\n".join(lines)

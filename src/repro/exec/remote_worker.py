@@ -1,10 +1,13 @@
 """Remote-machine worker: ``python -m repro.exec.remote_worker``.
 
-The stdio side of :class:`repro.exec.transport.RemoteTransport`.  The
-parent launches this module on another machine (``ssh`` in production,
-any command template — tests use a local ``sh -c`` loopback) and speaks
-the length-prefixed JSON frame protocol over the process's stdin and
-stdout:
+The worker side of :class:`repro.exec.transport.RemoteTransport` and
+:class:`repro.exec.transport.QueueTransport`.  The parent either
+launches this module on another machine (``ssh`` in production, any
+command template — tests use a local ``sh -c`` loopback) and speaks
+over the process's stdin and stdout, or a batch scheduler starts it
+detached with ``--connect host:port`` and it **dials back** into the
+executor's rendezvous listener over TCP.  Either way the conversation
+is the same length-prefixed JSON frame protocol:
 
 1. worker → parent: a ``hello`` frame — protocol version, feature
    list, hostname, pid, and a calibration-probe timing the parent turns
@@ -14,10 +17,18 @@ stdout:
    every launch template);
 3. then a ``run`` / ``result`` loop until a ``shutdown`` frame or EOF.
 
-stdout hygiene: the frame stream *is* fd 1, so the very first thing the
-worker does is duplicate the real stdout away and point fd 1 at stderr
-— any stray ``print`` from task code (or an imported library) lands in
-the parent's stderr instead of corrupting a frame.
+stdout hygiene (stdio mode): the frame stream *is* fd 1, so the very
+first thing the worker does is duplicate the real stdout away and
+point fd 1 at stderr — any stray ``print`` from task code (or an
+imported library) lands in the parent's stderr instead of corrupting a
+frame.  In connect-back mode the frames travel over the socket, so
+stdout needs no rerouting (it goes to the batch job's log).
+
+Connect-back mode (``--connect host:port --queue NAME --job N``): the
+hello frame additionally carries the queue name and submission index
+so the rendezvous listener can match the dial-back to its submission
+record.  A refused or timed-out connection exits 2 — the batch job has
+nothing to serve without a parent.
 
 Execution is :func:`repro.exec.worker._execute` — the exact function
 the local pool runs — so a spec's payload is byte-identical no matter
@@ -94,8 +105,12 @@ def _maybe_die(spec_name: str) -> None:
     os._exit(_DIE_EXIT_CODE)
 
 
-def main() -> int:
-    inp, out = _bind_stdio()
+#: Dial-back connection timeout [real seconds].
+_CONNECT_TIMEOUT = 30.0
+
+
+def _serve(inp: Any, out: Any, hello_extra: Dict[str, Any]) -> int:
+    """Announce hello (plus *hello_extra*) and serve the frame loop."""
     hello: Dict[str, Any] = {
         "type": "hello",
         "protocol": PROTOCOL_VERSION,
@@ -104,6 +119,7 @@ def main() -> int:
         "pid": os.getpid(),
         "calib": calibration_probe(),
     }
+    hello.update(hello_extra)
     write_frame(out, hello)
     collect_host = False
     while True:
@@ -141,6 +157,50 @@ def main() -> int:
                           "payload": payload_to_wire(payload),
                           "host": host})
     return 0
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec.remote_worker",
+        description="Frame-protocol sweep worker (stdio, or TCP "
+                    "dial-back with --connect).")
+    parser.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="dial back into a rendezvous listener "
+                             "instead of serving stdio")
+    parser.add_argument("--queue", default="",
+                        help="queue name announced in the hello frame")
+    parser.add_argument("--job", type=int, default=None,
+                        help="submission index announced in the hello "
+                             "frame")
+    args = parser.parse_args(argv)
+    if args.connect is None:
+        inp, out = _bind_stdio()
+        return _serve(inp, out, {})
+    host, _, port = args.connect.rpartition(":")
+    try:
+        sock = socket.create_connection((host, int(port)),
+                                        timeout=_CONNECT_TIMEOUT)
+    except (OSError, ValueError) as exc:
+        print(f"remote_worker: cannot reach rendezvous "
+              f"{args.connect}: {exc}", file=sys.stderr)
+        return 2
+    sock.settimeout(None)
+    inp = sock.makefile("rb", buffering=0)
+    out = sock.makefile("wb", buffering=0)
+    try:
+        return _serve(inp, out, {"queue": args.queue, "job": args.job})
+    finally:
+        for fh in (inp, out):
+            try:
+                fh.close()
+            except OSError:
+                pass
+        try:
+            sock.close()
+        except OSError:
+            pass
 
 
 if __name__ == "__main__":

@@ -2,7 +2,8 @@
 
 The executor (:mod:`repro.exec.executor`) schedules :class:`RunSpec`
 dispatch onto *slots*; a transport owns the worker process behind a
-slot.  Two backends implement the same small worker interface:
+slot.  Three backends implement the same small worker interface (the
+:class:`WorkerTransport` seam):
 
 :class:`LocalTransport`
     The historical in-machine pool: a ``multiprocessing`` child running
@@ -22,7 +23,21 @@ slot.  Two backends implement the same small worker interface:
     seconds / worker probe seconds) that node-aware LPT uses to steer
     the longest runs onto the fastest slots.
 
-Both worker flavors expose the interface the executor multiplexes on:
+:class:`QueueTransport`
+    Long-lived workers acquired through a **batch scheduler** (SLURM,
+    PBS, or any submit command) instead of direct ssh.  The transport
+    submits one detached job per slot from a pluggable **submit
+    template** (``sbatch`` / ``qsub`` presets plus an ssh-free
+    ``sh -c ... &`` loopback preset for tests and CI) and opens a TCP
+    **rendezvous listener**; each batch job runs ``python -m
+    repro.exec.remote_worker --connect host:port`` and dials back into
+    the executor, after which the connection speaks the exact same
+    frame protocol and version/calibration handshake as the ssh
+    transport.  Submissions are tracked through ``queued → launching →
+    connected`` (or ``lost``), acquisition is bounded by a timeout,
+    and unacquired slots degrade exactly like an unreachable node.
+
+All worker flavors expose the interface the executor multiplexes on:
 ``send(spec)`` / ``recv()`` (one ``(status, payload, host)`` message
 per spec), a ``waitable`` for :func:`multiprocessing.connection.wait`,
 ``alive`` / ``terminate`` / ``reap`` / ``kill`` lifecycle, and a polite
@@ -46,14 +61,17 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import shlex
+import socket
 import struct
 import subprocess
+import sys
 import time
 from dataclasses import dataclass
 from multiprocessing import connection as mp_connection
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exec.spec import RunSpec
 from repro.exec.worker import FAULT_ENV
@@ -86,6 +104,48 @@ DEFAULT_HANDSHAKE_TIMEOUT = 30.0
 #: ``O_CREAT | O_EXCL``), which is how tests and CI simulate a node
 #: dying mid-sweep without killing anything by hand.
 REMOTE_FAULT_ENV = "REPRO_REMOTE_FAULT"
+
+#: Bound on how long :meth:`QueueTransport.acquire` waits for submitted
+#: batch jobs to dial back in [real seconds].  Batch queues can sit in
+#: ``PENDING`` for a while; raise this for busy clusters.
+QUEUE_ACQUIRE_TIMEOUT_ENV = "REPRO_QUEUE_ACQUIRE_TIMEOUT"
+DEFAULT_QUEUE_ACQUIRE_TIMEOUT = 120.0
+
+#: Bound on one submit-command invocation (``sbatch``/``qsub`` itself,
+#: not the job) [real seconds].
+QUEUE_SUBMIT_TIMEOUT_ENV = "REPRO_QUEUE_SUBMIT_TIMEOUT"
+DEFAULT_QUEUE_SUBMIT_TIMEOUT = 60.0
+
+#: Hostname batch jobs should dial back to.  Defaults to this machine's
+#: hostname (``127.0.0.1`` for the loopback preset); set it explicitly
+#: when the submit host is multi-homed.
+QUEUE_CONNECT_HOST_ENV = "REPRO_QUEUE_CONNECT_HOST"
+
+#: Python interpreter the queue worker command launches on the compute
+#: node.  Defaults to this process's interpreter, which is correct when
+#: the repo checkout (and venv) is shared; override for heterogeneous
+#: fleets.
+QUEUE_PYTHON_ENV = "REPRO_QUEUE_PYTHON"
+
+#: Submit-template presets, selected by queue name (``--queue slurm:16``
+#: uses the ``slurm`` preset unless ``--queue-template`` overrides it).
+#: Placeholders: ``{worker}`` — the shell-quoted worker launch command;
+#: ``{worker_raw}`` — the same, unquoted; ``{worker_detached}`` — the
+#: quoted command with output discarded and backgrounded (for wrappers
+#: that do not detach by themselves); ``{cwd}``, ``{queue}``, ``{job}``,
+#: ``{connect}``.  The substituted template is ``shlex``-split and
+#: executed without a local shell.
+QUEUE_PRESETS: Dict[str, str] = {
+    "slurm": ("sbatch --parsable --job-name=repro-{queue}-{job} "
+              "--output=/dev/null --error=/dev/null --wrap {worker}"),
+    "pbs": ("qsub -N repro-{job} -o /dev/null -e /dev/null "
+            "-- /bin/sh -c {worker}"),
+    # Test/CI stand-in for a batch scheduler: detach the worker with
+    # plain sh.  The output redirection is load-bearing — the submit
+    # command's pipes must close when sh exits, not when the worker
+    # does.
+    "loopback": "sh -c {worker_detached}",
+}
 
 #: Upper bound on a single frame; a corrupt length prefix must not ask
 #: the parent to allocate gigabytes.
@@ -175,6 +235,47 @@ def read_nodes_file(path) -> List[NodeSpec]:
     if not entries:
         raise ValueError(f"{path}: no nodes listed")
     return parse_nodes(",".join(entries))
+
+
+@dataclass(frozen=True)
+class QueueSpec:
+    """One batch queue's worth of worker slots (``--queue slurm:16``)."""
+
+    name: str
+    slots: int
+
+
+def parse_queues(text: str) -> List[QueueSpec]:
+    """Parse ``--queue slurm:16`` / ``--queue loopback:2,slurm:8``.
+
+    Same grammar as ``--nodes`` (bare name means 1 slot).  The queue
+    name selects a submit-template preset (:data:`QUEUE_PRESETS`)
+    unless ``--queue-template`` overrides it; ``local`` is reserved for
+    the in-machine pool and rejected here.
+    """
+    queues: List[QueueSpec] = []
+    for node in parse_nodes(text):
+        if node.is_local:
+            raise ValueError(
+                "'local' is not a queue — use --nodes local:N for "
+                "in-machine slots")
+        queues.append(QueueSpec(name=node.name, slots=node.slots))
+    return queues
+
+
+def resolve_queue_template(name: str,
+                           override: Optional[str] = None) -> str:
+    """The submit template for queue *name*: explicit override first,
+    then the preset named after the queue."""
+    if override:
+        return override
+    try:
+        return QUEUE_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"no submit-template preset for queue {name!r} "
+            f"(presets: {', '.join(sorted(QUEUE_PRESETS))}); pass "
+            "--queue-template")
 
 
 # --------------------------------------------------------------------- #
@@ -305,13 +406,35 @@ def reference_calibration() -> float:
     return _REF_CALIB
 
 
-def _handshake_timeout() -> float:
-    raw = os.environ.get(HANDSHAKE_TIMEOUT_ENV, "")
+def _env_timeout(env: str, default: float) -> float:
+    raw = os.environ.get(env, "")
     try:
         value = float(raw)
     except ValueError:
-        return DEFAULT_HANDSHAKE_TIMEOUT
-    return value if value > 0 else DEFAULT_HANDSHAKE_TIMEOUT
+        return default
+    return value if value > 0 else default
+
+
+def _handshake_timeout() -> float:
+    return _env_timeout(HANDSHAKE_TIMEOUT_ENV, DEFAULT_HANDSHAKE_TIMEOUT)
+
+
+def queue_acquire_timeout() -> float:
+    return _env_timeout(QUEUE_ACQUIRE_TIMEOUT_ENV,
+                        DEFAULT_QUEUE_ACQUIRE_TIMEOUT)
+
+
+def _queue_submit_timeout() -> float:
+    return _env_timeout(QUEUE_SUBMIT_TIMEOUT_ENV,
+                        DEFAULT_QUEUE_SUBMIT_TIMEOUT)
+
+
+def hello_speed(hello: Dict[str, Any]) -> float:
+    """Relative speed factor from a handshake's calibration timing."""
+    calib = hello.get("calib")
+    if isinstance(calib, (int, float)) and calib > 0:
+        return reference_calibration() / float(calib)
+    return 1.0
 
 
 # --------------------------------------------------------------------- #
@@ -378,11 +501,7 @@ class RemoteWorkerClient:
         self.slot = slot
         self.proc = proc
         self.hello = hello
-        calib = hello.get("calib")
-        if isinstance(calib, (int, float)) and calib > 0:
-            self.speed = reference_calibration() / float(calib)
-        else:
-            self.speed = 1.0
+        self.speed = hello_speed(hello)
 
     @property
     def waitable(self) -> Any:
@@ -438,7 +557,37 @@ class RemoteWorkerClient:
 # Transports
 # --------------------------------------------------------------------- #
 
-class LocalTransport:
+class WorkerTransport:
+    """The seam every worker backend implements.
+
+    A transport owns the worker processes behind one node's (or
+    queue's) slots.  Subclasses provide:
+
+    ``node``
+        A :class:`NodeSpec` naming the capacity (``local`` for the
+        in-machine pool; the queue name for batch-acquired workers).
+    ``failed``
+        Set once the backend is known-unusable; later ``spawn`` calls
+        fail fast so the executor can drop the remaining slots.
+    ``spawn(slot)``
+        Launch (or acquire) one worker and complete its handshake,
+        returning a worker handle (``send``/``recv``/``waitable``/
+        ``alive``/``terminate``/``reap``/``kill``/``shutdown``/
+        ``close``).  Raises :class:`TransportError` when the backend
+        cannot deliver a worker.
+    """
+
+    node: NodeSpec
+    failed: bool = False
+
+    def spawn(self, slot: int) -> Any:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport-owned resources (listeners etc.)."""
+
+
+class LocalTransport(WorkerTransport):
     """Slot provider for the in-machine persistent pool."""
 
     def __init__(self, ctx: Any, collect_host: bool = False) -> None:
@@ -459,7 +608,7 @@ class LocalTransport:
         return LocalPoolWorker(proc=proc, conn=parent_conn, slot=slot)
 
 
-class RemoteTransport:
+class RemoteTransport(WorkerTransport):
     """Slot provider launching framed-protocol workers on one node.
 
     ``spawn`` raises :class:`TransportError` when the node cannot be
@@ -562,3 +711,399 @@ class RemoteTransport:
                     fh.close()
                 except OSError:
                     pass
+
+
+# --------------------------------------------------------------------- #
+# Queue transport (batch-scheduler worker acquisition)
+# --------------------------------------------------------------------- #
+
+#: Submission lifecycle states (see :class:`QueueSubmission`).
+SUBMISSION_QUEUED = "queued"        # submit command accepted the job
+SUBMISSION_LAUNCHING = "launching"  # job dialed back, handshake running
+SUBMISSION_CONNECTED = "connected"  # handshake complete, worker usable
+SUBMISSION_LOST = "lost"            # never connected / failed handshake
+
+
+@dataclass
+class QueueSubmission:
+    """State of one batch-job submission, ``queued → launching →
+    connected`` (or ``lost``)."""
+
+    job: int
+    state: str = SUBMISSION_QUEUED
+    submitted_at: float = 0.0
+    connected_at: Optional[float] = None
+    external_id: str = ""
+    detail: str = ""
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Submit-to-handshake acquisition latency [real seconds]."""
+        if self.connected_at is None:
+            return None
+        return self.connected_at - self.submitted_at
+
+
+def worker_launch_command(queue: str, job: int, connect: str,
+                          cwd: Optional[str] = None) -> str:
+    """The shell command a batch job runs to become a sweep worker.
+
+    It changes into the repo checkout (assumed shared between submit
+    and compute nodes, like the ssh transport assumes), prepends
+    ``src`` to ``PYTHONPATH``, and starts the remote worker in
+    connect-back mode.  ``$PYTHONPATH`` expands on the compute node.
+    """
+    python = os.environ.get(QUEUE_PYTHON_ENV) or sys.executable
+    cwd = cwd or os.getcwd()
+    return ("cd {cwd} && PYTHONPATH=src${{PYTHONPATH:+:$PYTHONPATH}} "
+            "{python} -m repro.exec.remote_worker --connect {connect} "
+            "--queue {queue} --job {job}").format(
+                cwd=shlex.quote(cwd), python=shlex.quote(python),
+                connect=connect, queue=queue, job=job)
+
+
+_TEMPLATE_PLACEHOLDER = re.compile(
+    r"\{(worker_detached|worker_raw|worker|cwd|queue|job|connect)\}")
+
+
+def queue_submit_command(template: str, queue: str, job: int,
+                         connect: str,
+                         cwd: Optional[str] = None) -> List[str]:
+    """Substitute a submit template's placeholders and split it into an
+    argv (executed without a local shell)."""
+    raw = worker_launch_command(queue, job, connect, cwd)
+    values = {
+        "worker": shlex.quote(raw),
+        "worker_raw": raw,
+        "worker_detached": shlex.quote(f"{raw} >/dev/null 2>&1 &"),
+        "cwd": shlex.quote(cwd or os.getcwd()),
+        "queue": queue,
+        "job": str(job),
+        "connect": connect,
+    }
+    text = _TEMPLATE_PLACEHOLDER.sub(lambda m: values[m.group(1)],
+                                     template)
+    argv = shlex.split(text)
+    if not argv:
+        raise TransportError(f"submit template for queue {queue!r} is "
+                             "empty")
+    return argv
+
+
+class QueueWorkerClient:
+    """Parent-side handle for one batch-acquired (dial-back) worker.
+
+    Speaks the same frame protocol as :class:`RemoteWorkerClient`, but
+    over a TCP socket instead of a child's stdio — there is no local
+    process to poll or reap; the batch scheduler owns the process, and
+    the socket is the worker's lifeline (EOF ⇒ the job died or was
+    preempted, surfaced exactly like a remote worker death).
+    """
+
+    def __init__(self, queue: str, job: int, sock: socket.socket,
+                 rfile: Any, wfile: Any, hello: Dict[str, Any],
+                 external_id: str = "", latency: Optional[float] = None,
+                 slot: int = -1) -> None:
+        self.node = queue
+        self.job = job
+        self.slot = slot
+        self.hello = hello
+        self.external_id = external_id
+        self.latency = latency
+        self.speed = hello_speed(hello)
+        self._sock = sock
+        self._rfile = rfile
+        self._wfile = wfile
+        self._alive = True
+
+    @property
+    def waitable(self) -> Any:
+        return self._sock
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def send(self, spec: RunSpec) -> None:
+        try:
+            write_frame(self._wfile,
+                        {"type": "run", "spec": spec_to_wire(spec)})
+        except (BrokenPipeError, OSError) as exc:
+            self._alive = False
+            raise EOFError(f"queue worker {self.node}#{self.job} is "
+                           f"gone ({exc})")
+
+    def recv(self) -> Tuple[str, Any, Any]:
+        try:
+            msg = read_frame(self._rfile)
+        except (EOFError, OSError) as exc:
+            self._alive = False
+            raise EOFError(f"queue worker {self.node}#{self.job} "
+                           f"disconnected ({exc})")
+        if not isinstance(msg, dict) or msg.get("type") != "result":
+            self._alive = False
+            raise EOFError(f"queue worker {self.node}#{self.job} sent "
+                           f"an unexpected frame: {msg!r}")
+        return (str(msg.get("status")),
+                payload_from_wire(msg.get("payload")),
+                msg.get("host"))
+
+    def terminate(self) -> None:
+        # Closing the socket is the termination signal: the worker's
+        # read_frame raises EOFError and it exits.  The batch scheduler
+        # reaps the job.
+        self._alive = False
+        self.close()
+
+    def reap(self, timeout: Optional[float] = None) -> Optional[int]:
+        return None  # no local process; the scheduler owns it
+
+    def kill(self) -> None:
+        self.terminate()
+
+    def shutdown(self) -> None:
+        try:
+            write_frame(self._wfile, {"type": "shutdown"})
+        except (BrokenPipeError, OSError):
+            pass
+
+    def close(self) -> None:
+        self._alive = False
+        for fh in (self._rfile, self._wfile):
+            try:
+                fh.close()
+            except OSError:
+                pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class QueueTransport(WorkerTransport):
+    """Slot provider acquiring workers through a batch scheduler.
+
+    ``acquire()`` submits one job per slot and collects dial-backs on a
+    TCP rendezvous listener until every submission connected or the
+    acquisition timeout (:data:`QUEUE_ACQUIRE_TIMEOUT_ENV`) expires —
+    partial acquisition is not an error; the executor folds the missing
+    slots back into the remaining capacity exactly like an unreachable
+    node.  ``spawn(slot)`` (used for mid-sweep respawn after a worker
+    death) first drains any late dial-back, then submits a replacement
+    job and waits for it, bounded by the same timeout.
+
+    A submit command that fails (non-zero exit, missing binary,
+    timeout) marks the whole queue ``failed`` — a broken ``sbatch`` is
+    not going to start working mid-sweep.
+    """
+
+    def __init__(self, queue: QueueSpec, template: Optional[str] = None,
+                 collect_host: bool = False,
+                 acquire_timeout: Optional[float] = None,
+                 emit: Optional[Callable[..., None]] = None) -> None:
+        self.queue = queue
+        self.node = NodeSpec(name=queue.name, slots=queue.slots)
+        self.template_override = template
+        self.collect_host = collect_host
+        self.acquire_timeout = acquire_timeout
+        self.failed = False
+        #: Handshake failures seen while accepting dial-backs, for
+        #: warnings and ``repro fleet check`` detail lines.
+        self.problems: List[str] = []
+        self.submissions: Dict[int, QueueSubmission] = {}
+        self._emit = emit if emit is not None else (lambda *a, **k: None)
+        self._listener: Optional[socket.socket] = None
+        self._next_job = 0
+
+    # -- rendezvous ---------------------------------------------------- #
+
+    def _ensure_listener(self) -> socket.socket:
+        if self._listener is None:
+            self._listener = socket.create_server(("", 0))
+        return self._listener
+
+    def connect_address(self) -> str:
+        """``host:port`` batch jobs dial back to."""
+        host = os.environ.get(QUEUE_CONNECT_HOST_ENV, "")
+        if not host:
+            host = ("127.0.0.1" if self.queue.name == "loopback"
+                    else socket.gethostname())
+        port = self._ensure_listener().getsockname()[1]
+        return f"{host}:{port}"
+
+    # -- submission ---------------------------------------------------- #
+
+    def _acquire_timeout(self) -> float:
+        if self.acquire_timeout is not None and self.acquire_timeout > 0:
+            return self.acquire_timeout
+        return queue_acquire_timeout()
+
+    def submit(self) -> QueueSubmission:
+        """Submit one batch job; raises :class:`TransportError` (and
+        marks the queue failed) when the submit command itself fails."""
+        name = self.queue.name
+        try:
+            template = resolve_queue_template(name, self.template_override)
+        except ValueError as exc:
+            self.failed = True
+            raise TransportError(str(exc))
+        self._ensure_listener()
+        job = self._next_job
+        self._next_job += 1
+        argv = queue_submit_command(template, name, job,
+                                    self.connect_address())
+        try:
+            res = subprocess.run(
+                argv, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                timeout=_queue_submit_timeout())
+        except (OSError, subprocess.SubprocessError) as exc:
+            self.failed = True
+            raise TransportError(
+                f"queue {name}: submit command failed ({exc})")
+        if res.returncode != 0:
+            self.failed = True
+            err = res.stderr.decode("utf-8", "replace").strip()
+            tail = err.splitlines()[-1] if err else ""
+            raise TransportError(
+                f"queue {name}: submit command exited "
+                f"{res.returncode}" + (f" ({tail})" if tail else ""))
+        out = res.stdout.decode("utf-8", "replace").strip()
+        sub = QueueSubmission(job=job, submitted_at=time.monotonic(),
+                              external_id=(out.splitlines()[0].strip()
+                                           if out else ""))
+        self.submissions[job] = sub
+        self._emit("queue_submit", queue=name, job=job,
+                   external_id=sub.external_id)
+        return sub
+
+    # -- dial-back handshake ------------------------------------------- #
+
+    def _poll_accept(self, timeout: float) -> Optional[QueueWorkerClient]:
+        """Accept and handshake one dial-back, or return ``None`` if no
+        connection arrives within *timeout* (handshake failures are
+        recorded in ``problems``, not raised)."""
+        listener = self._ensure_listener()
+        listener.settimeout(max(0.0, timeout))
+        try:
+            conn, addr = listener.accept()
+        except (socket.timeout, BlockingIOError, OSError):
+            return None
+        try:
+            return self._handshake(conn, addr)
+        except TransportError as exc:
+            self.problems.append(str(exc))
+            try:
+                conn.close()
+            except OSError:
+                pass
+            return None
+
+    def _handshake(self, conn: socket.socket,
+                   addr: Any) -> QueueWorkerClient:
+        name = self.queue.name
+        conn.settimeout(_handshake_timeout())
+        rfile = conn.makefile("rb", buffering=0)
+        wfile = conn.makefile("wb", buffering=0)
+        try:
+            hello = read_frame(rfile)
+        except (EOFError, OSError) as exc:
+            raise TransportError(
+                f"queue {name}: dial-back from {addr[0]} dropped before "
+                f"the handshake ({exc})")
+        if not isinstance(hello, dict) or hello.get("type") != "hello":
+            raise TransportError(
+                f"queue {name}: expected a hello frame from {addr[0]}, "
+                f"got {hello!r}")
+        job = hello.get("job")
+        sub = (self.submissions.get(job)
+               if isinstance(job, int) else None)
+        if sub is None or sub.state == SUBMISSION_CONNECTED:
+            raise TransportError(
+                f"queue {name}: unexpected dial-back for job {job!r} "
+                f"from {addr[0]} (stale or foreign worker)")
+        sub.state = SUBMISSION_LAUNCHING
+        if hello.get("protocol") != PROTOCOL_VERSION:
+            sub.state = SUBMISSION_LOST
+            sub.detail = f"protocol {hello.get('protocol')!r}"
+            raise TransportError(
+                f"queue {name}: job {job} speaks protocol "
+                f"{hello.get('protocol')!r} != {PROTOCOL_VERSION} "
+                "(mismatched repro versions?)")
+        try:
+            write_frame(wfile, {
+                "type": "config",
+                "collect_host": self.collect_host,
+                "fault": os.environ.get(FAULT_ENV, ""),
+                "remote_fault": os.environ.get(REMOTE_FAULT_ENV, ""),
+            })
+        except (BrokenPipeError, OSError) as exc:
+            sub.state = SUBMISSION_LOST
+            sub.detail = "died during config"
+            raise TransportError(
+                f"queue {name}: job {job} died during config ({exc})")
+        sub.state = SUBMISSION_CONNECTED
+        sub.connected_at = time.monotonic()
+        conn.settimeout(None)
+        self._emit("queue_connect", queue=name, job=job,
+                   latency=round(sub.latency or 0.0, 6),
+                   host=hello.get("host"),
+                   external_id=sub.external_id)
+        return QueueWorkerClient(queue=name, job=job, sock=conn,
+                                 rfile=rfile, wfile=wfile, hello=hello,
+                                 external_id=sub.external_id,
+                                 latency=sub.latency)
+
+    # -- acquisition --------------------------------------------------- #
+
+    def acquire(self) -> List[QueueWorkerClient]:
+        """Submit one job per slot and collect connected workers until
+        all arrived or the acquisition timeout expires.  Returns the
+        connected workers (possibly fewer than ``slots``); submissions
+        still pending at the deadline are marked ``lost``."""
+        if self.failed:
+            raise TransportError(
+                f"queue {self.queue.name} was marked unavailable")
+        for _ in range(self.queue.slots):
+            self.submit()
+        deadline = time.monotonic() + self._acquire_timeout()
+        clients: List[QueueWorkerClient] = []
+        while len(clients) < self.queue.slots:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            client = self._poll_accept(min(0.25, remaining))
+            if client is not None:
+                clients.append(client)
+        for sub in self.submissions.values():
+            if sub.state in (SUBMISSION_QUEUED, SUBMISSION_LAUNCHING):
+                sub.state = SUBMISSION_LOST
+                sub.detail = "not connected before the acquisition timeout"
+        return clients
+
+    def spawn(self, slot: int) -> QueueWorkerClient:
+        if self.failed:
+            raise TransportError(
+                f"queue {self.queue.name} was marked unavailable")
+        # A replacement may already be dialing in (late original job).
+        client = self._poll_accept(0.0)
+        if client is None:
+            self.submit()
+            deadline = time.monotonic() + self._acquire_timeout()
+            while client is None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.failed = True
+                    raise TransportError(
+                        f"queue {self.queue.name}: no worker dialed "
+                        f"back within {self._acquire_timeout():g}s")
+                client = self._poll_accept(min(0.25, remaining))
+        client.slot = slot
+        return client
+
+    def close(self) -> None:
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None

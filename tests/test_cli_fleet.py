@@ -1,0 +1,155 @@
+"""``repro fleet check``: per-target probes, readiness report, and
+the exit-code contract (0 all ok / 1 any failure / 2 config error)."""
+
+import sys
+
+import pytest
+
+from repro.exec import (
+    NodeSpec,
+    ProbeResult,
+    QueueSpec,
+    fleet_ok,
+    fleet_report,
+    probe_fleet,
+)
+from repro.exec.fleet import probe_node, probe_queue
+from tests.test_exec_transport import (  # shared loopback idioms
+    LOOPBACK,
+    isolated_cache,  # noqa: F401  (autouse fixture, re-exported)
+)
+
+#: Remote template that reaches "good" and refuses every other host.
+GOOD_ONLY = (f"sh -c 'test {{host}} = good && exec {sys.executable}"
+             " -m repro.exec.remote_worker || exit 7'")
+
+#: Submit template that accepts the job but never starts a worker.
+BLACKHOLE = "sh -c true"
+
+
+# --------------------------------------------------------------------- #
+# Probe primitives
+# --------------------------------------------------------------------- #
+
+def test_probe_node_local_is_trivially_ready():
+    result = probe_node(NodeSpec("local", 4))
+    assert result.ok and result.kind == "local" and result.slots == 4
+    assert result.speed == 1.0
+
+
+def test_probe_node_loopback_runs_handshake():
+    result = probe_node(NodeSpec("n1", 2), template=LOOPBACK)
+    assert result.ok and result.kind == "ssh"
+    assert result.latency is not None and result.latency >= 0.0
+    assert result.speed is not None and result.speed > 0.0
+    assert "protocol 1" in result.detail
+
+
+def test_probe_node_unreachable_reports_failure():
+    result = probe_node(NodeSpec("ghost", 1),
+                        template="sh -c 'exit 7'")
+    assert not result.ok
+    assert result.detail  # the TransportError text survives
+
+
+def test_probe_queue_loopback_and_timeout(monkeypatch):
+    good = probe_queue(QueueSpec("loopback", 3))
+    assert good.ok and good.kind == "queue"
+    assert good.slots == 3  # declared capacity, one probe job
+    assert "protocol 1" in good.detail
+
+    bad = probe_queue(QueueSpec("loopback", 2), template=BLACKHOLE,
+                      acquire_timeout=1.0)
+    assert not bad.ok
+    assert "dialed back" in bad.detail or bad.detail
+
+
+def test_probe_fleet_orders_nodes_before_queues():
+    results = probe_fleet(nodes=[NodeSpec("local", 1)],
+                          queues=[QueueSpec("loopback", 1)])
+    assert [r.target for r in results] == ["local", "loopback"]
+    assert fleet_ok(results)
+
+
+# --------------------------------------------------------------------- #
+# Report formatting
+# --------------------------------------------------------------------- #
+
+def test_fleet_report_formatting():
+    results = [
+        ProbeResult(target="big", kind="ssh", slots=8, ok=True,
+                    latency=0.42, speed=1.25, host="big.cluster",
+                    detail="protocol 1"),
+        ProbeResult(target="slurm", kind="queue", slots=16, ok=False,
+                    detail="submit failed: exit 1"),
+    ]
+    report = fleet_report(results)
+    assert "fleet readiness" in report
+    assert "ok" in report and "FAIL" in report
+    assert "1/2 target(s) ready (8 slot(s))" in report
+    assert "FAILED: slurm" in report
+    assert fleet_report([]) == "(no fleet targets configured)"
+    assert not fleet_ok(results)
+
+
+# --------------------------------------------------------------------- #
+# CLI exit-code contract
+# --------------------------------------------------------------------- #
+
+def test_cli_fleet_check_all_good(capsys):
+    from repro.cli import main
+
+    code = main(["fleet", "check", "--nodes", "local:2,n1:1",
+                 "--remote-template", LOOPBACK,
+                 "--queue", "loopback:1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "3/3 target(s) ready (4 slot(s))" in out
+    assert "FAIL" not in out
+
+
+def test_cli_fleet_check_mixed_good_bad(capsys):
+    from repro.cli import main
+
+    code = main(["fleet", "check", "--nodes", "good:2,bad:4",
+                 "--remote-template", GOOD_ONLY])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "1/2 target(s) ready (2 slot(s))" in out
+    assert "FAILED: bad" in out
+
+
+def test_cli_fleet_check_queue_timeout(capsys):
+    from repro.cli import main
+
+    code = main(["fleet", "check", "--queue", "loopback:1",
+                 "--queue-template", BLACKHOLE,
+                 "--acquire-timeout", "1.0"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "FAILED: loopback" in out
+
+
+def test_cli_fleet_check_nodes_file(tmp_path, capsys):
+    from repro.cli import main
+
+    nodes_file = tmp_path / "nodes.txt"
+    nodes_file.write_text("n1:1\nn2:2\n")
+    code = main(["fleet", "check", "--nodes-file", str(nodes_file),
+                 "--remote-template", LOOPBACK])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "2/2 target(s) ready (3 slot(s))" in out
+
+
+def test_cli_fleet_check_config_errors(capsys):
+    from repro.cli import main
+
+    assert main(["fleet", "check"]) == 2
+    assert "nothing to probe" in capsys.readouterr().err
+    assert main(["fleet", "check", "--queue", "condor:2"]) == 2
+    assert "no submit-template preset" in capsys.readouterr().err
+    assert main(["fleet", "check", "--nodes", "x:1",
+                 "--queue", "x:1",
+                 "--queue-template", BLACKHOLE]) == 2
+    assert "duplicate target name" in capsys.readouterr().err
